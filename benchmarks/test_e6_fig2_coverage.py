@@ -1,0 +1,83 @@
+"""E6 — Figure 2: LP coverage vs traditional code coverage.
+
+Paper Figure 2 plots covered PDLCs against fuzzer iteration for two
+feedback metrics — the novel Leakage Path coverage and traditional code
+coverage (toggle/branch/FSM/condition) — three runs each, averaged.
+Headline numbers: the code-coverage-guided fuzzer lags by up to 10.2 %,
+and LP reaches the same PDLC coverage in 798 iterations where code
+coverage needs 5,149 (6.45x).
+
+Here: the same two-arm experiment on the down-scaled core, three
+repeats, with the figure rendered as an ASCII plot.  Shape assertions:
+LP dominates (equal-or-better at every sampled point and strictly better
+at the end), and reaches the code arm's final coverage in a fraction of
+the iterations.
+"""
+
+import pytest
+
+from repro.harness.campaign import mean_curve, run_coverage_campaign
+from repro.harness.plotting import render_coverage_figure
+from repro.utils.text import ascii_table
+
+from benchmarks.conftest import emit
+
+ITERATIONS = 220
+REPEATS = 3
+
+PAPER_SPEEDUP = 6.45
+PAPER_FINAL_GAP_PERCENT = 10.2
+
+
+def run_both_arms(vuln_config):
+    lp_runs = run_coverage_campaign(
+        vuln_config, "lp", ITERATIONS, repeats=REPEATS, base_seed=40
+    )
+    code_runs = run_coverage_campaign(
+        vuln_config, "code", ITERATIONS, repeats=REPEATS, base_seed=40
+    )
+    return (
+        mean_curve(lp_runs, "Leakage Path (LP)"),
+        mean_curve(code_runs, "Traditional Code Coverage"),
+    )
+
+
+def test_e6_fig2_coverage(benchmark, vuln_config, offline):
+    lp, code = benchmark.pedantic(
+        run_both_arms, args=(vuln_config,), rounds=1, iterations=1
+    )
+    emit(render_coverage_figure(lp, code, total_pdlc=len(offline.pdlc)))
+
+    target = code.final()
+    lp_iterations = lp.iterations_to(target)
+    speedup = ITERATIONS / lp_iterations if lp_iterations else float("inf")
+    gap = 100.0 * (lp.final() - code.final()) / lp.final()
+    emit(ascii_table(
+        ["quantity", "paper", "measured"],
+        [
+            ["iterations to equal coverage (code arm)", 5149, ITERATIONS],
+            ["iterations to equal coverage (LP arm)", 798, lp_iterations],
+            ["search-space exploration speedup", f"{PAPER_SPEEDUP}x",
+             f"{speedup:.2f}x"],
+            ["final covered-PDLC gap (LP ahead)",
+             f"{PAPER_FINAL_GAP_PERCENT}%", f"{gap:.1f}%"],
+        ],
+        title="E6 (Figure 2): headline numbers, paper vs measured",
+    ))
+
+    # Shape 1: LP-guided exploration dominates from mid-campaign on.
+    # (Both arms replay the same seeds for the first iterations, and the
+    # paper's own Figure 2 curves overlap early before separating, so
+    # dominance is asserted once the guidance has had time to act.)
+    checkpoints = [ITERATIONS // 2, 3 * ITERATIONS // 4, ITERATIONS - 1]
+    for index in checkpoints:
+        assert lp.values[index] >= code.values[index]
+    # Shape 2: strictly ahead at the end.
+    assert lp.final() > code.final()
+    # Shape 3: LP reaches the code arm's final coverage substantially
+    # earlier (the paper's 6.45x at its budget; require >= 1.5x here).
+    assert lp_iterations is not None
+    assert speedup >= 1.5
+    # Shape 4: curves are monotonic (cumulative coverage).
+    assert all(a <= b for a, b in zip(lp.values, lp.values[1:]))
+    assert all(a <= b for a, b in zip(code.values, code.values[1:]))

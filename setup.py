@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This environment has no ``wheel`` package, so ``pip install -e .`` (PEP
+660) cannot build; ``python setup.py develop`` provides the equivalent
+editable install using the configuration in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""Specure (DAC'24) reproduction: hybrid speculative vulnerability detection.
+
+Public API of the reproduction of *"Lost and Found in Speculation:
+Hybrid Speculative Vulnerability Detection"* (Rostami et al., DAC 2024).
+
+Quick start::
+
+    from repro import Specure, BoomConfig, VulnConfig
+
+    specure = Specure(BoomConfig.small(VulnConfig.all()), seed=1)
+    print(specure.offline().summary())          # IFG + PDLC (offline phase)
+    report = specure.campaign(iterations=200)   # fuzz + detect (online phase)
+    print(report.render())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.boom import BoomConfig, BoomCore, VulnConfig
+from repro.core import (
+    CampaignReport,
+    OfflineArtifacts,
+    OnlinePhase,
+    Specure,
+    SpecureCampaign,
+    run_offline,
+)
+from repro.core.specure import stop_on_kind
+from repro.detection import (
+    LeakageDetector,
+    LeakReport,
+    MisspeculationTable,
+    VulnerabilityDetector,
+    extract_windows,
+)
+from repro.fuzz import Fuzzer, MutationEngine, TestProgram, special_seeds
+from repro.golden import Iss, SparseMemory
+from repro.ifg import (
+    Ifg,
+    build_ifg_from_design,
+    build_ifg_from_netlist,
+    extract_pdlc_forward,
+    extract_pdlc_reverse,
+    label_architectural,
+)
+from repro.rtl import RtlSimulator, elaborate, parse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoomConfig",
+    "BoomCore",
+    "VulnConfig",
+    "CampaignReport",
+    "OfflineArtifacts",
+    "OnlinePhase",
+    "Specure",
+    "SpecureCampaign",
+    "run_offline",
+    "stop_on_kind",
+    "LeakageDetector",
+    "LeakReport",
+    "MisspeculationTable",
+    "VulnerabilityDetector",
+    "extract_windows",
+    "Fuzzer",
+    "MutationEngine",
+    "TestProgram",
+    "special_seeds",
+    "Iss",
+    "SparseMemory",
+    "Ifg",
+    "build_ifg_from_design",
+    "build_ifg_from_netlist",
+    "extract_pdlc_forward",
+    "extract_pdlc_reverse",
+    "label_architectural",
+    "RtlSimulator",
+    "elaborate",
+    "parse",
+    "__version__",
+]

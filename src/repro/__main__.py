@@ -1,0 +1,40 @@
+"""``python -m repro`` — a one-command self-check.
+
+Prints the library version, runs the offline phase on the default
+processor-under-test, verifies all four studied vulnerabilities through
+the detection pipeline, and prints the experiment registry.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import BoomConfig, Specure, VulnConfig, __version__
+from repro.core.online import OnlinePhase
+from repro.fuzz.triggers import all_triggers
+from repro.harness.experiments import render_registry
+
+
+def main() -> int:
+    print(f"repro {__version__} — Specure (DAC'24) reproduction")
+    print()
+
+    specure = Specure(BoomConfig.small(VulnConfig.all()), seed=1,
+                      monitor_dcache=True)
+    print(specure.offline().summary())
+    print()
+
+    online = OnlinePhase(specure.core, specure.offline(), monitor_dcache=True)
+    failures = 0
+    for kind, program in all_triggers().items():
+        _, reports = online.run_once(program)
+        detected = kind in {report.kind for report in reports}
+        print(f"  {'ok  ' if detected else 'FAIL'} {kind}")
+        failures += 0 if detected else 1
+    print()
+    print(render_registry())
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Baseline tools the paper compares against.
+
+* :mod:`repro.baselines.specdoctor` — SpecDoctor-like differential
+  fuzzing (CCS'22 [11]): run each input with two different secrets,
+  hash the instrumented microarchitectural modules, report mismatches.
+* :mod:`repro.baselines.thehuzz` — TheHuzz-like golden-model fuzzing
+  (USENIX Sec'22 [19]): traditional code-coverage guidance with
+  commit-trace comparison against the ISS.
+* :mod:`repro.baselines.exhaustive` — a bounded exhaustive checker in
+  the spirit of [14]: BFS enumeration of instruction-template sequences
+  with the full leakage property checked on each, demonstrating the
+  state-explosion wall.
+"""
+
+from repro.baselines.specdoctor import SpecDoctor, SpecDoctorFinding
+from repro.baselines.thehuzz import TheHuzz, GoldenMismatch
+from repro.baselines.exhaustive import ExhaustiveChecker, ExhaustiveResult
+
+__all__ = [
+    "SpecDoctor",
+    "SpecDoctorFinding",
+    "TheHuzz",
+    "GoldenMismatch",
+    "ExhaustiveChecker",
+    "ExhaustiveResult",
+]

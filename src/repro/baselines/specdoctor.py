@@ -1,0 +1,181 @@
+"""SpecDoctor-like differential fuzzing baseline.
+
+Mechanics modelled after [11] as the paper characterises it (§2, §4.2):
+
+* every test input is executed twice with *different secret values*
+  planted in a designated secret region;
+* a fixed set of instrumented microarchitectural modules (data cache,
+  branch predictor) is hashed at the end of each run;
+* a report is raised when the two runs' **architectural traces agree**
+  but an instrumented module's hash differs — transient secret leakage;
+* input generation is mutation-based with coarse code-coverage feedback
+  (no leakage-path metric).
+
+The three limitations the paper lists fall out of this construction:
+(1) only the instrumented modules are visible — CSR-file effects like
+the (M)WAIT timer are not; (2) no fine-grained leakage guidance; and
+(3) leaks that do not *reflect the secret value* into an instrumented
+module (Zenbleed's register-file write, the secret-independent timer
+zeroing) produce identical hashes for both secrets and are invisible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.boom.core import BoomCore, CoreResult
+from repro.coverage.code import CodeCoverage
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.input import TestProgram
+from repro.fuzz.mutations import MutationEngine
+from repro.fuzz.seeds import random_seed
+from repro.isa.instructions import ExecClass, decode
+from repro.utils.rng import DeterministicRng
+
+#: Default secret region: inside the data segment, where the special
+#: seeds' transient gadgets read (matches ``seeds._context``'s s5).
+SECRET_BASE = 0x8100_0400
+SECRET_SIZE = 32
+
+
+@dataclass(frozen=True)
+class SpecDoctorFinding:
+    """A differential mismatch: transient secret-dependent state."""
+
+    iteration: int
+    components: tuple[str, ...]
+    program_label: str
+    #: Ground-truth classification for experiment scoring only — the
+    #: tool itself cannot attribute a mismatch to a vulnerability class.
+    ground_truth_kinds: tuple[str, ...]
+
+
+@dataclass
+class SpecDoctorStats:
+    programs: int = 0
+    discarded_arch_divergent: int = 0
+    mismatches: int = 0
+    simulate_seconds: float = 0.0
+
+
+class SpecDoctor:
+    """The differential fuzzer."""
+
+    def __init__(
+        self,
+        core: BoomCore,
+        seed: int = 0,
+        secret_base: int = SECRET_BASE,
+        secret_size: int = SECRET_SIZE,
+        seeds: list[TestProgram] | None = None,
+    ):
+        self.core = core
+        self.rng = DeterministicRng(seed)
+        self.secret_base = secret_base
+        self.secret_size = secret_size
+        self.mutator = MutationEngine(self.rng.fork(0xD0C))
+        self.coverage = CodeCoverage()
+        self.seen: set = set()
+        self.corpus = Corpus()
+        self.stats = SpecDoctorStats()
+        self.findings: list[SpecDoctorFinding] = []
+        self._seeds = seeds or [
+            random_seed(self.rng.fork(0x5D + i)) for i in range(4)
+        ]
+
+    # -- evaluation -------------------------------------------------------------
+
+    def _secret(self, variant: int) -> bytes:
+        rng = self.rng.fork(0x5EC0 + variant)
+        return bytes(rng.randbits(8) for _ in range(self.secret_size))
+
+    def evaluate(self, iteration: int, program: TestProgram) -> int:
+        """Differential evaluation; returns new-coverage item count."""
+        import time
+
+        started = time.perf_counter()
+        run_a = self.core.run(
+            program.with_secret(self.secret_base, self._secret(2 * iteration))
+        )
+        run_b = self.core.run(
+            program.with_secret(self.secret_base, self._secret(2 * iteration + 1))
+        )
+        self.stats.simulate_seconds += time.perf_counter() - started
+        self.stats.programs += 1
+
+        if not _arch_traces_equal(run_a, run_b):
+            # Architecture depends on the secret: not a transient leak,
+            # SpecDoctor discards such inputs.
+            self.stats.discarded_arch_divergent += 1
+        else:
+            mismatched = tuple(
+                name for name in run_a.instrumented
+                if run_a.instrumented[name] != run_b.instrumented[name]
+            )
+            if mismatched:
+                self.stats.mismatches += 1
+                self.findings.append(SpecDoctorFinding(
+                    iteration=iteration,
+                    components=mismatched,
+                    program_label=program.label,
+                    ground_truth_kinds=_ground_truth_kinds(run_a),
+                ))
+
+        new_items = 0
+        for item in self.coverage.items(run_a):
+            if item not in self.seen:
+                self.seen.add(item)
+                new_items += 1
+        if new_items:
+            self.corpus.add(program, new_items)
+        return new_items
+
+    # -- campaign -----------------------------------------------------------------
+
+    def run(self, iterations: int,
+            stop_on_mismatch: bool = False) -> list[SpecDoctorFinding]:
+        """Run a differential campaign; returns all findings."""
+        for index in range(iterations):
+            if index < len(self._seeds):
+                program = self._seeds[index]
+            elif len(self.corpus):
+                entry = self.corpus.pick(self.rng)
+                program = self.mutator.mutate(entry.program,
+                                              rounds=self.rng.randint(1, 3))
+            else:
+                program = self.mutator.mutate(
+                    self._seeds[index % len(self._seeds)], rounds=3
+                )
+            self.evaluate(index, program)
+            if stop_on_mismatch and self.findings:
+                break
+        return self.findings
+
+
+def _arch_traces_equal(a: CoreResult, b: CoreResult) -> bool:
+    if len(a.commits) != len(b.commits):
+        return False
+    for ca, cb in zip(a.commits, b.commits):
+        if (ca.pc, ca.word, ca.rd, ca.rd_value, ca.store_addr,
+                ca.store_value, ca.csr_value) != (
+                cb.pc, cb.word, cb.rd, cb.rd_value, cb.store_addr,
+                cb.store_value, cb.csr_value):
+            return False
+    return True
+
+
+def _ground_truth_kinds(result: CoreResult) -> tuple[str, ...]:
+    """Experiment-scoring helper: what kind of misspeculation was live.
+
+    Classifies by the opener of the run's mispredicted windows — this
+    uses ground truth the real tool would not have; it exists so Table 2
+    can attribute SpecDoctor's anonymous mismatches to columns.
+    """
+    kinds = set()
+    for window in result.mispredicted_windows():
+        opener = decode(window.word).exec_class
+        if opener is ExecClass.JALR:
+            kinds.add("spectre_v2")
+        elif opener is ExecClass.BRANCH:
+            kinds.add("spectre_v1")
+    return tuple(sorted(kinds))

@@ -1,0 +1,147 @@
+"""Branch prediction: gshare direction predictor, BTB, return-address stack.
+
+All predictor state is speculatively updated at fetch and repaired on
+misprediction, so wrong-path execution perturbs it — predictor state is
+classic microarchitectural residue, and its signals are PDLC sources.
+
+The BTB uses *partial tags* (a handful of PC bits), so differently-
+addressed indirect jumps can alias into each other's entries.  That
+aliasing is precisely the injection mechanism of Spectre v2 / branch
+target injection; a full-tag BTB would make the v2 experiment
+impossible by construction.
+"""
+
+from __future__ import annotations
+
+from repro.boom import netlist as nl
+from repro.boom.config import BoomConfig
+from repro.boom.tracer import TraceWriter
+from repro.utils.bitvec import mask
+
+
+class BranchPredictor:
+    """gshare + BTB + RAS with traced state."""
+
+    def __init__(self, config: BoomConfig, tracer: TraceWriter):
+        self.config = config
+        self.tracer = tracer
+        self.ghist = 0
+        # 2-bit saturating counters, initialised weakly-not-taken.
+        self.counters = [1] * config.gshare_entries
+        self.btb_tag = [0] * config.btb_entries
+        self.btb_target = [0] * config.btb_entries
+        self.btb_valid = [False] * config.btb_entries
+        self.ras = [0] * config.ras_entries
+        self.ras_top = 0  # number of valid entries (0..ras_entries)
+
+        self._ix_ghist = tracer.idx(nl.sig_ghist())
+        self._ix_counters = [tracer.idx(nl.sig_gshare(i))
+                             for i in range(config.gshare_entries)]
+        self._ix_btb_tag = [tracer.idx(nl.sig_btb_tag(i))
+                            for i in range(config.btb_entries)]
+        self._ix_btb_target = [tracer.idx(nl.sig_btb_target(i))
+                               for i in range(config.btb_entries)]
+        self._ix_ras = [tracer.idx(nl.sig_ras(i))
+                        for i in range(config.ras_entries)]
+        self._ix_ras_top = tracer.idx(nl.sig_ras_top())
+        self._publish_all()
+
+    def _publish_all(self) -> None:
+        tracer = self.tracer
+        tracer.set(self._ix_ghist, self.ghist)
+        for i, value in enumerate(self.counters):
+            tracer.set(self._ix_counters[i], value)
+        for i in range(self.config.btb_entries):
+            tracer.set(self._ix_btb_tag[i], self.btb_tag[i])
+            tracer.set(self._ix_btb_target[i], self.btb_target[i])
+        for i, value in enumerate(self.ras):
+            tracer.set(self._ix_ras[i], value)
+        tracer.set(self._ix_ras_top, self.ras_top)
+
+    # -- gshare ----------------------------------------------------------
+
+    def _gshare_index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self.ghist) & (self.config.gshare_entries - 1)
+
+    def predict_branch(self, pc: int) -> bool:
+        """Predicted direction for a conditional branch at ``pc``."""
+        return self.counters[self._gshare_index(pc)] >= 2
+
+    def speculate_history(self, taken: bool) -> int:
+        """Shift the predicted outcome into global history.
+
+        Returns the *pre-update* history so the dispatcher can snapshot
+        it for misprediction repair.
+        """
+        snapshot = self.ghist
+        self.ghist = ((self.ghist << 1) | int(taken)) & mask(self.config.ghist_bits)
+        self.tracer.set(self._ix_ghist, self.ghist)
+        return snapshot
+
+    def train_branch(self, pc: int, history: int, taken: bool) -> None:
+        """Update the counter indexed by the at-prediction history."""
+        index = ((pc >> 2) ^ history) & (self.config.gshare_entries - 1)
+        old = self.counters[index]
+        new = min(3, old + 1) if taken else max(0, old - 1)
+        if new != old:
+            self.counters[index] = new
+            self.tracer.set(self._ix_counters[index], new)
+
+    def repair_history(self, snapshot: int, actual_taken: bool) -> None:
+        """Restore history to the branch point plus the actual outcome."""
+        self.ghist = ((snapshot << 1) | int(actual_taken)) & mask(
+            self.config.ghist_bits
+        )
+        self.tracer.set(self._ix_ghist, self.ghist)
+
+    def set_history(self, value: int) -> None:
+        """Restore history verbatim (indirect-jump misprediction repair)."""
+        self.ghist = value & mask(self.config.ghist_bits)
+        self.tracer.set(self._ix_ghist, self.ghist)
+
+    # -- BTB --------------------------------------------------------------
+
+    def _btb_index(self, pc: int) -> int:
+        return (pc >> 2) % self.config.btb_entries
+
+    def _btb_tag_of(self, pc: int) -> int:
+        return (pc >> 2) & mask(self.config.btb_tag_bits)
+
+    def predict_indirect(self, pc: int) -> int | None:
+        """BTB target for an indirect jump at ``pc`` (None on miss)."""
+        index = self._btb_index(pc)
+        if self.btb_valid[index] and self.btb_tag[index] == self._btb_tag_of(pc):
+            return self.btb_target[index]
+        return None
+
+    def train_indirect(self, pc: int, target: int) -> None:
+        """Install/refresh a BTB entry for a resolved indirect jump."""
+        index = self._btb_index(pc)
+        self.btb_valid[index] = True
+        self.btb_tag[index] = self._btb_tag_of(pc)
+        self.btb_target[index] = target
+        self.tracer.set(self._ix_btb_tag[index], self.btb_tag[index])
+        self.tracer.set(self._ix_btb_target[index], target)
+
+    # -- RAS ---------------------------------------------------------------
+
+    def push_ras(self, return_address: int) -> None:
+        """Push a call's return address (wraps when full, like hardware)."""
+        slot = self.ras_top % self.config.ras_entries
+        self.ras[slot] = return_address
+        self.ras_top = min(self.ras_top + 1, 2 * self.config.ras_entries)
+        self.tracer.set(self._ix_ras[slot], return_address)
+        self.tracer.set(self._ix_ras_top, self.ras_top)
+
+    def pop_ras(self) -> int | None:
+        """Pop the predicted return address (None when empty)."""
+        if self.ras_top == 0:
+            return None
+        self.ras_top -= 1
+        self.tracer.set(self._ix_ras_top, self.ras_top)
+        return self.ras[self.ras_top % self.config.ras_entries]
+
+    def repair_ras(self, top_snapshot: int) -> None:
+        """Restore the stack pointer after a squash (contents stay)."""
+        self.ras_top = top_snapshot
+        self.tracer.set(self._ix_ras_top, self.ras_top)

@@ -1,0 +1,108 @@
+"""Core configuration: structure sizes, latencies, and presets.
+
+The paper evaluates on BOOM's default configuration; our model is
+parameterized the same way Chipyard parameterizes BOOM (SmallBoom /
+MediumBoom / LargeBoom), and the experiments use the *small* preset so
+campaigns of thousands of fuzzing iterations stay tractable in Python.
+DESIGN.md records this scale substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.boom.vulns import VulnConfig
+
+
+@dataclass
+class BoomConfig:
+    """Structural parameters of the out-of-order core."""
+
+    # Frontend.
+    fetch_width: int = 2
+    gshare_entries: int = 32  # 2-bit saturating counters
+    ghist_bits: int = 5
+    btb_entries: int = 8
+    btb_tag_bits: int = 4  # partial tags: aliasing enables BTI (Spectre v2)
+    ras_entries: int = 4
+
+    # Backend.
+    rob_entries: int = 16
+    issue_width: int = 2
+    commit_width: int = 2
+
+    # Memory system.
+    dcache_sets: int = 8
+    dcache_ways: int = 2
+    line_bytes: int = 16
+    dcache_hit_latency: int = 1
+    dcache_miss_latency: int = 6
+    tlb_entries: int = 4
+    tlb_miss_penalty: int = 3
+    page_bits: int = 12
+
+    # Execution latencies (cycles).
+    alu_latency: int = 1
+    branch_latency: int = 1
+    mul_latency: int = 3
+    div_latency: int = 10
+
+    # Run bounds.
+    base_address: int = 0x8000_0000
+    data_address: int = 0x8100_0000
+    max_cycles: int = 2_000
+    commit_timeout: int = 200  # cycles with no commit -> abort (deadlock guard)
+
+    # Armed vulnerability emulations.
+    vulns: VulnConfig = field(default_factory=VulnConfig)
+
+    def __post_init__(self):
+        if self.rob_entries < 4:
+            raise ValueError("rob_entries must be at least 4")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line_bytes must be a power of two")
+        if self.dcache_sets & (self.dcache_sets - 1):
+            raise ValueError("dcache_sets must be a power of two")
+        if self.gshare_entries & (self.gshare_entries - 1):
+            raise ValueError("gshare_entries must be a power of two")
+
+    @classmethod
+    def small(cls, vulns: VulnConfig | None = None) -> "BoomConfig":
+        """The experiment preset: smallest realistic OoO configuration."""
+        return cls(vulns=vulns or VulnConfig())
+
+    @classmethod
+    def medium(cls, vulns: VulnConfig | None = None) -> "BoomConfig":
+        """A larger configuration for scaling studies (benchmark E2)."""
+        return cls(
+            fetch_width=2,
+            gshare_entries=128,
+            ghist_bits=7,
+            btb_entries=16,
+            ras_entries=8,
+            rob_entries=32,
+            issue_width=3,
+            commit_width=2,
+            dcache_sets=16,
+            dcache_ways=4,
+            tlb_entries=8,
+            vulns=vulns or VulnConfig(),
+        )
+
+    @classmethod
+    def large(cls, vulns: VulnConfig | None = None) -> "BoomConfig":
+        """The biggest preset (offline-phase scaling only)."""
+        return cls(
+            fetch_width=4,
+            gshare_entries=512,
+            ghist_bits=9,
+            btb_entries=32,
+            ras_entries=16,
+            rob_entries=64,
+            issue_width=4,
+            commit_width=4,
+            dcache_sets=32,
+            dcache_ways=4,
+            tlb_entries=16,
+            vulns=vulns or VulnConfig(),
+        )

@@ -1,0 +1,75 @@
+"""The CSR file, including the paper's custom emulation CSRs.
+
+CSR instructions are executed at commit (serialized at the ROB head), so
+architecturally sanctioned CSR changes always have a commit record.
+The (M)WAIT hook writes ``mwait_timer`` *outside* commit — a hardware
+action wired directly from the data cache — which is exactly the
+unexplained architectural change the Vulnerability Detector flags.
+"""
+
+from __future__ import annotations
+
+from repro.boom import netlist as nl
+from repro.boom.tracer import TraceWriter
+from repro.isa.registers import ALL_CSRS, csr_by_address
+from repro.utils.bitvec import mask
+
+_M64 = mask(64)
+
+MWAIT_EN = 0x800
+MONITOR_ADDR = 0x801
+MWAIT_TIMER = 0x802
+ZENBLEED_EN = 0x803
+
+
+class CsrFile:
+    """CSR storage with traced per-register signals."""
+
+    def __init__(self, tracer: TraceWriter):
+        self.tracer = tracer
+        self.values: dict[int, int] = {spec.address: 0 for spec in ALL_CSRS}
+        self._ix = {spec.address: tracer.idx(nl.sig_csr(spec.name))
+                    for spec in ALL_CSRS}
+
+    def read(self, address: int) -> int:
+        """Read a CSR (unimplemented addresses read zero)."""
+        return self.values.get(address, 0)
+
+    def write(self, address: int, value: int) -> bool:
+        """Architectural write (from a committed CSR instruction).
+
+        Returns True when the write took effect (CSR exists and is
+        writable); unimplemented or read-only CSRs ignore writes.
+        """
+        try:
+            spec = csr_by_address(address)
+        except KeyError:
+            return False
+        if not spec.writable:
+            return False
+        self.values[address] = value & _M64
+        self.tracer.set(self._ix[address], self.values[address])
+        return True
+
+    def hardware_clear_timer(self) -> bool:
+        """The (M)WAIT hook: zero ``mwait_timer`` on a monitored-line change.
+
+        This is a *hardware* write — no commit record — so the resulting
+        architectural change is unexplained.  Returns True when the timer
+        actually changed.
+        """
+        if self.values[MWAIT_TIMER] == 0:
+            return False
+        self.values[MWAIT_TIMER] = 0
+        self.tracer.set(self._ix[MWAIT_TIMER], 0)
+        return True
+
+    def mwait_monitor_active(self) -> bool:
+        """True when software armed the monitor (``mwait_en`` non-zero)."""
+        return self.values[MWAIT_EN] != 0
+
+    def monitor_address(self) -> int:
+        return self.values[MONITOR_ADDR]
+
+    def zenbleed_enabled(self) -> bool:
+        return self.values[ZENBLEED_EN] != 0

@@ -1,0 +1,159 @@
+"""L1 data cache: set-associative, write-through, LRU replacement.
+
+Two properties make this unit the centre of the reproduction:
+
+* **Speculative fills are not rolled back.**  Loads access the cache at
+  execute time, before the enclosing branch resolves; a squashed load's
+  line fill / eviction persists.  This is the Spectre residue, and with
+  the data cache added to the monitored observable set (paper §4.2,
+  "Detecting Spectre Vulnerabilities") it becomes a detectable direct
+  state change.
+* **The (M)WAIT hook.**  When the emulation is armed and ``mwait_en`` is
+  set, any change to the cache line covering ``monitor_addr`` — fill,
+  eviction, or store write, speculative or not — zeroes the
+  ``mwait_timer`` CSR via a callback.  That is the paper's modified
+  BOOM data cache: the timer wakes on *cache line* changes, which is the
+  root cause of the emulated vulnerability.
+
+The per-line ``data`` trace signal is an XOR-fold of the line bytes, so
+any content change is visible to snapshot diffing without tracing whole
+lines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.boom import netlist as nl
+from repro.boom.config import BoomConfig
+from repro.boom.tracer import TraceWriter
+from repro.golden.memory import SparseMemory
+
+
+class DCache:
+    """The L1 data cache model."""
+
+    def __init__(
+        self,
+        config: BoomConfig,
+        tracer: TraceWriter,
+        memory: SparseMemory,
+        on_line_change: Callable[[int], None] | None = None,
+    ):
+        self.config = config
+        self.tracer = tracer
+        self.memory = memory
+        #: Called with the base address of any line whose content/presence
+        #: changed (fill, eviction, store write) — the (M)WAIT monitor.
+        self.on_line_change = on_line_change
+
+        sets, ways = config.dcache_sets, config.dcache_ways
+        self.tags = [[0] * ways for _ in range(sets)]
+        self.valid = [[False] * ways for _ in range(sets)]
+        self.lru = [list(range(ways)) for _ in range(sets)]  # [0] = LRU victim
+
+        self._ix_tag = [[tracer.idx(nl.sig_dc_tag(s, w)) for w in range(ways)]
+                        for s in range(sets)]
+        self._ix_valid = [[tracer.idx(nl.sig_dc_valid(s, w)) for w in range(ways)]
+                          for s in range(sets)]
+        self._ix_data = [[tracer.idx(nl.sig_dc_data(s, w)) for w in range(ways)]
+                         for s in range(sets)]
+
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- address helpers ---------------------------------------------------
+
+    def _line_base(self, address: int) -> int:
+        return address & ~(self.config.line_bytes - 1)
+
+    def _set_index(self, address: int) -> int:
+        return (address // self.config.line_bytes) % self.config.dcache_sets
+
+    def _tag_of(self, address: int) -> int:
+        return address // (self.config.line_bytes * self.config.dcache_sets)
+
+    def _line_hash(self, base: int) -> int:
+        """XOR-fold of the line's bytes (the traced data value)."""
+        folded = 0
+        for offset in range(0, self.config.line_bytes, 8):
+            folded ^= self.memory.read(base + offset, 8)
+        return folded
+
+    def _touch_lru(self, set_index: int, way: int) -> None:
+        order = self.lru[set_index]
+        order.remove(way)
+        order.append(way)
+
+    def _notify(self, line_base: int) -> None:
+        if self.on_line_change is not None:
+            self.on_line_change(line_base)
+
+    # -- operations ---------------------------------------------------------
+
+    def lookup(self, address: int) -> int | None:
+        """Way index if the line is present (no state change)."""
+        set_index = self._set_index(address)
+        tag = self._tag_of(address)
+        for way in range(self.config.dcache_ways):
+            if self.valid[set_index][way] and self.tags[set_index][way] == tag:
+                return way
+        return None
+
+    def access(self, address: int) -> int:
+        """A load access: returns total cache latency; fills on miss."""
+        set_index = self._set_index(address)
+        way = self.lookup(address)
+        if way is not None:
+            self.hits += 1
+            self._touch_lru(set_index, way)
+            return self.config.dcache_hit_latency
+        self.misses += 1
+        self._fill(address)
+        return self.config.dcache_miss_latency
+
+    def write(self, address: int, value: int, size: int) -> None:
+        """A committed store: write-through memory, update/fill the line."""
+        self.memory.write(address, value, size)
+        set_index = self._set_index(address)
+        way = self.lookup(address)
+        if way is None:
+            self._fill(address)  # write-allocate (notifies on fill)
+            return
+        self._touch_lru(set_index, way)
+        base = self._line_base(address)
+        self.tracer.set(self._ix_data[set_index][way], self._line_hash(base))
+        self._notify(base)
+
+    def _fill(self, address: int) -> None:
+        set_index = self._set_index(address)
+        victim = self.lru[set_index][0]
+        if self.valid[set_index][victim]:
+            self.evictions += 1
+            evicted_tag = self.tags[set_index][victim]
+            evicted_base = (
+                (evicted_tag * self.config.dcache_sets + set_index)
+                * self.config.line_bytes
+            )
+            self._notify(evicted_base)
+        base = self._line_base(address)
+        self.tags[set_index][victim] = self._tag_of(address)
+        self.valid[set_index][victim] = True
+        self._touch_lru(set_index, victim)
+        self.tracer.set(self._ix_tag[set_index][victim],
+                        self.tags[set_index][victim] & ((1 << 32) - 1))
+        self.tracer.set(self._ix_valid[set_index][victim], 1)
+        self.tracer.set(self._ix_data[set_index][victim], self._line_hash(base))
+        self._notify(base)
+
+    def line_present(self, address: int) -> bool:
+        """Presence probe (no LRU update) — used by tests and baselines."""
+        return self.lookup(address) is not None
+
+    def state_fingerprint(self) -> tuple:
+        """Hashable full cache state (SpecDoctor instruments this)."""
+        return (
+            tuple(tuple(row) for row in self.tags),
+            tuple(tuple(row) for row in self.valid),
+        )

@@ -1,0 +1,318 @@
+"""Signal naming and netlist construction for the out-of-order core.
+
+Single source of truth for the core's register-level view: every traced
+signal name is defined by a helper here, and :func:`build_boom_netlist`
+declares all signals *and the information-flow edges between them* as a
+pure function of the configuration.  The offline phase builds the IFG
+from this netlist; the online phase's trace writer indexes the same
+names, so PDLC entries refer to exactly the signals the simulator
+toggles.
+
+Architectural signals follow the labelling discipline of
+:mod:`repro.ifg.labeling`: the committed register file is published as
+``boom.arch.x<N>``, the committed PC as ``boom.arch.pc``, and each CSR
+as ``boom.csr.<specname>`` — their leaf names match the registers parsed
+from the ISA spec excerpt, and no microarchitectural signal reuses those
+leaf names.
+"""
+
+from __future__ import annotations
+
+from repro.boom.config import BoomConfig
+from repro.isa.registers import ALL_CSRS
+from repro.rtl.netlist import Netlist
+
+TOP = "boom"
+
+
+# -- signal name helpers -------------------------------------------------
+
+def sig_pc_f() -> str:
+    return f"{TOP}.fetch.pc_f"
+
+
+def sig_ghist() -> str:
+    return f"{TOP}.bpu.ghist"
+
+
+def sig_gshare(i: int) -> str:
+    return f"{TOP}.bpu.gshare_{i}"
+
+
+def sig_btb_tag(i: int) -> str:
+    return f"{TOP}.bpu.btb_tag_{i}"
+
+
+def sig_btb_target(i: int) -> str:
+    return f"{TOP}.bpu.btb_target_{i}"
+
+
+def sig_ras(i: int) -> str:
+    return f"{TOP}.bpu.ras_{i}"
+
+
+def sig_ras_top() -> str:
+    return f"{TOP}.bpu.ras_top"
+
+
+def sig_map(i: int) -> str:
+    return f"{TOP}.rename.map_{i}"
+
+
+def sig_rob_head() -> str:
+    return f"{TOP}.rob.head"
+
+
+def sig_rob_tail() -> str:
+    return f"{TOP}.rob.tail"
+
+
+def sig_rob_count() -> str:
+    return f"{TOP}.rob.count"
+
+
+def sig_rob_valid(i: int) -> str:
+    return f"{TOP}.rob.e{i}_valid"
+
+
+def sig_rob_unsafe(i: int) -> str:
+    return f"{TOP}.rob.e{i}_unsafe"
+
+
+def sig_rob_pc(i: int) -> str:
+    return f"{TOP}.rob.e{i}_pc"
+
+
+def sig_disp_tag() -> str:
+    return f"{TOP}.rob.disp_tag"
+
+
+def sig_disp_pc() -> str:
+    return f"{TOP}.rob.disp_pc"
+
+
+def sig_disp_word() -> str:
+    return f"{TOP}.rob.disp_word"
+
+
+def sig_res_tag() -> str:
+    return f"{TOP}.rob.res_tag"
+
+
+def sig_res_mispredict() -> str:
+    return f"{TOP}.rob.res_mispredict"
+
+
+def sig_wb_data() -> str:
+    return f"{TOP}.rob.wb_data"
+
+
+def sig_stq_valid(i: int) -> str:
+    return f"{TOP}.lsu.stq{i}_valid"
+
+
+def sig_stq_addr(i: int) -> str:
+    return f"{TOP}.lsu.stq{i}_addr"
+
+
+def sig_stq_data(i: int) -> str:
+    return f"{TOP}.lsu.stq{i}_data"
+
+
+def sig_req_addr() -> str:
+    return f"{TOP}.lsu.req_addr"
+
+
+def sig_resp_data() -> str:
+    return f"{TOP}.lsu.resp_data"
+
+
+def sig_dc_tag(s: int, w: int) -> str:
+    return f"{TOP}.dcache.s{s}w{w}_tag"
+
+
+def sig_dc_valid(s: int, w: int) -> str:
+    return f"{TOP}.dcache.s{s}w{w}_valid"
+
+
+def sig_dc_data(s: int, w: int) -> str:
+    return f"{TOP}.dcache.s{s}w{w}_data"
+
+
+def sig_tlb_vpn(i: int) -> str:
+    return f"{TOP}.tlb.e{i}_vpn"
+
+
+def sig_tlb_valid(i: int) -> str:
+    return f"{TOP}.tlb.e{i}_valid"
+
+
+def sig_csr(name: str) -> str:
+    return f"{TOP}.csr.{name}"
+
+
+def sig_arch_x(i: int) -> str:
+    return f"{TOP}.arch.x{i}"
+
+
+def sig_arch_pc() -> str:
+    return f"{TOP}.arch.pc"
+
+
+def stq_size(config: BoomConfig) -> int:
+    """Store-queue slots: one per ROB slot, so slots never alias."""
+    return config.rob_entries
+
+
+# -- netlist construction -------------------------------------------------
+
+def build_boom_netlist(config: BoomConfig) -> Netlist:
+    """Declare every traced signal and inter-signal flow edge.
+
+    Edges mirror the structural dataflow of the core: predictor state
+    feeds the fetch PC, the fetch PC feeds dispatch and predictor
+    training, operand values flow from the architectural register file
+    through the LSU/dcache/writeback buses back into architectural
+    state, and — when armed — the (M)WAIT and Zenbleed hooks wire the
+    paper's leakage paths (dcache → ``mwait_timer``; ``zenbleed_en`` →
+    rename map → register file).
+    """
+    net = Netlist(TOP)
+    vulns = config.vulns
+
+    # ---- declarations ----
+    net.reg(sig_pc_f(), unit="fetch")
+    net.reg(sig_ghist(), width=config.ghist_bits, unit="bpu")
+    gshare = [net.reg(sig_gshare(i), width=2, unit="bpu")
+              for i in range(config.gshare_entries)]
+    btb_tags = [net.reg(sig_btb_tag(i), width=config.btb_tag_bits, unit="bpu")
+                for i in range(config.btb_entries)]
+    btb_targets = [net.reg(sig_btb_target(i), unit="bpu")
+                   for i in range(config.btb_entries)]
+    ras = [net.reg(sig_ras(i), unit="bpu") for i in range(config.ras_entries)]
+    net.reg(sig_ras_top(), width=8, unit="bpu")
+
+    maps = [net.reg(sig_map(i), width=8, unit="rename") for i in range(32)]
+
+    net.reg(sig_rob_head(), width=8, unit="rob")
+    net.reg(sig_rob_tail(), width=8, unit="rob")
+    net.reg(sig_rob_count(), width=8, unit="rob")
+    rob_pcs = []
+    for i in range(config.rob_entries):
+        net.reg(sig_rob_valid(i), width=1, unit="rob")
+        net.reg(sig_rob_unsafe(i), width=1, unit="rob")
+        rob_pcs.append(net.reg(sig_rob_pc(i), unit="rob"))
+    net.reg(sig_disp_tag(), width=32, unit="rob")
+    net.reg(sig_disp_pc(), unit="rob")
+    net.reg(sig_disp_word(), width=32, unit="rob")
+    net.reg(sig_res_tag(), width=32, unit="rob")
+    net.reg(sig_res_mispredict(), width=1, unit="rob")
+    wb = net.wire(sig_wb_data(), unit="rob")
+
+    stq_addrs, stq_datas = [], []
+    for i in range(stq_size(config)):
+        net.reg(sig_stq_valid(i), width=1, unit="lsu")
+        stq_addrs.append(net.reg(sig_stq_addr(i), unit="lsu"))
+        stq_datas.append(net.reg(sig_stq_data(i), unit="lsu"))
+    req = net.wire(sig_req_addr(), unit="lsu")
+    resp = net.wire(sig_resp_data(), unit="lsu")
+
+    dc_sigs = []
+    for s in range(config.dcache_sets):
+        for w in range(config.dcache_ways):
+            dc_sigs.append(net.reg(sig_dc_tag(s, w), unit="dcache"))
+            dc_sigs.append(net.reg(sig_dc_valid(s, w), width=1, unit="dcache"))
+            dc_sigs.append(net.reg(sig_dc_data(s, w), unit="dcache"))
+
+    tlb_sigs = []
+    for i in range(config.tlb_entries):
+        tlb_sigs.append(net.reg(sig_tlb_vpn(i), unit="tlb"))
+        tlb_sigs.append(net.reg(sig_tlb_valid(i), width=1, unit="tlb"))
+
+    csr_sigs = {spec.name: net.reg(sig_csr(spec.name), unit="csr")
+                for spec in ALL_CSRS}
+
+    arch_regs = [net.reg(sig_arch_x(i), unit="arch") for i in range(32)]
+    arch_pc = net.reg(sig_arch_pc(), unit="arch")
+
+    # ---- edges: frontend ----
+    pc = sig_pc_f()
+    net.connect(sig_ghist(), pc)
+    for sig in gshare:
+        net.connect(sig, pc)       # prediction
+        net.connect(pc, sig)       # training (index)
+        net.connect(sig_ghist(), sig)
+    for sig in btb_tags + btb_targets:
+        net.connect(sig, pc)
+        net.connect(pc, sig)
+    for sig in ras:
+        net.connect(sig, pc)
+        net.connect(pc, sig)
+        net.connect(sig_ras_top(), sig)
+    net.connect(sig_ras_top(), pc)
+    net.connect(pc, sig_ras_top())
+    net.connect(pc, sig_ghist())
+    net.connect(sig_res_mispredict(), pc)  # redirect on mispredict
+    net.connect(sig_res_tag(), pc)
+
+    # Dispatch: fetch PC lands in ROB entries; PCs feed PC-relative results.
+    for rob_pc in rob_pcs:
+        net.connect(pc, rob_pc)
+        net.connect(rob_pc, wb)
+    net.connect(pc, sig_disp_pc())
+    net.connect(pc, sig_disp_word())
+    net.connect(sig_rob_tail(), sig_disp_tag())
+
+    # ---- edges: rename / writeback / architectural state ----
+    for i in range(32):
+        net.connect(arch_regs[i], wb)          # operand read
+        if i != 0:
+            net.connect(wb, arch_regs[i])      # commit write
+            net.connect(maps[i], arch_regs[i])  # mapping selects the value
+        net.connect(sig_rob_tail(), maps[i])    # allocation writes tags
+        net.connect(sig_res_mispredict(), maps[i])  # rollback
+    net.connect(wb, arch_pc)
+    for rob_pc in rob_pcs:
+        net.connect(rob_pc, arch_pc)
+
+    # ---- edges: CSR datapath ----
+    for spec in ALL_CSRS:
+        net.connect(csr_sigs[spec.name], wb)   # csr reads -> rd
+        if spec.writable:
+            net.connect(wb, csr_sigs[spec.name])  # csr writes
+
+    # ---- edges: memory datapath ----
+    for i in range(32):
+        net.connect(arch_regs[i], req)
+    for sig in stq_addrs:
+        net.connect(req, sig)
+    for sig in stq_datas:
+        net.connect(wb, sig)
+    for sig in dc_sigs:
+        net.connect(req, sig)                   # index/fill/evict
+        net.connect(sig, resp)                  # read data out
+    for addr_sig, data_sig in zip(stq_addrs, stq_datas):
+        net.connect(data_sig, resp)             # store-to-load forwarding
+        for dc in dc_sigs:
+            net.connect(data_sig, dc)           # commit writes the line
+            net.connect(addr_sig, dc)
+    net.connect(resp, wb)
+    for sig in tlb_sigs:
+        net.connect(req, sig)                   # fills
+        net.connect(sig, resp)                  # translation affects resp
+
+    # ---- edges: (M)WAIT emulation (paper §4.2) ----
+    if vulns.mwait:
+        timer = csr_sigs["mwait_timer"]
+        for sig in dc_sigs:
+            net.connect(sig, timer)
+        net.connect(csr_sigs["mwait_en"], timer)
+        net.connect(csr_sigs["monitor_addr"], timer)
+
+    # ---- edges: Zenbleed emulation (paper §4.2) ----
+    if vulns.zenbleed:
+        zen = csr_sigs["zenbleed_en"]
+        for i in range(1, 32):
+            net.connect(zen, maps[i])
+
+    return net

@@ -1,0 +1,174 @@
+"""The re-order buffer: in-order allocate/commit, out-of-order complete.
+
+ROB entries carry BOOM's ``unsafe`` flag — set while the entry is an
+unresolved speculation source (a conditional branch or indirect jump) —
+and the resolution bus mirrors BOOM's ``brupdate``: the traced
+``rob.res_tag`` / ``rob.res_mispredict`` signals latch each resolution.
+The paper's Leakage Detector reads exactly these signals out of the
+snapshots to delimit speculative windows (§3.2 Step 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.boom import netlist as nl
+from repro.boom.config import BoomConfig
+from repro.boom.tracer import TraceWriter
+from repro.isa.instructions import DecodedInstruction
+
+# Entry lifecycle states.
+DISPATCHED = 0
+EXECUTING = 1
+DONE = 2
+
+
+@dataclass
+class RobEntry:
+    """One in-flight instruction."""
+
+    index: int
+    age: int
+    pc: int
+    inst: DecodedInstruction
+    state: int = DISPATCHED
+    result: int | None = None
+    ready_cycle: int = -1
+
+    # Operand capture (aligned with inst.sources()).
+    src_tags: list = field(default_factory=list)   # pending ROB tag or None
+    src_vals: list = field(default_factory=list)
+
+    # Stores.
+    store_addr: int | None = None
+    store_data: int | None = None
+    store_size: int = 0
+    store_ready: bool = False
+    stq_slot: int | None = None
+
+    # Control flow / speculation.
+    is_ctrl: bool = False
+    spec_tag: int = 0
+    pred_taken: bool = False
+    pred_target: int = 0
+    actual_taken: bool = False
+    actual_target: int = 0
+    mispredicted: bool = False
+    resolved: bool = False
+    unsafe: bool = False
+    ghist_snapshot: int = 0
+    ras_snapshot: int = 0
+
+    # Loads.
+    load_addr: int | None = None
+
+    # CSR / system.
+    csr_new: int | None = None
+    is_halt: bool = False
+
+    @property
+    def done(self) -> bool:
+        return self.state == DONE
+
+    def sources_ready(self) -> bool:
+        return all(tag is None for tag in self.src_tags)
+
+
+class Rob:
+    """Circular re-order buffer with traced occupancy and entry flags."""
+
+    def __init__(self, config: BoomConfig, tracer: TraceWriter):
+        self.config = config
+        self.tracer = tracer
+        self.entries: list[RobEntry | None] = [None] * config.rob_entries
+        self.head = 0
+        self.tail = 0
+        self.count = 0
+        self._next_age = 0
+        self._ix_head = tracer.idx(nl.sig_rob_head())
+        self._ix_tail = tracer.idx(nl.sig_rob_tail())
+        self._ix_count = tracer.idx(nl.sig_rob_count())
+        self._ix_valid = [tracer.idx(nl.sig_rob_valid(i))
+                          for i in range(config.rob_entries)]
+        self._ix_unsafe = [tracer.idx(nl.sig_rob_unsafe(i))
+                           for i in range(config.rob_entries)]
+        self._ix_pc = [tracer.idx(nl.sig_rob_pc(i))
+                       for i in range(config.rob_entries)]
+
+    def full(self) -> bool:
+        return self.count == self.config.rob_entries
+
+    def empty(self) -> bool:
+        return self.count == 0
+
+    def allocate(self, pc: int, inst: DecodedInstruction) -> RobEntry:
+        """Allocate the tail slot for a newly dispatched instruction."""
+        if self.full():
+            raise RuntimeError("ROB overflow")
+        index = self.tail
+        entry = RobEntry(index=index, age=self._next_age, pc=pc, inst=inst)
+        self._next_age += 1
+        self.entries[index] = entry
+        self.tail = (index + 1) % self.config.rob_entries
+        self.count += 1
+        self.tracer.set(self._ix_valid[index], 1)
+        self.tracer.set(self._ix_pc[index], pc)
+        self.tracer.set(self._ix_tail, self.tail)
+        self.tracer.set(self._ix_count, self.count)
+        return entry
+
+    def set_unsafe(self, entry: RobEntry, value: bool) -> None:
+        entry.unsafe = value
+        self.tracer.set(self._ix_unsafe[entry.index], int(value))
+
+    def head_entry(self) -> RobEntry | None:
+        if self.empty():
+            return None
+        return self.entries[self.head]
+
+    def pop_head(self) -> RobEntry:
+        """Commit: remove and return the head entry."""
+        entry = self.entries[self.head]
+        assert entry is not None
+        self.entries[self.head] = None
+        self.tracer.set(self._ix_valid[self.head], 0)
+        self.tracer.set(self._ix_unsafe[self.head], 0)
+        self.head = (self.head + 1) % self.config.rob_entries
+        self.count -= 1
+        self.tracer.set(self._ix_head, self.head)
+        self.tracer.set(self._ix_count, self.count)
+        return entry
+
+    def in_age_order(self) -> list[RobEntry]:
+        """Live entries from oldest to youngest."""
+        ordered = []
+        index = self.head
+        for _ in range(self.count):
+            entry = self.entries[index]
+            assert entry is not None
+            ordered.append(entry)
+            index = (index + 1) % self.config.rob_entries
+        return ordered
+
+    def squash_after(self, pivot: RobEntry) -> list[RobEntry]:
+        """Remove every entry younger than ``pivot``; returns them
+        (oldest first)."""
+        ordered = self.in_age_order()
+        keep = [e for e in ordered if e.age <= pivot.age]
+        squashed = [e for e in ordered if e.age > pivot.age]
+        for entry in squashed:
+            self.entries[entry.index] = None
+            self.tracer.set(self._ix_valid[entry.index], 0)
+            self.tracer.set(self._ix_unsafe[entry.index], 0)
+        self.tail = (pivot.index + 1) % self.config.rob_entries
+        self.count = len(keep)
+        self.tracer.set(self._ix_tail, self.tail)
+        self.tracer.set(self._ix_count, self.count)
+        return squashed
+
+    def older_stores(self, entry: RobEntry) -> list[RobEntry]:
+        """Store entries older than ``entry`` (oldest first)."""
+        return [
+            e for e in self.in_age_order()
+            if e.age < entry.age and e.store_size > 0
+        ]

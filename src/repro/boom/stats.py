@@ -1,0 +1,77 @@
+"""Microarchitectural run statistics derived from a core result.
+
+Summarises what a run did to the machine — IPC, misprediction rate,
+cache/TLB hit rates, squash volume, speculation depth — from the
+:class:`~repro.boom.core.CoreResult` alone.  Used by examples and
+reports to characterise fuzzing inputs, and handy when judging whether
+a seed actually stresses the speculative machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.boom.core import CoreResult
+from repro.detection.nesting import max_depth
+from repro.utils.text import ascii_table
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Derived statistics of one simulation run."""
+
+    cycles: int
+    instructions: int
+    ipc: float
+    windows: int
+    mispredicted: int
+    misprediction_rate: float
+    squashed_instructions: int
+    dcache_hit_rate: float
+    tlb_hit_rate: float
+    max_speculation_depth: int
+    halt_reason: str
+
+    def render(self) -> str:
+        rows = [
+            ["cycles", self.cycles],
+            ["instructions committed", self.instructions],
+            ["IPC", f"{self.ipc:.2f}"],
+            ["speculation windows", self.windows],
+            ["mispredicted windows", self.mispredicted],
+            ["misprediction rate", f"{100 * self.misprediction_rate:.1f}%"],
+            ["squashed instructions", self.squashed_instructions],
+            ["D-cache hit rate", f"{100 * self.dcache_hit_rate:.1f}%"],
+            ["TLB hit rate", f"{100 * self.tlb_hit_rate:.1f}%"],
+            ["max speculation depth", self.max_speculation_depth],
+            ["halt reason", self.halt_reason],
+        ]
+        return ascii_table(["statistic", "value"], rows, title="Run statistics")
+
+
+def _rate(hits: int, misses: int) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def run_stats(result: CoreResult) -> RunStats:
+    """Compute :class:`RunStats` for a finished run."""
+    points = result.coverage_points
+    mispredicted = len(result.mispredicted_windows())
+    return RunStats(
+        cycles=result.cycles,
+        instructions=result.instret,
+        ipc=result.instret / result.cycles if result.cycles else 0.0,
+        windows=len(result.windows),
+        mispredicted=mispredicted,
+        misprediction_rate=(
+            mispredicted / len(result.windows) if result.windows else 0.0
+        ),
+        squashed_instructions=result.squashed_count,
+        dcache_hit_rate=_rate(points.get("dcache.hits", 0),
+                              points.get("dcache.misses", 0)),
+        tlb_hit_rate=_rate(points.get("tlb.hits", 0),
+                           points.get("tlb.misses", 0)),
+        max_speculation_depth=max_depth(list(result.windows)),
+        halt_reason=result.halt_reason,
+    )

@@ -1,0 +1,51 @@
+"""A small fully-associative TLB with round-robin replacement.
+
+Translation is identity (bare-metal physical addressing); the TLB models
+the *microarchitectural residue* of address translation: which page
+numbers were touched — including by squashed speculative accesses — and
+the extra latency of a miss.  Its entries are PDLC sources like any
+other microarchitectural register.
+"""
+
+from __future__ import annotations
+
+from repro.boom import netlist as nl
+from repro.boom.config import BoomConfig
+from repro.boom.tracer import TraceWriter
+
+
+class Tlb:
+    """Fully-associative VPN cache."""
+
+    def __init__(self, config: BoomConfig, tracer: TraceWriter):
+        self.config = config
+        self.tracer = tracer
+        self.vpn = [0] * config.tlb_entries
+        self.valid = [False] * config.tlb_entries
+        self._next_victim = 0
+        self._ix_vpn = [tracer.idx(nl.sig_tlb_vpn(i))
+                        for i in range(config.tlb_entries)]
+        self._ix_valid = [tracer.idx(nl.sig_tlb_valid(i))
+                          for i in range(config.tlb_entries)]
+        self.hits = 0
+        self.misses = 0
+
+    def translate(self, address: int) -> int:
+        """Translate an address; returns the extra latency (0 on hit).
+
+        Misses fill an entry immediately (even for speculative
+        accesses — that is the point).
+        """
+        page = address >> self.config.page_bits
+        for i in range(self.config.tlb_entries):
+            if self.valid[i] and self.vpn[i] == page:
+                self.hits += 1
+                return 0
+        self.misses += 1
+        victim = self._next_victim
+        self._next_victim = (victim + 1) % self.config.tlb_entries
+        self.vpn[victim] = page
+        self.valid[victim] = True
+        self.tracer.set(self._ix_vpn[victim], page)
+        self.tracer.set(self._ix_valid[victim], 1)
+        return self.config.tlb_miss_penalty

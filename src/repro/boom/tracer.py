@@ -1,0 +1,56 @@
+"""Trace writer binding the core's units to a change-event trace.
+
+Every netlist signal has a slot; units write values through
+:meth:`TraceWriter.set` and only actual changes are recorded, giving the
+same event stream an RTL waveform dump would produce for those signals.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.netlist import Netlist
+from repro.rtl.trace import SignalTrace
+
+
+class TraceWriter:
+    """Mutable current-state view over a :class:`SignalTrace`."""
+
+    def __init__(self, netlist: Netlist):
+        names = list(netlist.signals)
+        self.trace = SignalTrace(names, [0] * len(names))
+        self.values = [0] * len(names)
+        self.cycle = 0
+        self._index = {name: i for i, name in enumerate(names)}
+
+    def idx(self, name: str) -> int:
+        """Resolve a signal name to its slot (units cache these)."""
+        return self._index[name]
+
+    def init(self, index: int, value: int) -> None:
+        """Set a signal's *initial* (pre-cycle-0) value without an event.
+
+        Used for reset state — the initial register values a waveform
+        would show before the first clock edge.
+        """
+        self.values[index] = value
+        self.trace.initial[index] = value
+
+    def set_cycle(self, cycle: int) -> None:
+        self.cycle = cycle
+
+    def set(self, index: int, value: int) -> None:
+        """Write a signal; records an event only when the value changes."""
+        old = self.values[index]
+        if value != old:
+            self.values[index] = value
+            self.trace.record(self.cycle, index, old, value)
+
+    def set_by_name(self, name: str, value: int) -> None:
+        self.set(self._index[name], value)
+
+    def get(self, index: int) -> int:
+        return self.values[index]
+
+    def finish(self) -> SignalTrace:
+        """Close the trace at the current cycle and return it."""
+        self.trace.close(self.cycle)
+        return self.trace

@@ -1,0 +1,53 @@
+"""Vulnerability-emulation configuration (paper §4.2).
+
+The paper emulates two recent direct-channel vulnerabilities on BOOM:
+
+* **(M)WAIT** — three custom CSRs (``mwait_en``, ``monitor_addr``,
+  ``mwait_timer``); the data cache is modified so that *cache line*
+  changes to the monitored address — including changes caused by
+  squashed speculative accesses — clear the timer CSR.  The cleared
+  architectural CSR is the direct channel; its root cause is the
+  dcache → mwait_timer path.
+* **Zenbleed** — a ``zenbleed_en`` CSR; when non-zero, the rename stage
+  suppresses the rollback of register-file changes on misprediction, so
+  a wrong-path register write persists architecturally.
+
+Spectre v1 and v2 need no emulation switch: speculative cache fills and
+BTB-predicted indirect targets are inherent to the microarchitecture.
+Detecting them is a matter of *monitoring* the data cache, which the
+paper does by adding the data cache to the PDLC list (§4.2, "Detecting
+Spectre Vulnerabilities").
+
+Deviation note: we do not model the (M)WAIT timer's free-running
+countdown — only the monitored-line zeroing.  The countdown is an
+unconditional cycle→CSR channel that would flag *every* speculative
+window; the paper's reported root cause is specifically the
+dcache → mwait_timer path, which the zeroing behaviour captures exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VulnConfig:
+    """Which emulated vulnerability hooks are armed in the core.
+
+    Arming a hook wires the buggy mechanism into the core (and its
+    netlist); actually *triggering* it still requires the fuzzer to find
+    an input that sets the CSRs and opens a misspeculated window.
+    """
+
+    mwait: bool = False
+    zenbleed: bool = False
+
+    @classmethod
+    def none(cls) -> "VulnConfig":
+        """A core with no emulated-vulnerability hooks."""
+        return cls()
+
+    @classmethod
+    def all(cls) -> "VulnConfig":
+        """Both emulated vulnerabilities armed."""
+        return cls(mwait=True, zenbleed=True)

@@ -1,0 +1,26 @@
+"""Specure itself: the hybrid fuzzing + IFT verification pipeline.
+
+* :mod:`repro.core.offline` — the Offline Phase (§3.1): IFG extraction,
+  architectural-register labelling from the parsed ISA spec, PDLC
+  enumeration;
+* :mod:`repro.core.online` — the Online Phase (§3.2): the
+  Microarchitecture Visualizer / Leakage Detector / Vulnerability
+  Detector / Coverage Calculator composition behind one ``evaluate``
+  function the Hardware Fuzzer drives;
+* :mod:`repro.core.specure` — the end-to-end campaign facade;
+* :mod:`repro.core.report` — campaign summaries and root-cause reports.
+"""
+
+from repro.core.offline import OfflineArtifacts, run_offline
+from repro.core.online import OnlinePhase
+from repro.core.specure import Specure, SpecureCampaign
+from repro.core.report import CampaignReport
+
+__all__ = [
+    "OfflineArtifacts",
+    "run_offline",
+    "OnlinePhase",
+    "Specure",
+    "SpecureCampaign",
+    "CampaignReport",
+]

@@ -1,0 +1,131 @@
+"""The Online Phase: one evaluate() call per fuzzer iteration.
+
+Composes the paper's Figure 1 components:
+
+* **Microarchitecture Visualizer** — simulate the test input on the PUT,
+  producing the change-event trace (snapshots) and classic coverage
+  events;
+* **Leakage Detector** — speculative windows from the traced ROB signals
+  + snapshot discrepancies per misspeculated window;
+* **Vulnerability Detector** — commit-aware architectural diffing and
+  PDLC cross-referencing into root-caused leak reports (vulnerability
+  feedback);
+* **Coverage Calculator** — LP coverage items (or traditional code
+  coverage when configured as the Figure 2 baseline) as coverage
+  feedback for the Hardware Fuzzer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.boom.core import BoomCore, CoreResult
+from repro.core.offline import OfflineArtifacts
+from repro.coverage.code import CodeCoverage
+from repro.coverage.lp import LpCoverage
+from repro.detection.leakage import LeakageDetector
+from repro.detection.mst import MisspeculationTable
+from repro.detection.vulnerability import LeakReport, VulnerabilityDetector
+from repro.fuzz.input import TestProgram
+
+
+@dataclass
+class OnlineStats:
+    """Aggregate counters over all evaluations of a campaign."""
+
+    programs: int = 0
+    cycles: int = 0
+    instructions: int = 0
+    windows: int = 0
+    mispredicted_windows: int = 0
+    simulate_seconds: float = 0.0
+    analysis_seconds: float = 0.0
+
+
+class OnlinePhase:
+    """The evaluation pipeline handed to the fuzzing loop."""
+
+    def __init__(
+        self,
+        core: BoomCore,
+        offline: OfflineArtifacts,
+        coverage: str = "lp",
+        monitor_dcache: bool = False,
+    ):
+        if coverage not in ("lp", "code"):
+            raise ValueError(f"unknown coverage metric {coverage!r}")
+        self.core = core
+        self.offline = offline
+        self.coverage_kind = coverage
+        signal_names = list(core.netlist.signals)
+        self.lp = LpCoverage(offline.pdlc, signal_names)
+        self.code = CodeCoverage()
+        self.leakage = LeakageDetector()
+        self.vulnerability = VulnerabilityDetector(
+            offline.pdlc,
+            monitor_dcache=monitor_dcache,
+            line_bytes=core.config.line_bytes,
+            dcache_sets=core.config.dcache_sets,
+        )
+        self.mst = MisspeculationTable()
+        self.stats = OnlineStats()
+        self.reports: list[LeakReport] = []
+        #: Covered-PDLC progress, recorded for *both* coverage arms so
+        #: Figure 2 can plot the code-coverage-guided fuzzer on the same
+        #: y-axis (the LP calculator runs as a passive observer there).
+        self.lp_covered: set[int] = set()
+        self.lp_curve: list[int] = []
+
+    # -- the fuzzer-facing API ------------------------------------------------
+
+    def evaluate(self, program: TestProgram):
+        """Run one test input through the whole online pipeline.
+
+        Returns ``(coverage_items, findings, metadata)`` as the fuzzing
+        loop expects; findings are ``(kind, LeakReport)`` pairs.
+        """
+        started = time.perf_counter()
+        result = self.core.run(program)
+        simulated = time.perf_counter()
+
+        windows = self.leakage.windows(result)
+        self.mst.add_windows(windows)
+        leaks = self.leakage.potential_leaks(result)
+        reports = self.vulnerability.detect(result, leaks)
+        self.reports.extend(reports)
+
+        if self.coverage_kind == "lp":
+            lp_items = self.lp.items(result)
+            items = lp_items
+            self.lp_covered.update(index for _, index in lp_items)
+        else:
+            items = self.code.items(result)
+            self.lp_covered.update(self.lp.covered(result))
+        self.lp_curve.append(len(self.lp_covered))
+        analysed = time.perf_counter()
+
+        self.stats.programs += 1
+        self.stats.cycles += result.cycles
+        self.stats.instructions += result.instret
+        self.stats.windows += len(windows)
+        self.stats.mispredicted_windows += sum(
+            1 for w in windows if w.mispredicted
+        )
+        self.stats.simulate_seconds += simulated - started
+        self.stats.analysis_seconds += analysed - simulated
+
+        findings = [(report.kind, report) for report in reports]
+        metadata = {
+            "cycles": result.cycles,
+            "instret": result.instret,
+            "halt": result.halt_reason,
+            "windows": len(windows),
+        }
+        return items, findings, metadata
+
+    def run_once(self, program: TestProgram) -> tuple[CoreResult, list[LeakReport]]:
+        """Single-run convenience (examples, tests): result + reports."""
+        result = self.core.run(program)
+        leaks = self.leakage.potential_leaks(result)
+        return result, self.vulnerability.detect(result, leaks)

@@ -1,0 +1,104 @@
+"""Campaign reports: what a Specure run found, rendered for humans."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.offline import OfflineArtifacts
+from repro.core.online import OnlineStats
+from repro.detection.mst import MisspeculationTable
+from repro.detection.vulnerability import LeakReport
+from repro.fuzz.fuzzer import CampaignResult
+from repro.utils.text import ascii_table
+
+
+@dataclass
+class CampaignReport:
+    """End-of-campaign summary."""
+
+    offline: OfflineArtifacts
+    fuzz: CampaignResult
+    stats: OnlineStats
+    mst: MisspeculationTable
+    reports: list[LeakReport] = field(default_factory=list)
+
+    def detected_kinds(self) -> set[str]:
+        return {report.kind for report in self.reports}
+
+    def first_detection_iteration(self, kind: str) -> int | None:
+        """Iteration index of the first finding of ``kind`` (0-based)."""
+        finding = self.fuzz.first_finding(kind)
+        return None if finding is None else finding.iteration
+
+    def to_dict(self) -> dict:
+        """Machine-readable summary (JSON-serialisable) for CI pipelines."""
+        return {
+            "offline": {
+                "signals": self.offline.ifg.vertex_count,
+                "connections": self.offline.ifg.edge_count,
+                "arch_registers": self.offline.arch_count,
+                "micro_registers": self.offline.micro_count,
+                "pdlc": len(self.offline.pdlc),
+                "algorithm": self.offline.algorithm,
+            },
+            "campaign": {
+                "iterations": self.fuzz.iterations,
+                "coverage": self.fuzz.final_coverage(),
+                "corpus": self.fuzz.corpus_size,
+                "cycles": self.stats.cycles,
+                "instructions": self.stats.instructions,
+                "windows": self.stats.windows,
+                "mispredicted_windows": self.stats.mispredicted_windows,
+            },
+            "detections": [
+                {
+                    "kind": kind,
+                    "first_iteration": self.first_detection_iteration(kind),
+                    "reports": sum(1 for r in self.reports if r.kind == kind),
+                }
+                for kind in sorted(self.detected_kinds())
+            ],
+            "mst_rows": len(self.mst),
+        }
+
+    def render(self, mst_limit: int = 10) -> str:
+        lines = [
+            "== Specure campaign report ==",
+            self.offline.summary(),
+            f"iterations: {self.fuzz.iterations}, "
+            f"coverage: {self.fuzz.final_coverage()}, "
+            f"corpus: {self.fuzz.corpus_size}",
+            f"simulated {self.stats.instructions} instructions over "
+            f"{self.stats.cycles} cycles; "
+            f"{self.stats.mispredicted_windows}/{self.stats.windows} "
+            f"windows misspeculated",
+        ]
+        if self.reports:
+            kinds = sorted(self.detected_kinds())
+            rows = []
+            for kind in kinds:
+                iteration = self.first_detection_iteration(kind)
+                count = sum(1 for r in self.reports if r.kind == kind)
+                rows.append([kind, count, iteration])
+            lines.append(ascii_table(
+                ["vulnerability", "reports", "first at iteration"], rows,
+                title="Detected direct-channel leaks",
+            ))
+            lines.append("")
+            first_by_kind = {}
+            for report in self.reports:
+                first_by_kind.setdefault(report.kind, report)
+            for kind in kinds:
+                lines.append(first_by_kind[kind].render())
+        else:
+            lines.append("no direct-channel leaks detected")
+        if len(self.mst):
+            from repro.detection.nesting import max_depth
+
+            lines.append("")
+            lines.append(self.mst.render(limit=mst_limit))
+            lines.append(
+                f"(deepest misspeculation nesting observed: "
+                f"{max_depth(self.mst.rows)})"
+            )
+        return "\n".join(lines)

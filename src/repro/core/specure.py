@@ -1,0 +1,118 @@
+"""The Specure facade: offline phase + online phase + hardware fuzzer.
+
+One object wires the full pipeline of the paper's Figure 1 and runs
+campaigns:
+
+    specure = Specure(BoomConfig.small(VulnConfig.all()), seed=7)
+    report = specure.campaign(iterations=500)
+    print(report.render())
+
+Configuration knobs map one-to-one onto the paper's experiments:
+``coverage`` selects LP vs traditional code coverage (Figure 2),
+``monitor_dcache`` adds the data cache to the monitored observables
+(the Spectre experiments), and ``use_special_seeds`` toggles the
+speculative seed corpus (the with/without-seeds detection-time numbers).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.boom.config import BoomConfig
+from repro.boom.core import BoomCore
+from repro.core.offline import OfflineArtifacts, run_offline
+from repro.core.online import OnlinePhase
+from repro.core.report import CampaignReport
+from repro.fuzz.fuzzer import CampaignResult, Fuzzer, FuzzFinding
+from repro.fuzz.input import TestProgram
+from repro.fuzz.seeds import random_seed, special_seeds
+from repro.utils.rng import DeterministicRng
+
+
+class SpecureCampaign:
+    """A configured, reusable campaign runner (one fuzzer instance)."""
+
+    def __init__(self, online: OnlinePhase, fuzzer: Fuzzer,
+                 offline: OfflineArtifacts):
+        self.online = online
+        self.fuzzer = fuzzer
+        self.offline = offline
+
+    def run(
+        self,
+        iterations: int,
+        stop_when: Callable[[list[FuzzFinding]], bool] | None = None,
+    ) -> CampaignReport:
+        fuzz_result: CampaignResult = self.fuzzer.run(
+            iterations, stop_when=stop_when
+        )
+        return CampaignReport(
+            offline=self.offline,
+            fuzz=fuzz_result,
+            stats=self.online.stats,
+            mst=self.online.mst,
+            reports=self.online.reports,
+        )
+
+
+class Specure:
+    """Top-level entry point of the reproduction."""
+
+    def __init__(
+        self,
+        config: BoomConfig | None = None,
+        seed: int = 0,
+        coverage: str = "lp",
+        monitor_dcache: bool = False,
+        use_special_seeds: bool = True,
+        random_seed_count: int = 4,
+    ):
+        self.config = config or BoomConfig.small()
+        self.seed = seed
+        self.coverage = coverage
+        self.monitor_dcache = monitor_dcache
+        self.use_special_seeds = use_special_seeds
+        self.random_seed_count = random_seed_count
+        self.core = BoomCore(self.config)
+        self._offline: OfflineArtifacts | None = None
+
+    def offline(self) -> OfflineArtifacts:
+        """Run (and cache) the offline phase for this PUT."""
+        if self._offline is None:
+            self._offline = run_offline(self.core.netlist)
+        return self._offline
+
+    def build_campaign(self) -> SpecureCampaign:
+        """Wire a fresh online phase + fuzzer (new RNG streams)."""
+        offline = self.offline()
+        online = OnlinePhase(
+            self.core,
+            offline,
+            coverage=self.coverage,
+            monitor_dcache=self.monitor_dcache,
+        )
+        rng = DeterministicRng(self.seed)
+        seeds: list[TestProgram] = []
+        if self.use_special_seeds:
+            seeds.extend(special_seeds())
+        for index in range(self.random_seed_count):
+            seeds.append(random_seed(rng.fork(0x5EED + index)))
+        fuzzer = Fuzzer(online.evaluate, seeds=seeds, rng=rng.fork(0xF0))
+        return SpecureCampaign(online, fuzzer, offline)
+
+    def campaign(
+        self,
+        iterations: int,
+        stop_when: Callable[[list[FuzzFinding]], bool] | None = None,
+    ) -> CampaignReport:
+        """Run one fuzzing campaign end to end."""
+        return self.build_campaign().run(iterations, stop_when=stop_when)
+
+
+def stop_on_kind(kind: str) -> Callable[[list[FuzzFinding]], bool]:
+    """A stop predicate: end the campaign at the first ``kind`` finding."""
+
+    def predicate(findings: list[FuzzFinding]) -> bool:
+        return any(finding.kind == kind for finding in findings)
+
+    return predicate

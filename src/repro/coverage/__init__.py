@@ -1,0 +1,25 @@
+"""Coverage metrics: traditional code coverage and Leakage Path coverage.
+
+The paper's Microarchitecture Visualizer extracts "the typical code
+coverage metrics (toggle, branch, finite-state machine (FSM), etc.)"
+from simulation (§3.2); the Coverage Calculator computes the novel
+**Leakage Path (LP)** metric from PDLC signal toggles inside speculative
+windows.  Both are exposed as *item generators* over a run result, so
+the same fuzzing loop can be guided by either — which is exactly how the
+paper's Figure 2 experiment is set up.
+"""
+
+from repro.coverage.toggle import toggle_items
+from repro.coverage.branchcov import point_items, bucket
+from repro.coverage.fsm import fsm_items
+from repro.coverage.code import CodeCoverage
+from repro.coverage.lp import LpCoverage
+
+__all__ = [
+    "toggle_items",
+    "point_items",
+    "bucket",
+    "fsm_items",
+    "CodeCoverage",
+    "LpCoverage",
+]

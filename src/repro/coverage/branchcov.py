@@ -1,0 +1,42 @@
+"""Branch/condition coverage from behavioural coverage points.
+
+The core model emits named coverage points wherever RTL would have a
+branch or condition (predictor taken/not-taken, cache hit/miss, stall
+conditions, ...).  Counts are AFL-style bucketed so the fuzzer keeps
+getting feedback as a behaviour becomes *more* frequent, not just when
+it first occurs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+def bucket(count: int) -> int:
+    """AFL-style count bucketing: 0,1,2,3,4-7,8-15,16-31,32-127,128+."""
+    if count <= 3:
+        return count
+    if count <= 7:
+        return 4
+    if count <= 15:
+        return 5
+    if count <= 31:
+        return 6
+    if count <= 127:
+        return 7
+    return 8
+
+
+def point_items(
+    coverage_points: dict[str, int],
+    exclude_prefix: str = "fsm.",
+) -> Iterable[tuple[str, str, int]]:
+    """Yield items ``("pt", point_name, bucket)`` for behaviour points.
+
+    FSM-prefixed points are handled by :mod:`repro.coverage.fsm`.
+    """
+    for name, count in coverage_points.items():
+        if name.startswith(exclude_prefix):
+            continue
+        for level in range(1, bucket(count) + 1):
+            yield ("pt", name, level)

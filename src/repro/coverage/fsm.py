@@ -1,0 +1,17 @@
+"""FSM coverage: which control-state-machine states were occupied.
+
+The core tags state-machine occupancy with ``fsm.``-prefixed coverage
+points (e.g. ROB occupancy bands standing in for pipeline-control FSM
+states).  Each visited state is one coverage item.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+def fsm_items(coverage_points: dict[str, int]) -> Iterable[tuple[str, str]]:
+    """Yield items ``("fsm", state_name)`` for every visited FSM state."""
+    for name, count in coverage_points.items():
+        if name.startswith("fsm.") and count > 0:
+            yield ("fsm", name)

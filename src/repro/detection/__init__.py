@@ -1,0 +1,49 @@
+"""Leakage detection: the paper's Online Phase analysis components.
+
+* :mod:`repro.detection.windows` — Step 1 of the Leakage Detector:
+  derive speculative-window start/end cycles from the traced ROB
+  signals (the ``unsafe`` dispatch strobe and the ``brupdate``-style
+  resolution bus), yielding the Misspeculation Table;
+* :mod:`repro.detection.mst` — Table 1: rendering of misspeculated
+  windows with raw and readable instructions;
+* :mod:`repro.detection.snapshot_diff` — Step 2: discrepancies between
+  the snapshots at each window's boundaries (potential leakage
+  locations);
+* :mod:`repro.detection.leakage` — ties Steps 1 and 2 together;
+* :mod:`repro.detection.vulnerability` — the Vulnerability Detector:
+  commit-aware filtering of architectural changes, PDLC
+  cross-referencing, and root-cause reports.
+"""
+
+from repro.detection.windows import DetectedWindow, RobSignalMap, extract_windows
+from repro.detection.mst import MisspeculationTable
+from repro.detection.snapshot_diff import window_diff
+from repro.detection.leakage import LeakageDetector, PotentialLeak
+from repro.detection.nesting import (
+    WindowNode,
+    depth_histogram,
+    max_depth,
+    nesting_forest,
+)
+from repro.detection.vulnerability import (
+    LeakReport,
+    RootCause,
+    VulnerabilityDetector,
+)
+
+__all__ = [
+    "DetectedWindow",
+    "RobSignalMap",
+    "extract_windows",
+    "MisspeculationTable",
+    "window_diff",
+    "LeakageDetector",
+    "PotentialLeak",
+    "WindowNode",
+    "depth_histogram",
+    "max_depth",
+    "nesting_forest",
+    "LeakReport",
+    "RootCause",
+    "VulnerabilityDetector",
+]

@@ -1,0 +1,50 @@
+"""The Leakage Detector: windows + snapshot diffs = potential leaks.
+
+Combines Step 1 (window extraction from the traced ROB signals) and
+Step 2 (snapshot discrepancies) of the paper's Leakage Detector and
+hands each misspeculated window's potential leakage locations to the
+Vulnerability Detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.boom.core import CoreResult
+from repro.detection.snapshot_diff import window_diff
+from repro.detection.windows import DetectedWindow, RobSignalMap, extract_windows
+
+
+@dataclass(frozen=True)
+class PotentialLeak:
+    """One misspeculated window and its changed-signal set."""
+
+    window: DetectedWindow
+    changed: dict[str, tuple[int, int]]  # signal -> (before, after)
+
+
+class LeakageDetector:
+    """Trace-only leakage detection (no simulator internals consulted)."""
+
+    def __init__(self, signal_map: RobSignalMap | None = None):
+        self.signal_map = signal_map or RobSignalMap()
+
+    def windows(self, result: CoreResult) -> list[DetectedWindow]:
+        """All speculative windows of a run (Step 1)."""
+        return extract_windows(result.trace, self.signal_map)
+
+    def potential_leaks(self, result: CoreResult) -> list[PotentialLeak]:
+        """Changed-signal sets for every *misspeculated* window (Step 2).
+
+        Only misspeculated windows can leak transient state: a correctly
+        predicted window's changes are simply early execution of the
+        architectural path.
+        """
+        leaks = []
+        for window in self.windows(result):
+            if not window.mispredicted:
+                continue
+            changed = window_diff(result.trace, window)
+            if changed:
+                leaks.append(PotentialLeak(window=window, changed=changed))
+        return leaks

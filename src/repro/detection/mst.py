@@ -1,0 +1,51 @@
+"""The Misspeculation Table (MST) — the paper's Table 1.
+
+"We use this information and maintain a table, called Misspeculation
+Table (MST), that keeps the start and end clock cycles and the related
+instruction for each misspeculated window" (§3.2).  Rendered with the
+same columns as Table 1: ID, Start, End, Instruction (raw hex), and
+Instruction (Readable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detection.windows import DetectedWindow
+from repro.isa.disassembler import disassemble
+from repro.utils.text import ascii_table, format_hex
+
+
+@dataclass
+class MisspeculationTable:
+    """Accumulates misspeculated windows across one or many runs."""
+
+    rows: list[DetectedWindow] = field(default_factory=list)
+
+    def add_windows(self, windows: list[DetectedWindow]) -> int:
+        """Record the misspeculated windows; returns how many were added."""
+        added = [w for w in windows if w.mispredicted]
+        self.rows.extend(added)
+        return len(added)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def render(self, limit: int | None = None) -> str:
+        """Render in the paper's Table 1 format."""
+        shown = self.rows if limit is None else self.rows[:limit]
+        table_rows = [
+            [
+                index + 1,
+                window.start,
+                window.end,
+                format_hex(window.word, 32),
+                disassemble(window.word, pc=window.pc),
+            ]
+            for index, window in enumerate(shown)
+        ]
+        return ascii_table(
+            ["ID", "Start", "End", "Instruction", "Instruction(Readable)"],
+            table_rows,
+            title="Misspeculation Table (MST)",
+        )

@@ -1,0 +1,89 @@
+"""Speculation-window nesting analysis.
+
+Out-of-order cores speculate *under* speculation: a branch dispatched
+while an older branch is unresolved opens a nested window.  Nesting
+structure matters for triage — a leak attributed to an inner window is
+squashed (and re-detected) together with its ancestors — and the
+maximum nesting depth is a useful characterisation of how aggressively
+an input drives the machine off the architectural path.
+
+:func:`nesting_forest` organises a run's windows into containment trees
+by their [start, end] cycle intervals; :func:`max_depth` and
+:func:`depth_histogram` summarise them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detection.windows import DetectedWindow
+
+
+@dataclass
+class WindowNode:
+    """One window and the windows nested inside it."""
+
+    window: DetectedWindow
+    children: list["WindowNode"] = field(default_factory=list)
+
+    def depth(self) -> int:
+        """Height of this subtree (a childless node has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def count(self) -> int:
+        """Number of windows in this subtree."""
+        return 1 + sum(child.count() for child in self.children)
+
+
+def nesting_forest(windows: list[DetectedWindow]) -> list[WindowNode]:
+    """Arrange windows into containment trees.
+
+    Window B nests inside window A when A's [start, end] interval
+    contains B's and B opened no earlier than A.  Windows are processed
+    in (start, -end) order so enclosing windows precede their contents;
+    a stack tracks the current chain of open ancestors.
+    """
+    ordered = sorted(windows, key=lambda w: (w.start, -w.end, w.tag))
+    roots: list[WindowNode] = []
+    stack: list[WindowNode] = []
+    for window in ordered:
+        node = WindowNode(window)
+        while stack and not _contains(stack[-1].window, window):
+            stack.pop()
+        if stack:
+            stack[-1].children.append(node)
+        else:
+            roots.append(node)
+        stack.append(node)
+    return roots
+
+
+def _contains(outer: DetectedWindow, inner: DetectedWindow) -> bool:
+    return outer.start <= inner.start and inner.end <= outer.end and (
+        (outer.start, outer.end) != (inner.start, inner.end)
+        or outer.tag != inner.tag
+    )
+
+
+def max_depth(windows: list[DetectedWindow]) -> int:
+    """Deepest speculation nesting across a run (0 for no windows)."""
+    forest = nesting_forest(windows)
+    if not forest:
+        return 0
+    return max(node.depth() for node in forest)
+
+
+def depth_histogram(windows: list[DetectedWindow]) -> dict[int, int]:
+    """Number of windows at each nesting depth (depth 1 = outermost)."""
+    histogram: dict[int, int] = {}
+
+    def visit(node: WindowNode, depth: int) -> None:
+        histogram[depth] = histogram.get(depth, 0) + 1
+        for child in node.children:
+            visit(child, depth + 1)
+
+    for root in nesting_forest(windows):
+        visit(root, 1)
+    return histogram

@@ -1,0 +1,29 @@
+"""Snapshot discrepancies at speculative-window boundaries.
+
+Paper §3.2, Leakage Detector Step 2: "the discrepancies between the
+snapshots corresponding to the start and end of each speculative window
+are computed.  These discrepancies represent potential information
+leakage locations."  The before-snapshot is the state at the end of the
+cycle *preceding* the window's opening dispatch.
+"""
+
+from __future__ import annotations
+
+from repro.detection.windows import DetectedWindow
+from repro.rtl.trace import SignalTrace
+
+
+def window_diff(
+    trace: SignalTrace,
+    window: DetectedWindow,
+) -> dict[str, tuple[int, int]]:
+    """Signals whose value differs across the window.
+
+    Returns ``{signal_name: (value_before, value_after)}`` — the orange
+    "discrepancies between snapshots" of the paper's Figure 1.
+    """
+    raw = trace.diff(window.start - 1, window.end)
+    return {
+        trace.signal_names[index]: values
+        for index, values in raw.items()
+    }

@@ -1,0 +1,30 @@
+"""The hardware fuzzer: test inputs, mutations, seeds, corpus, loop.
+
+Implements the paper's Hardware Fuzzer component (§3.2): a mutation-based
+fuzzer over instruction streams, seeded with both random programs and
+hand-crafted *special seeds* whose transient-execution windows cover
+branch misprediction, branch target injection, and return-stack-buffer
+manipulation.  The fuzzing loop is coverage-guided and generic over the
+coverage metric, which is how the paper's LP-vs-code-coverage comparison
+(Figure 2) is run: same fuzzer, different feedback.
+"""
+
+from repro.fuzz.input import TestProgram
+from repro.fuzz.mutations import MutationEngine
+from repro.fuzz.seeds import random_seed, special_seeds
+from repro.fuzz.corpus import Corpus, CorpusEntry
+from repro.fuzz.fuzzer import Fuzzer, FuzzObserver
+from repro.fuzz.trim import trim_program, trim_register_context
+
+__all__ = [
+    "TestProgram",
+    "MutationEngine",
+    "random_seed",
+    "special_seeds",
+    "Corpus",
+    "CorpusEntry",
+    "Fuzzer",
+    "FuzzObserver",
+    "trim_program",
+    "trim_register_context",
+]

@@ -1,0 +1,149 @@
+"""The coverage-guided fuzzing loop, generic over the coverage metric.
+
+The loop is the paper's Hardware Fuzzer box: evaluate seeds, then pick a
+corpus entry, mutate, evaluate, and retain inputs that discover new
+coverage items.  The *evaluation function is a parameter* — it runs the
+processor and returns coverage items plus any findings — so the very
+same loop runs with Leakage Path coverage (Specure), traditional code
+coverage (the Figure 2 baseline), or any baseline tool's feedback.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.input import TestProgram
+from repro.fuzz.mutations import MutationEngine
+from repro.utils.rng import DeterministicRng
+
+#: evaluate(program) -> (coverage items, findings, metadata)
+EvaluateFn = Callable[[TestProgram], tuple[Iterable, list, dict]]
+
+
+@dataclass
+class FuzzFinding:
+    """One detector finding, stamped with the iteration that produced it."""
+
+    iteration: int
+    kind: str
+    detail: object
+    program: TestProgram
+
+
+@dataclass
+class FuzzObserver:
+    """Optional per-iteration callback hook (progress printing, logging)."""
+
+    on_iteration: Callable[[int, int, int], None] = lambda i, new, total: None
+
+
+@dataclass
+class CampaignResult:
+    """What one fuzzing campaign produced."""
+
+    iterations: int
+    coverage_curve: list[int] = field(default_factory=list)  # total per iter
+    findings: list[FuzzFinding] = field(default_factory=list)
+    corpus_size: int = 0
+    executed_programs: int = 0
+
+    def final_coverage(self) -> int:
+        return self.coverage_curve[-1] if self.coverage_curve else 0
+
+    def iterations_to_coverage(self, target: int) -> int | None:
+        """First iteration reaching ``target`` total coverage, or None."""
+        for index, total in enumerate(self.coverage_curve):
+            if total >= target:
+                return index + 1
+        return None
+
+    def first_finding(self, kind: str | None = None) -> FuzzFinding | None:
+        for finding in self.findings:
+            if kind is None or finding.kind == kind:
+                return finding
+        return None
+
+
+class Fuzzer:
+    """Coverage-guided mutation fuzzing."""
+
+    def __init__(
+        self,
+        evaluate: EvaluateFn,
+        seeds: list[TestProgram],
+        rng: DeterministicRng,
+        mutator: MutationEngine | None = None,
+        splice_probability: float = 0.15,
+        mutation_rounds: int = 3,
+    ):
+        if not seeds:
+            raise ValueError("the fuzzer needs at least one seed")
+        self.evaluate = evaluate
+        self.seeds = [seed.copy() for seed in seeds]
+        self.rng = rng
+        self.mutator = mutator or MutationEngine(rng.fork(0xA11))
+        self.splice_probability = splice_probability
+        self.mutation_rounds = mutation_rounds
+        self.coverage: set = set()
+        self.corpus = Corpus()
+
+    def run(
+        self,
+        iterations: int,
+        stop_when: Callable[[list[FuzzFinding]], bool] | None = None,
+        observer: FuzzObserver | None = None,
+    ) -> CampaignResult:
+        """Run up to ``iterations`` rounds; optionally stop early.
+
+        ``stop_when`` receives the cumulative findings after each round
+        and may end the campaign (e.g. "stop at first Zenbleed leak").
+        """
+        result = CampaignResult(iterations=0)
+        for index in range(iterations):
+            program = self._next_input(index)
+            new_items = self._run_one(index, program, result)
+            result.coverage_curve.append(len(self.coverage))
+            result.iterations = index + 1
+            if observer is not None:
+                observer.on_iteration(index, new_items, len(self.coverage))
+            if stop_when is not None and stop_when(result.findings):
+                break
+        result.corpus_size = len(self.corpus)
+        result.executed_programs = result.iterations
+        return result
+
+    # -- internals -----------------------------------------------------------
+
+    def _next_input(self, index: int) -> TestProgram:
+        if index < len(self.seeds):
+            return self.seeds[index]
+        if len(self.corpus) == 0:
+            # Nothing retained yet: keep mutating seeds.
+            base = self.seeds[index % len(self.seeds)]
+            return self.mutator.mutate(base, rounds=self.mutation_rounds)
+        entry = self.corpus.pick(self.rng)
+        if len(self.corpus) >= 2 and self.rng.coin(self.splice_probability):
+            other = self.corpus.pick(self.rng)
+            child = self.mutator.splice(entry.program, other.program)
+            return self.mutator.mutate(child, rounds=1)
+        rounds = self.rng.randint(1, self.mutation_rounds)
+        return self.mutator.mutate(entry.program, rounds=rounds)
+
+    def _run_one(self, index: int, program: TestProgram,
+                 result: CampaignResult) -> int:
+        items, findings, _meta = self.evaluate(program)
+        new_items = 0
+        for item in items:
+            if item not in self.coverage:
+                self.coverage.add(item)
+                new_items += 1
+        if new_items > 0:
+            self.corpus.add(program, new_items)
+        for finding in findings:
+            result.findings.append(FuzzFinding(
+                iteration=index, kind=finding[0], detail=finding[1],
+                program=program,
+            ))
+        return new_items

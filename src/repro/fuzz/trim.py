@@ -1,0 +1,81 @@
+"""Test-case trimming: shrink an input while preserving a property.
+
+When the fuzzer finds a leaking input it is usually padded with inert
+instructions; trimming produces the minimal program that still exhibits
+the behaviour, which makes the Misspeculation Table and root-cause
+reports directly readable.  The strategy is the standard ddmin-flavoured
+one: try dropping chunks (halves, quarters, ... single words) and keep
+any reduction that preserves the predicate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.fuzz.input import TestProgram
+
+#: A predicate over programs: "still triggers the behaviour".
+Predicate = Callable[[TestProgram], bool]
+
+
+def trim_program(
+    program: TestProgram,
+    predicate: Predicate,
+    max_rounds: int = 8,
+) -> TestProgram:
+    """Greedy chunked trimming of ``program.words``.
+
+    Requires ``predicate(program)`` to already hold; returns a program
+    (possibly the original) for which it still holds.  Deterministic:
+    chunks are tried front to back, largest first.
+    """
+    if not predicate(program):
+        raise ValueError("predicate does not hold on the input program")
+    current = program.copy()
+    for _ in range(max_rounds):
+        if len(current.words) <= 1:
+            break
+        reduced = _trim_round(current, predicate)
+        if reduced is None:
+            break  # fixpoint: no chunk can be removed
+        current = reduced
+    current.label = f"{program.label}+trimmed" if program.label else "trimmed"
+    return current
+
+
+def _trim_round(program: TestProgram, predicate: Predicate) -> TestProgram | None:
+    """One pass over chunk sizes; returns a reduction or None."""
+    n = len(program.words)
+    chunk = max(1, n // 2)
+    while chunk >= 1:
+        start = 0
+        while start < len(program.words):
+            candidate = program.copy()
+            del candidate.words[start:start + chunk]
+            if candidate.words and predicate(candidate):
+                return candidate
+            start += chunk
+        chunk //= 2
+    return None
+
+
+def trim_register_context(
+    program: TestProgram,
+    predicate: Predicate,
+) -> TestProgram:
+    """Zero out initial registers that the behaviour does not need.
+
+    Complements :func:`trim_program`: a minimal program with a minimal
+    register context names exactly the state the trigger depends on.
+    """
+    if not predicate(program):
+        raise ValueError("predicate does not hold on the input program")
+    current = program.copy()
+    for reg in range(1, 32):
+        if current.reg_init[reg] == 0:
+            continue
+        candidate = current.copy()
+        candidate.reg_init[reg] = 0
+        if predicate(candidate):
+            current = candidate
+    return current

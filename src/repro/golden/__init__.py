@@ -1,0 +1,14 @@
+"""Golden reference model: an in-order RV64IM + Zicsr instruction-set
+simulator and the sparse memory substrate shared with the OoO core.
+
+TheHuzz-style fuzzers (one of the baselines the paper compares against)
+detect bugs by diffing the processor-under-test's committed trace against
+a golden model; Specure's key claim is that it needs *no* golden model.
+We build one anyway — it powers the TheHuzz baseline, and co-simulation
+against it is the strongest functional test of our out-of-order core.
+"""
+
+from repro.golden.memory import SparseMemory
+from repro.golden.iss import Iss, IssConfig, CommitRecord
+
+__all__ = ["SparseMemory", "Iss", "IssConfig", "CommitRecord"]

@@ -1,0 +1,376 @@
+"""In-order RV64IM + Zicsr instruction-set simulator (the golden model).
+
+Architectural semantics only: no pipeline, no speculation, no caches.
+Given the same program and initial memory, the out-of-order core's
+committed architectural state must equal this simulator's final state
+(co-simulation tests assert exactly that), and the TheHuzz baseline uses
+per-instruction :class:`CommitRecord` traces from here as its
+golden-reference stream.
+
+The custom Specure-emulation CSRs behave as plain read/write storage at
+this level — their *microarchitectural* behaviour (the (M)WAIT timer, the
+Zenbleed rollback suppression) exists only in the OoO core, which is the
+whole point: those effects are invisible to an architectural golden model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.golden.memory import SparseMemory
+from repro.isa.instructions import DecodedInstruction, ExecClass, decode
+from repro.isa.registers import ALL_CSRS, csr_by_address
+from repro.utils.bitvec import mask, sext, to_signed, to_unsigned, truncate
+
+_M64 = mask(64)
+
+#: Memory access size per load/store mnemonic: (bytes, signed).
+_ACCESS = {
+    "lb": (1, True), "lh": (2, True), "lw": (4, True), "ld": (8, False),
+    "lbu": (1, False), "lhu": (2, False), "lwu": (4, False),
+    "sb": 1, "sh": 2, "sw": 4, "sd": 8,
+}
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One architecturally committed instruction, golden-trace style."""
+
+    pc: int
+    word: int
+    rd: int | None
+    rd_value: int | None
+    csr: int | None = None
+    csr_value: int | None = None
+    store_address: int | None = None
+    store_value: int | None = None
+
+
+@dataclass
+class IssConfig:
+    """Execution bounds for one ISS run."""
+
+    base_address: int = 0x8000_0000
+    max_steps: int = 10_000
+
+
+class Iss:
+    """The architectural simulator.
+
+    Usage::
+
+        iss = Iss(memory)
+        iss.load_program(words)
+        trace = iss.run()
+    """
+
+    def __init__(self, memory: SparseMemory | None = None,
+                 config: IssConfig | None = None):
+        self.config = config or IssConfig()
+        self.memory = memory if memory is not None else SparseMemory()
+        self.regs = [0] * 32
+        self.pc = self.config.base_address
+        self.csrs: dict[int, int] = {spec.address: 0 for spec in ALL_CSRS}
+        self.halted = False
+        self.instret = 0
+        self._program_end = self.config.base_address
+
+    def load_program(self, words: list[int], base: int | None = None) -> None:
+        """Load instruction words and point the PC at them."""
+        base = self.config.base_address if base is None else base
+        self.memory.load_words(base, words)
+        self.pc = base
+        self._program_end = base + 4 * len(words)
+
+    def write_reg(self, index: int, value: int) -> None:
+        if index != 0:
+            self.regs[index] = value & _M64
+
+    def read_csr(self, address: int) -> int:
+        return self.csrs.get(address, 0)
+
+    def write_csr(self, address: int, value: int) -> None:
+        try:
+            spec = csr_by_address(address)
+        except KeyError:
+            return  # Unimplemented CSRs are write-ignored.
+        if spec.writable:
+            self.csrs[address] = value & _M64
+
+    def run(self, max_steps: int | None = None) -> list[CommitRecord]:
+        """Run until halt / PC leaves the program / step budget; return trace."""
+        budget = max_steps if max_steps is not None else self.config.max_steps
+        trace: list[CommitRecord] = []
+        for _ in range(budget):
+            if self.halted or not self._pc_in_program():
+                break
+            trace.append(self.step())
+        return trace
+
+    def _pc_in_program(self) -> bool:
+        return self.config.base_address <= self.pc < self._program_end
+
+    def step(self) -> CommitRecord:
+        """Execute one instruction and return its commit record.
+
+        The counter CSRs (mcycle/minstret/...) are *not* auto-updated:
+        free-running counters differ between an ISS and a pipelined core
+        by construction, so both models treat them as plain storage and
+        expose instruction counts through :attr:`instret` instead.
+        """
+        pc = self.pc
+        word = self.memory.read(pc, 4)
+        inst = decode(word)
+        record = self._execute(inst, pc)
+        self.instret += 1
+        return record
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def _execute(self, inst: DecodedInstruction, pc: int) -> CommitRecord:
+        cls = inst.exec_class
+        next_pc = (pc + 4) & _M64
+        rd_value = None
+        csr_addr = None
+        csr_value = None
+        store_address = None
+        store_value = None
+
+        if cls is ExecClass.ALU:
+            rd_value = self._alu(inst, pc)
+            if inst.dest() is not None:
+                self.write_reg(inst.rd, rd_value)
+        elif cls is ExecClass.MUL or cls is ExecClass.DIV:
+            rd_value = self._muldiv(inst)
+            if inst.dest() is not None:
+                self.write_reg(inst.rd, rd_value)
+        elif cls is ExecClass.LOAD:
+            address = (self.regs[inst.rs1] + to_signed(inst.imm, 64)) & _M64
+            size, signed = _ACCESS[inst.mnemonic]
+            rd_value = self.memory.read(address, size, signed=signed) & _M64
+            if inst.dest() is not None:
+                self.write_reg(inst.rd, rd_value)
+        elif cls is ExecClass.STORE:
+            store_address = (self.regs[inst.rs1] + to_signed(inst.imm, 64)) & _M64
+            size = _ACCESS[inst.mnemonic]
+            store_value = truncate(self.regs[inst.rs2], 8 * size)
+            self.memory.write(store_address, self.regs[inst.rs2], size)
+        elif cls is ExecClass.BRANCH:
+            if self._branch_taken(inst):
+                next_pc = (pc + to_signed(inst.imm, 64)) & _M64
+        elif cls is ExecClass.JAL:
+            rd_value = (pc + 4) & _M64
+            if inst.dest() is not None:
+                self.write_reg(inst.rd, rd_value)
+            next_pc = (pc + to_signed(inst.imm, 64)) & _M64
+        elif cls is ExecClass.JALR:
+            rd_value = (pc + 4) & _M64
+            target = (self.regs[inst.rs1] + to_signed(inst.imm, 64)) & _M64 & ~1
+            if inst.dest() is not None:
+                self.write_reg(inst.rd, rd_value)
+            next_pc = target
+        elif cls is ExecClass.CSR:
+            csr_addr = inst.csr
+            rd_value, csr_value = self._csr_op(inst)
+        elif cls is ExecClass.SYSTEM:
+            self.halted = True
+        # FENCE and ILLEGAL retire as no-ops.
+
+        self.pc = next_pc
+        return CommitRecord(
+            pc=pc, word=inst.word,
+            rd=inst.dest(), rd_value=rd_value if inst.dest() is not None else None,
+            csr=csr_addr, csr_value=csr_value,
+            store_address=store_address, store_value=store_value,
+        )
+
+    def _alu(self, inst: DecodedInstruction, pc: int) -> int:
+        return alu_value(inst, self.regs[inst.rs1], self.regs[inst.rs2], pc)
+
+    def _muldiv(self, inst: DecodedInstruction) -> int:
+        return _muldiv_value(inst.mnemonic, self.regs[inst.rs1], self.regs[inst.rs2])
+
+    def _branch_taken(self, inst: DecodedInstruction) -> bool:
+        a, b = self.regs[inst.rs1], self.regs[inst.rs2]
+        return branch_taken(inst.mnemonic, a, b)
+
+    def _csr_op(self, inst: DecodedInstruction) -> tuple[int, int | None]:
+        """Execute a CSR instruction; returns (old value → rd, new value)."""
+        old = self.read_csr(inst.csr)
+        name = inst.mnemonic
+        operand = inst.rs1 if name.endswith("i") else self.regs[inst.rs1]
+        new: int | None
+        if name in ("csrrw", "csrrwi"):
+            new = operand & _M64
+        elif name in ("csrrs", "csrrsi"):
+            new = old | operand if operand else None
+        else:  # csrrc / csrrci
+            new = old & ~operand & _M64 if operand else None
+        if inst.dest() is not None:
+            self.write_reg(inst.rd, old)
+        if new is not None:
+            self.write_csr(inst.csr, new)
+        return old, new
+
+
+def branch_taken(mnemonic: str, a: int, b: int) -> bool:
+    """Shared branch-comparison semantics (also used by the OoO core)."""
+    if mnemonic == "beq":
+        return a == b
+    if mnemonic == "bne":
+        return a != b
+    if mnemonic == "blt":
+        return to_signed(a, 64) < to_signed(b, 64)
+    if mnemonic == "bge":
+        return to_signed(a, 64) >= to_signed(b, 64)
+    if mnemonic == "bltu":
+        return a < b
+    if mnemonic == "bgeu":
+        return a >= b
+    raise KeyError(f"not a branch: {mnemonic}")
+
+
+def _alu_rr(name: str, a: int, b: int) -> int:
+    """Register-register ALU semantics shared via :func:`alu_value`."""
+    if name == "add":
+        return (a + b) & _M64
+    if name == "sub":
+        return (a - b) & _M64
+    if name == "sll":
+        return (a << (b & 0x3F)) & _M64
+    if name == "slt":
+        return 1 if to_signed(a, 64) < to_signed(b, 64) else 0
+    if name == "sltu":
+        return 1 if a < b else 0
+    if name == "xor":
+        return a ^ b
+    if name == "srl":
+        return a >> (b & 0x3F)
+    if name == "sra":
+        return to_unsigned(to_signed(a, 64) >> (b & 0x3F), 64)
+    if name == "or":
+        return a | b
+    if name == "and":
+        return a & b
+    if name == "addw":
+        return sext((a + b) & mask(32), 64, from_width=32)
+    if name == "subw":
+        return sext((a - b) & mask(32), 64, from_width=32)
+    if name == "sllw":
+        return sext((a << (b & 0x1F)) & mask(32), 64, from_width=32)
+    if name == "srlw":
+        return sext((a & mask(32)) >> (b & 0x1F), 64, from_width=32)
+    if name == "sraw":
+        return to_unsigned(to_signed(a, 32) >> (b & 0x1F), 64)
+    raise KeyError(f"unknown ALU op: {name}")
+
+
+def alu_value(inst: DecodedInstruction, rs1_value: int, rs2_value: int, pc: int) -> int:
+    """Pure-function ALU semantics for a decoded instruction.
+
+    The OoO core's execute stage calls this with *physical register*
+    operand values, so ALU behaviour is defined in exactly one place.
+    """
+    name = inst.mnemonic
+    if name == "lui":
+        return sext(inst.imm << 12, 64, from_width=32)
+    if name == "auipc":
+        return (pc + sext(inst.imm << 12, 64, from_width=32)) & _M64
+    imm = to_signed(inst.imm, 64)
+    a = rs1_value
+    if name == "addi":
+        return (a + imm) & _M64
+    if name == "slti":
+        return 1 if to_signed(a, 64) < imm else 0
+    if name == "sltiu":
+        return 1 if a < to_unsigned(imm, 64) else 0
+    if name == "xori":
+        return a ^ to_unsigned(imm, 64)
+    if name == "ori":
+        return a | to_unsigned(imm, 64)
+    if name == "andi":
+        return a & to_unsigned(imm, 64)
+    if name == "slli":
+        return (a << inst.shamt) & _M64
+    if name == "srli":
+        return a >> inst.shamt
+    if name == "srai":
+        return to_unsigned(to_signed(a, 64) >> inst.shamt, 64)
+    if name == "addiw":
+        return sext((a + imm) & mask(32), 64, from_width=32)
+    if name == "slliw":
+        return sext((a << inst.shamt) & mask(32), 64, from_width=32)
+    if name == "srliw":
+        return sext((a & mask(32)) >> inst.shamt, 64, from_width=32)
+    if name == "sraiw":
+        return to_unsigned(to_signed(a, 32) >> inst.shamt, 64)
+    return _alu_rr(name, a, rs2_value)
+
+
+def _div_toward_zero(dividend: int, divisor: int) -> int:
+    """Signed integer division rounding toward zero (RISC-V semantics).
+
+    Python's ``//`` rounds toward negative infinity, so this must be done
+    on magnitudes; float division would lose precision at 64 bits.
+    """
+    quotient = abs(dividend) // abs(divisor)
+    if (dividend < 0) != (divisor < 0):
+        return -quotient
+    return quotient
+
+
+def _muldiv_value(name: str, a: int, b: int) -> int:
+    """RV64M semantics including the spec's division edge cases."""
+    sa, sb = to_signed(a, 64), to_signed(b, 64)
+    if name == "mul":
+        return (a * b) & _M64
+    if name == "mulh":
+        return to_unsigned((sa * sb) >> 64, 64)
+    if name == "mulhsu":
+        return to_unsigned((sa * b) >> 64, 64)
+    if name == "mulhu":
+        return (a * b) >> 64 & _M64
+    if name == "mulw":
+        return sext((a * b) & mask(32), 64, from_width=32)
+    if name == "div":
+        if sb == 0:
+            return _M64  # -1
+        if sa == -(1 << 63) and sb == -1:
+            return to_unsigned(sa, 64)
+        return to_unsigned(_div_toward_zero(sa, sb), 64)
+    if name == "divu":
+        return _M64 if b == 0 else a // b
+    if name == "rem":
+        if sb == 0:
+            return a
+        if sa == -(1 << 63) and sb == -1:
+            return 0
+        return to_unsigned(sa - _div_toward_zero(sa, sb) * sb, 64)
+    if name == "remu":
+        return a if b == 0 else a % b
+    sa32, sb32 = to_signed(a, 32), to_signed(b, 32)
+    a32, b32 = a & mask(32), b & mask(32)
+    if name == "divw":
+        if sb32 == 0:
+            return _M64
+        if sa32 == -(1 << 31) and sb32 == -1:
+            return to_unsigned(sa32, 64)
+        return to_unsigned(_div_toward_zero(sa32, sb32), 64)
+    if name == "divuw":
+        return _M64 if b32 == 0 else sext(a32 // b32, 64, from_width=32)
+    if name == "remw":
+        if sb32 == 0:
+            return to_unsigned(sa32, 64)
+        if sa32 == -(1 << 31) and sb32 == -1:
+            return 0
+        return to_unsigned(sa32 - _div_toward_zero(sa32, sb32) * sb32, 64)
+    if name == "remuw":
+        return sext(a32 if b32 == 0 else a32 % b32, 64, from_width=32)
+    raise KeyError(f"unknown mul/div op: {name}")
+
+
+def muldiv_value(inst: DecodedInstruction, rs1_value: int, rs2_value: int) -> int:
+    """Pure-function M-extension semantics for the OoO execute stage."""
+    return _muldiv_value(inst.mnemonic, rs1_value, rs2_value)

@@ -1,0 +1,23 @@
+"""Experiment harness: repeated campaigns, curves, and the registry
+mapping every paper table/figure to its regenerating benchmark."""
+
+from repro.harness.campaign import (
+    CoverageCurve,
+    mean_curve,
+    run_coverage_campaign,
+    run_detection_campaign,
+    run_timed_campaign,
+)
+from repro.harness.experiments import EXPERIMENTS, ExperimentSpec
+from repro.harness.plotting import render_coverage_figure
+
+__all__ = [
+    "CoverageCurve",
+    "mean_curve",
+    "run_coverage_campaign",
+    "run_detection_campaign",
+    "run_timed_campaign",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "render_coverage_figure",
+]

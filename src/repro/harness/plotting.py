@@ -1,0 +1,29 @@
+"""Terminal rendering of the paper's Figure 2."""
+
+from __future__ import annotations
+
+from repro.harness.campaign import CoverageCurve
+from repro.utils.text import ascii_plot
+
+
+def render_coverage_figure(
+    lp_curve: CoverageCurve,
+    code_curve: CoverageCurve,
+    total_pdlc: int,
+    width: int = 70,
+    height: int = 18,
+) -> str:
+    """Figure 2: covered PDLC vs fuzzer iteration, both coverage arms."""
+    stride = max(1, len(lp_curve.values) // width)
+    series = {
+        "Leakage Path (LP)": lp_curve.as_points(stride),
+        "Traditional Code Coverage": code_curve.as_points(stride),
+    }
+    return ascii_plot(
+        series,
+        width=width,
+        height=height,
+        title=f"Figure 2: covered PDLC vs fuzzer iteration (total {total_pdlc})",
+        x_label="Fuzzer Iteration",
+        y_label="Covered PDLC",
+    )

@@ -1,0 +1,36 @@
+"""Information Flow Graph (IFG) extraction and PDLC enumeration.
+
+Implements the paper's Offline Phase (§3.1):
+
+* :mod:`repro.ifg.graph` — the IFG itself: ``IFG = (R, F)`` with ``R``
+  the set of all signals and ``F`` the directed flow edges;
+* :mod:`repro.ifg.builder` — builders from elaborated Verilog designs
+  (the Pyverilog-style route) and from programmatic netlists (the core
+  model's route);
+* :mod:`repro.ifg.labeling` — marks architectural registers using the
+  names parsed from the RISC-V spec excerpt;
+* :mod:`repro.ifg.pdlc` — Potential Direct Leakage Channel extraction:
+  the naive forward enumeration and the paper's skew-aware reverse
+  search that drops the complexity from O(V^2) to O(V).
+"""
+
+from repro.ifg.graph import Ifg, VertexInfo
+from repro.ifg.builder import build_ifg_from_design, build_ifg_from_netlist
+from repro.ifg.labeling import label_architectural, default_arch_matcher
+from repro.ifg.pdlc import (
+    PdlcItem,
+    extract_pdlc_forward,
+    extract_pdlc_reverse,
+)
+
+__all__ = [
+    "Ifg",
+    "VertexInfo",
+    "build_ifg_from_design",
+    "build_ifg_from_netlist",
+    "label_architectural",
+    "default_arch_matcher",
+    "PdlcItem",
+    "extract_pdlc_forward",
+    "extract_pdlc_reverse",
+]

@@ -1,0 +1,68 @@
+"""IFG builders: from elaborated Verilog and from programmatic netlists.
+
+Edge semantics for elaborated designs (matching the paper's Listing 1
+walkthrough exactly — a unit test pins this):
+
+* continuous assigns and port connections contribute one edge per
+  referenced source signal into the target;
+* a flip-flop's non-blocking assignment contributes edges from every
+  signal of the RHS *and from every enclosing condition* (implicit
+  information flow) into the target — but **not** from the sensitivity
+  clock, which the paper's example also omits (``top.df1.clk`` has no
+  edge into ``top.df1.q``).
+"""
+
+from __future__ import annotations
+
+from repro.ifg.graph import Ifg
+from repro.rtl import ast
+from repro.rtl.ir import ElaboratedDesign
+from repro.rtl.netlist import Netlist
+
+
+def build_ifg_from_design(design: ElaboratedDesign) -> Ifg:
+    """Extract the IFG of an elaborated Verilog design."""
+    ifg = Ifg()
+    for signal in design.signals.values():
+        ifg.add_vertex(
+            signal.name, is_state=signal.is_state, width=signal.width
+        )
+    for assign in design.assigns:
+        for source in set(ast.expr_identifiers(assign.value)):
+            ifg.add_edge(source, assign.target)
+    for ff in design.ffs:
+        _add_ff_edges(ifg, ff.body, conditions=())
+    return ifg
+
+
+def _add_ff_edges(
+    ifg: Ifg, statement: ast.Statement, conditions: tuple[str, ...]
+) -> None:
+    if isinstance(statement, ast.NonBlocking):
+        sources = set(ast.expr_identifiers(statement.value))
+        sources.update(conditions)
+        for source in sources:
+            ifg.add_edge(source, statement.target)
+    elif isinstance(statement, ast.If):
+        condition_sources = tuple(set(ast.expr_identifiers(statement.condition)))
+        _add_ff_edges(ifg, statement.then_body, conditions + condition_sources)
+        if statement.else_body is not None:
+            _add_ff_edges(ifg, statement.else_body, conditions + condition_sources)
+    elif isinstance(statement, ast.Block):
+        for child in statement.statements:
+            _add_ff_edges(ifg, child, conditions)
+
+
+def build_ifg_from_netlist(netlist: Netlist) -> Ifg:
+    """Wrap a programmatic netlist (signals + declared edges) as an IFG."""
+    ifg = Ifg()
+    for signal in netlist.signals.values():
+        ifg.add_vertex(
+            signal.name,
+            is_state=signal.is_state,
+            unit=signal.unit,
+            width=signal.width,
+        )
+    for src, dst in netlist.edges:
+        ifg.add_edge(src, dst)
+    return ifg

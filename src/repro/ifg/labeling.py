@@ -1,0 +1,56 @@
+"""Architectural-register labelling of IFG vertices.
+
+The paper distinguishes architectural from microarchitectural registers
+by parsing the RISC-V ISA specification and extracting the
+programmer-accessible registers (§3.1).  Here the parsed names (from
+:mod:`repro.isa.spec`) are matched against IFG vertex names: a vertex is
+architectural when its last hierarchical component equals one of the
+spec's register names — e.g. ``core.arch.x5`` matches ``x5`` and
+``core.csr.mwait_timer`` matches ``mwait_timer``, while the frontend's
+``core.fetch.pc_f`` does not match ``pc``.
+
+Naming discipline matters: the core model publishes its architectural
+view under dedicated leaf names precisely so this suffix rule is exact.
+A custom matcher can be supplied for designs with other conventions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.ifg.graph import Ifg
+from repro.isa.spec import architectural_register_names
+
+
+def default_arch_matcher(arch_names: list[str]) -> Callable[[str], bool]:
+    """Matcher: last dotted component is a spec register name."""
+    names = set(arch_names)
+
+    def matches(vertex_name: str) -> bool:
+        leaf = vertex_name.rsplit(".", 1)[-1]
+        return leaf in names
+
+    return matches
+
+
+def label_architectural(
+    ifg: Ifg,
+    arch_names: list[str] | None = None,
+    matcher: Callable[[str], bool] | None = None,
+) -> int:
+    """Label architectural vertices in place; returns the count labelled.
+
+    ``arch_names`` defaults to the registers parsed from the embedded
+    RISC-V spec excerpt.  When ``matcher`` is given it overrides the
+    default suffix rule entirely.
+    """
+    if matcher is None:
+        if arch_names is None:
+            arch_names = architectural_register_names()
+        matcher = default_arch_matcher(arch_names)
+    count = 0
+    for name, info in ifg.info.items():
+        if matcher(name):
+            info.is_arch = True
+            count += 1
+    return count

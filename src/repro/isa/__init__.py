@@ -1,0 +1,90 @@
+"""RISC-V ISA substrate: registers, CSRs, encodings, (dis)assembler.
+
+This package provides everything ISA-shaped the rest of the reproduction
+needs:
+
+* the architectural register inventory (GPRs, PC, CSRs), extracted by
+  parsing an embedded excerpt of the RISC-V specification the same way the
+  paper parses the official ISA documents (:mod:`repro.isa.spec`);
+* RV64IM + Zicsr instruction encodings with a full encoder/decoder
+  (:mod:`repro.isa.encoding`, :mod:`repro.isa.instructions`);
+* a small two-pass assembler and an ABI-name disassembler used by the
+  fuzzer seeds and the Misspeculation Table (:mod:`repro.isa.assembler`,
+  :mod:`repro.isa.disassembler`).
+"""
+
+from repro.isa.registers import (
+    ABI_NAMES,
+    GPR_COUNT,
+    XLEN,
+    CsrSpec,
+    STANDARD_CSRS,
+    CUSTOM_CSRS,
+    ALL_CSRS,
+    csr_by_name,
+    csr_by_address,
+    abi_name,
+    gpr_index,
+)
+from repro.isa.spec import (
+    RISCV_SPEC_EXCERPT,
+    parse_architectural_registers,
+    architectural_register_names,
+)
+from repro.isa.encoding import (
+    InstructionFormat,
+    encode_r,
+    encode_i,
+    encode_s,
+    encode_b,
+    encode_u,
+    encode_j,
+    decode_fields,
+)
+from repro.isa.instructions import (
+    InstructionSpec,
+    DecodedInstruction,
+    INSTRUCTIONS,
+    INSTRUCTIONS_BY_NAME,
+    ExecClass,
+    decode,
+    encode,
+)
+from repro.isa.assembler import assemble, assemble_line, AssemblyError
+from repro.isa.disassembler import disassemble
+
+__all__ = [
+    "ABI_NAMES",
+    "GPR_COUNT",
+    "XLEN",
+    "CsrSpec",
+    "STANDARD_CSRS",
+    "CUSTOM_CSRS",
+    "ALL_CSRS",
+    "csr_by_name",
+    "csr_by_address",
+    "abi_name",
+    "gpr_index",
+    "RISCV_SPEC_EXCERPT",
+    "parse_architectural_registers",
+    "architectural_register_names",
+    "InstructionFormat",
+    "encode_r",
+    "encode_i",
+    "encode_s",
+    "encode_b",
+    "encode_u",
+    "encode_j",
+    "decode_fields",
+    "InstructionSpec",
+    "DecodedInstruction",
+    "INSTRUCTIONS",
+    "INSTRUCTIONS_BY_NAME",
+    "ExecClass",
+    "decode",
+    "encode",
+    "assemble",
+    "assemble_line",
+    "AssemblyError",
+    "disassemble",
+]

@@ -1,0 +1,230 @@
+"""A small two-pass RISC-V assembler.
+
+Supports the RV64IM + Zicsr subset defined in
+:mod:`repro.isa.instructions`, labels, ``#``/``//`` comments, the
+``.word`` data directive, and the usual operand syntaxes::
+
+    loop:
+        addi  t0, t0, -1      # register-immediate
+        lw    a0, 8(sp)       # load with displacement
+        sd    a1, 0(a0)       # store with displacement
+        beq   t0, zero, done  # branch to label
+        jal   ra, loop        # jump to label
+        jalr  ra, 0(t1)       # indirect jump
+        csrrw t2, mwait_en, t3
+        nop
+    done:
+        ecall
+
+The assembler is used by the fuzzer's hand-crafted speculative seeds and
+throughout the test suite; it intentionally has no linker-level features.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.instructions import ExecClass, INSTRUCTIONS_BY_NAME, encode
+from repro.isa.registers import csr_by_name, gpr_index
+from repro.utils.bitvec import to_signed
+
+
+class AssemblyError(ValueError):
+    """Raised for any syntax or range error, with line context."""
+
+
+_LABEL = re.compile(r"^\s*([A-Za-z_]\w*)\s*:\s*(.*)$")
+_MEM_OPERAND = re.compile(r"^(-?\w+)\s*\(\s*(\w+)\s*\)$")
+
+#: Pseudo-instructions expanded before encoding, each to a single word.
+_PSEUDO_NO_OPERAND = {
+    "nop": ("addi", {"rd": 0, "rs1": 0, "imm": 0}),
+    "ret": ("jalr", {"rd": 0, "rs1": 1, "imm": 0}),
+}
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", "//", ";"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"line {line_no}: expected integer, got {token!r}") from None
+
+
+def _parse_reg(token: str, line_no: int) -> int:
+    try:
+        return gpr_index(token)
+    except KeyError:
+        raise AssemblyError(f"line {line_no}: unknown register {token!r}") from None
+
+
+def _parse_csr(token: str, line_no: int) -> int:
+    try:
+        return csr_by_name(token).address
+    except KeyError:
+        pass
+    value = _parse_int(token, line_no)
+    if not 0 <= value < (1 << 12):
+        raise AssemblyError(f"line {line_no}: CSR address out of range: {token}")
+    return value
+
+
+def assemble(source: str, base_address: int = 0) -> list[int]:
+    """Assemble a program into a list of 32-bit instruction words.
+
+    ``base_address`` is the address of the first word, used to resolve
+    label references into PC-relative offsets.
+    """
+    # Pass 1: strip, record labels, keep (line_no, text) for real lines.
+    lines: list[tuple[int, str]] = []
+    labels: dict[str, int] = {}
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        text = _strip_comment(raw)
+        while True:
+            match = _LABEL.match(text)
+            if not match:
+                break
+            label, text = match.group(1), match.group(2).strip()
+            if label in labels:
+                raise AssemblyError(f"line {line_no}: duplicate label {label!r}")
+            labels[label] = base_address + 4 * len(lines)
+        if text:
+            lines.append((line_no, text))
+
+    # Pass 2: encode.
+    words = []
+    for index, (line_no, text) in enumerate(lines):
+        address = base_address + 4 * index
+        words.append(assemble_line(text, address=address, labels=labels, line_no=line_no))
+    return words
+
+
+def assemble_line(
+    text: str,
+    address: int = 0,
+    labels: dict[str, int] | None = None,
+    line_no: int = 0,
+) -> int:
+    """Assemble a single statement at ``address`` into one word."""
+    labels = labels or {}
+    parts = text.replace(",", " ").split()
+    mnemonic = parts[0].lower()
+    operands = parts[1:]
+
+    if mnemonic == ".word":
+        if len(operands) != 1:
+            raise AssemblyError(f"line {line_no}: .word takes one value")
+        return _parse_int(operands[0], line_no) & 0xFFFFFFFF
+
+    if mnemonic in _PSEUDO_NO_OPERAND:
+        real, kwargs = _PSEUDO_NO_OPERAND[mnemonic]
+        return encode(real, **kwargs)
+    if mnemonic == "li":
+        # li rd, imm12 — single-word form only (addi rd, x0, imm).
+        _expect_operands(operands, 2, mnemonic, line_no)
+        return encode("addi", rd=_parse_reg(operands[0], line_no), rs1=0,
+                      imm=_parse_int(operands[1], line_no))
+    if mnemonic == "mv":
+        _expect_operands(operands, 2, mnemonic, line_no)
+        return encode("addi", rd=_parse_reg(operands[0], line_no),
+                      rs1=_parse_reg(operands[1], line_no), imm=0)
+    if mnemonic == "j":
+        _expect_operands(operands, 1, mnemonic, line_no)
+        return encode("jal", rd=0,
+                      imm=_target_offset(operands[0], address, labels, line_no))
+
+    spec = INSTRUCTIONS_BY_NAME.get(mnemonic)
+    if spec is None:
+        raise AssemblyError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+    return _encode_spec(spec, operands, address, labels, line_no)
+
+
+def _expect_operands(operands, count, mnemonic, line_no):
+    if len(operands) != count:
+        raise AssemblyError(
+            f"line {line_no}: {mnemonic} expects {count} operands, got {len(operands)}"
+        )
+
+
+def _target_offset(token, address, labels, line_no) -> int:
+    if token in labels:
+        return labels[token] - address
+    return _parse_int(token, line_no)
+
+
+def _encode_spec(spec, operands, address, labels, line_no) -> int:
+    name = spec.mnemonic
+    cls = spec.exec_class
+    if cls is ExecClass.SYSTEM or cls is ExecClass.FENCE:
+        return encode(name)
+    if cls is ExecClass.CSR:
+        _expect_operands(operands, 3, name, line_no)
+        rd = _parse_reg(operands[0], line_no)
+        csr = _parse_csr(operands[1], line_no)
+        if name.endswith("i"):
+            zimm = _parse_int(operands[2], line_no)
+            if not 0 <= zimm < 32:
+                raise AssemblyError(f"line {line_no}: zimm out of range: {zimm}")
+            return encode(name, rd=rd, rs1=zimm, csr=csr)
+        return encode(name, rd=rd, rs1=_parse_reg(operands[2], line_no), csr=csr)
+    if cls is ExecClass.BRANCH:
+        _expect_operands(operands, 3, name, line_no)
+        return encode(
+            name,
+            rs1=_parse_reg(operands[0], line_no),
+            rs2=_parse_reg(operands[1], line_no),
+            imm=_target_offset(operands[2], address, labels, line_no),
+        )
+    if cls is ExecClass.JAL:
+        _expect_operands(operands, 2, name, line_no)
+        return encode(name, rd=_parse_reg(operands[0], line_no),
+                      imm=_target_offset(operands[1], address, labels, line_no))
+    if cls is ExecClass.JALR:
+        _expect_operands(operands, 2, name, line_no)
+        imm, rs1 = _parse_displacement(operands[1], line_no)
+        return encode(name, rd=_parse_reg(operands[0], line_no), rs1=rs1, imm=imm)
+    if cls is ExecClass.LOAD:
+        _expect_operands(operands, 2, name, line_no)
+        imm, rs1 = _parse_displacement(operands[1], line_no)
+        return encode(name, rd=_parse_reg(operands[0], line_no), rs1=rs1, imm=imm)
+    if cls is ExecClass.STORE:
+        _expect_operands(operands, 2, name, line_no)
+        imm, rs1 = _parse_displacement(operands[1], line_no)
+        return encode(name, rs2=_parse_reg(operands[0], line_no), rs1=rs1, imm=imm)
+    if spec.fmt.value == "U":
+        _expect_operands(operands, 2, name, line_no)
+        return encode(name, rd=_parse_reg(operands[0], line_no),
+                      imm=_parse_int(operands[1], line_no) & 0xFFFFF)
+    if spec.funct7 is not None and spec.fmt.value == "I":
+        _expect_operands(operands, 3, name, line_no)
+        return encode(name, rd=_parse_reg(operands[0], line_no),
+                      rs1=_parse_reg(operands[1], line_no),
+                      shamt=_parse_int(operands[2], line_no))
+    if spec.fmt.value == "I":
+        _expect_operands(operands, 3, name, line_no)
+        imm = _parse_int(operands[2], line_no)
+        if 0x800 <= imm <= 0xFFF:
+            # Allow hex spellings of negative 12-bit immediates (0xFFF == -1).
+            imm = to_signed(imm, 12)
+        return encode(name, rd=_parse_reg(operands[0], line_no),
+                      rs1=_parse_reg(operands[1], line_no), imm=imm)
+    # R-format.
+    _expect_operands(operands, 3, name, line_no)
+    return encode(name, rd=_parse_reg(operands[0], line_no),
+                  rs1=_parse_reg(operands[1], line_no),
+                  rs2=_parse_reg(operands[2], line_no))
+
+
+def _parse_displacement(token: str, line_no: int) -> tuple[int, int]:
+    """Parse ``imm(reg)`` into (imm, reg_index)."""
+    match = _MEM_OPERAND.match(token)
+    if not match:
+        raise AssemblyError(f"line {line_no}: expected imm(reg), got {token!r}")
+    return _parse_int(match.group(1), line_no), _parse_reg(match.group(2), line_no)

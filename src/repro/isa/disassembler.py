@@ -1,0 +1,66 @@
+"""Disassembler producing the paper's human-readable instruction style.
+
+Table 1 of the paper prints misspeculated-window instructions like
+``BGE S8, T5, 0x800025B0`` — upper-case mnemonic, upper-case ABI register
+names, and branch targets as absolute addresses.  :func:`disassemble`
+reproduces that style; it is used by the Misspeculation Table renderer
+and in every root-cause report.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import DecodedInstruction, ExecClass, decode
+from repro.isa.registers import abi_name, csr_by_address
+from repro.utils.bitvec import to_signed
+
+
+def _reg(index: int) -> str:
+    return abi_name(index).upper()
+
+
+def _csr_name(address: int) -> str:
+    try:
+        return csr_by_address(address).name
+    except KeyError:
+        return f"0x{address:03X}"
+
+
+def disassemble(word_or_inst: int | DecodedInstruction, pc: int = 0) -> str:
+    """Render one instruction in the paper's Table 1 style.
+
+    ``pc`` is the instruction's address; branch and JAL targets are shown
+    absolute (``0x...``) when it is provided, matching the paper.
+    """
+    inst = decode(word_or_inst) if isinstance(word_or_inst, int) else word_or_inst
+    spec = inst.spec
+    name = spec.mnemonic.upper()
+    cls = spec.exec_class
+
+    if cls is ExecClass.ILLEGAL:
+        return f".WORD 0x{inst.word:08X}"
+    if cls in (ExecClass.SYSTEM, ExecClass.FENCE):
+        return name
+    if cls is ExecClass.BRANCH:
+        target = (pc + to_signed(inst.imm, 64)) & 0xFFFFFFFFFFFFFFFF
+        return f"{name} {_reg(inst.rs1)}, {_reg(inst.rs2)}, 0x{target:X}"
+    if cls is ExecClass.JAL:
+        target = (pc + to_signed(inst.imm, 64)) & 0xFFFFFFFFFFFFFFFF
+        return f"{name} {_reg(inst.rd)}, 0x{target:X}"
+    if cls is ExecClass.JALR:
+        return f"{name} {_reg(inst.rd)}, {to_signed(inst.imm, 64)}({_reg(inst.rs1)})"
+    if cls is ExecClass.LOAD:
+        return f"{name} {_reg(inst.rd)}, {to_signed(inst.imm, 64)}({_reg(inst.rs1)})"
+    if cls is ExecClass.STORE:
+        return f"{name} {_reg(inst.rs2)}, {to_signed(inst.imm, 64)}({_reg(inst.rs1)})"
+    if cls is ExecClass.CSR:
+        csr = _csr_name(inst.csr)
+        if spec.mnemonic.endswith("i"):
+            return f"{name} {_reg(inst.rd)}, {csr}, {inst.rs1}"
+        return f"{name} {_reg(inst.rd)}, {csr}, {_reg(inst.rs1)}"
+    if spec.fmt.value == "U":
+        return f"{name} {_reg(inst.rd)}, 0x{inst.imm:X}"
+    if spec.funct7 is not None and spec.fmt.value == "I":
+        return f"{name} {_reg(inst.rd)}, {_reg(inst.rs1)}, {inst.shamt}"
+    if spec.fmt.value == "I":
+        return f"{name} {_reg(inst.rd)}, {_reg(inst.rs1)}, {to_signed(inst.imm, 64)}"
+    return f"{name} {_reg(inst.rd)}, {_reg(inst.rs1)}, {_reg(inst.rs2)}"

@@ -1,0 +1,189 @@
+"""RISC-V instruction-format field packing and unpacking.
+
+Implements the six base formats (R/I/S/B/U/J) of the RV32/RV64 base ISA.
+Encoders take register indices and *signed* immediates and return 32-bit
+words; :func:`decode_fields` performs the inverse split.  All immediate
+reassembly (the B- and J-format bit shuffles) lives here so the rest of
+the code never touches raw bit positions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.utils.bitvec import bits, mask, sext, to_unsigned
+
+
+class InstructionFormat(enum.Enum):
+    """The RISC-V base instruction formats."""
+
+    R = "R"
+    I = "I"  # noqa: E741 - the spec's own name for the format
+    S = "S"
+    B = "B"
+    U = "U"
+    J = "J"
+
+
+def _check_reg(value: int, what: str) -> int:
+    if not 0 <= value < 32:
+        raise ValueError(f"{what} out of range: {value}")
+    return value
+
+
+def _check_imm(value: int, width: int, what: str) -> int:
+    low = -(1 << (width - 1))
+    high = (1 << (width - 1)) - 1
+    if not low <= value <= high:
+        raise ValueError(f"{what} out of range for {width}-bit signed field: {value}")
+    return to_unsigned(value, width)
+
+
+def encode_r(opcode: int, rd: int, funct3: int, rs1: int, rs2: int, funct7: int) -> int:
+    """Pack an R-format instruction word."""
+    return (
+        (funct7 & 0x7F) << 25
+        | _check_reg(rs2, "rs2") << 20
+        | _check_reg(rs1, "rs1") << 15
+        | (funct3 & 0x7) << 12
+        | _check_reg(rd, "rd") << 7
+        | (opcode & 0x7F)
+    )
+
+
+def encode_i(opcode: int, rd: int, funct3: int, rs1: int, imm: int) -> int:
+    """Pack an I-format instruction word (12-bit signed immediate)."""
+    imm12 = _check_imm(imm, 12, "imm")
+    return (
+        imm12 << 20
+        | _check_reg(rs1, "rs1") << 15
+        | (funct3 & 0x7) << 12
+        | _check_reg(rd, "rd") << 7
+        | (opcode & 0x7F)
+    )
+
+
+def encode_i_unsigned(opcode: int, rd: int, funct3: int, rs1: int, imm12: int) -> int:
+    """Pack an I-format word whose immediate field is a raw 12-bit value.
+
+    Used for CSR instructions, where the "immediate" is an unsigned CSR
+    address, and for shift instructions, where it holds funct6/7 + shamt.
+    """
+    if not 0 <= imm12 < (1 << 12):
+        raise ValueError(f"unsigned imm12 out of range: {imm12}")
+    return (
+        imm12 << 20
+        | _check_reg(rs1, "rs1") << 15
+        | (funct3 & 0x7) << 12
+        | _check_reg(rd, "rd") << 7
+        | (opcode & 0x7F)
+    )
+
+
+def encode_s(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    """Pack an S-format (store) instruction word."""
+    imm12 = _check_imm(imm, 12, "imm")
+    return (
+        bits(imm12, 11, 5) << 25
+        | _check_reg(rs2, "rs2") << 20
+        | _check_reg(rs1, "rs1") << 15
+        | (funct3 & 0x7) << 12
+        | bits(imm12, 4, 0) << 7
+        | (opcode & 0x7F)
+    )
+
+
+def encode_b(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    """Pack a B-format (branch) word; ``imm`` is the byte offset (even)."""
+    if imm % 2:
+        raise ValueError(f"branch offset must be even: {imm}")
+    imm13 = _check_imm(imm, 13, "imm")
+    return (
+        bits(imm13, 12, 12) << 31
+        | bits(imm13, 10, 5) << 25
+        | _check_reg(rs2, "rs2") << 20
+        | _check_reg(rs1, "rs1") << 15
+        | (funct3 & 0x7) << 12
+        | bits(imm13, 4, 1) << 8
+        | bits(imm13, 11, 11) << 7
+        | (opcode & 0x7F)
+    )
+
+
+def encode_u(opcode: int, rd: int, imm: int) -> int:
+    """Pack a U-format word; ``imm`` is the value of the *upper 20 bits*."""
+    if not 0 <= imm < (1 << 20):
+        raise ValueError(f"U-format immediate out of range: {imm}")
+    return imm << 12 | _check_reg(rd, "rd") << 7 | (opcode & 0x7F)
+
+
+def encode_j(opcode: int, rd: int, imm: int) -> int:
+    """Pack a J-format (JAL) word; ``imm`` is the byte offset (even)."""
+    if imm % 2:
+        raise ValueError(f"jump offset must be even: {imm}")
+    imm21 = _check_imm(imm, 21, "imm")
+    return (
+        bits(imm21, 20, 20) << 31
+        | bits(imm21, 10, 1) << 21
+        | bits(imm21, 11, 11) << 20
+        | bits(imm21, 19, 12) << 12
+        | _check_reg(rd, "rd") << 7
+        | (opcode & 0x7F)
+    )
+
+
+@dataclass(frozen=True)
+class RawFields:
+    """The format-independent field split of a 32-bit instruction word."""
+
+    opcode: int
+    rd: int
+    funct3: int
+    rs1: int
+    rs2: int
+    funct7: int
+    imm_i: int  # sign-extended I immediate
+    imm_s: int  # sign-extended S immediate
+    imm_b: int  # sign-extended B immediate (byte offset)
+    imm_u: int  # upper-20 U immediate (raw field value)
+    imm_j: int  # sign-extended J immediate (byte offset)
+    csr: int  # raw 12-bit immediate field (CSR address / shamt+funct)
+
+
+def decode_fields(word: int) -> RawFields:
+    """Split a 32-bit word into every format's fields at once.
+
+    The caller (the instruction decoder) picks the fields relevant to the
+    matched format; computing all immediates up front keeps the decode
+    table flat.
+    """
+    word &= mask(32)
+    imm_i = sext(bits(word, 31, 20), 64, from_width=12)
+    imm_s = sext(bits(word, 31, 25) << 5 | bits(word, 11, 7), 64, from_width=12)
+    imm_b_raw = (
+        bits(word, 31, 31) << 12
+        | bits(word, 7, 7) << 11
+        | bits(word, 30, 25) << 5
+        | bits(word, 11, 8) << 1
+    )
+    imm_j_raw = (
+        bits(word, 31, 31) << 20
+        | bits(word, 19, 12) << 12
+        | bits(word, 20, 20) << 11
+        | bits(word, 30, 21) << 1
+    )
+    return RawFields(
+        opcode=bits(word, 6, 0),
+        rd=bits(word, 11, 7),
+        funct3=bits(word, 14, 12),
+        rs1=bits(word, 19, 15),
+        rs2=bits(word, 24, 20),
+        funct7=bits(word, 31, 25),
+        imm_i=imm_i,
+        imm_s=imm_s,
+        imm_b=sext(imm_b_raw, 64, from_width=13),
+        imm_u=bits(word, 31, 12),
+        imm_j=sext(imm_j_raw, 64, from_width=21),
+        csr=bits(word, 31, 20),
+    )

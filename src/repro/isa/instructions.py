@@ -1,0 +1,429 @@
+"""RV64IM + Zicsr instruction definitions, encoder, and decoder.
+
+The table below is the single source of truth for every instruction the
+reproduction understands; the golden-model ISS, the out-of-order core, the
+assembler/disassembler, and the fuzzer's instruction-aware mutations all
+consume it.  Decoding never raises on malformed words — fuzzers feed the
+processor garbage by design — instead unknown words decode to the
+:data:`ILLEGAL` spec, which both simulators retire as an architectural
+no-op (a real core would trap; a trap handler is out of scope and would
+only add a constant to every experiment).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.encoding import (
+    InstructionFormat,
+    decode_fields,
+    encode_b,
+    encode_i,
+    encode_i_unsigned,
+    encode_j,
+    encode_r,
+    encode_s,
+    encode_u,
+)
+
+# Major opcodes (RISC-V spec, "RV32/64G Instruction Set Listings").
+OP_LUI = 0b0110111
+OP_AUIPC = 0b0010111
+OP_JAL = 0b1101111
+OP_JALR = 0b1100111
+OP_BRANCH = 0b1100011
+OP_LOAD = 0b0000011
+OP_STORE = 0b0100011
+OP_IMM = 0b0010011
+OP_IMM_32 = 0b0011011
+OP_REG = 0b0110011
+OP_REG_32 = 0b0111011
+OP_SYSTEM = 0b1110011
+OP_MISC_MEM = 0b0001111
+
+
+class ExecClass(enum.Enum):
+    """Functional-unit class; drives issue/latency in the OoO core."""
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JAL = "jal"
+    JALR = "jalr"
+    CSR = "csr"
+    SYSTEM = "system"
+    FENCE = "fence"
+    ILLEGAL = "illegal"
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Static description of one instruction mnemonic.
+
+    ``funct7`` is ``None`` where the format has no funct7 discriminator;
+    for RV64 shifts it holds the *funct6* value shifted into funct7
+    position (the LSB of funct7 is part of the 6-bit shamt).
+    ``word_op`` marks RV64's 32-bit "W" operations.
+    """
+
+    mnemonic: str
+    fmt: InstructionFormat
+    opcode: int
+    funct3: int | None
+    funct7: int | None
+    exec_class: ExecClass
+    writes_rd: bool
+    reads_rs1: bool
+    reads_rs2: bool
+    word_op: bool = False
+    is_shift64: bool = False  # 6-bit shamt (RV64 I-format shifts)
+
+
+def _r(mnemonic, funct3, funct7, exec_class=ExecClass.ALU, opcode=OP_REG, word_op=False):
+    return InstructionSpec(
+        mnemonic, InstructionFormat.R, opcode, funct3, funct7, exec_class,
+        writes_rd=True, reads_rs1=True, reads_rs2=True, word_op=word_op,
+    )
+
+
+def _i(mnemonic, funct3, exec_class=ExecClass.ALU, opcode=OP_IMM, word_op=False):
+    return InstructionSpec(
+        mnemonic, InstructionFormat.I, opcode, funct3, None, exec_class,
+        writes_rd=True, reads_rs1=True, reads_rs2=False, word_op=word_op,
+    )
+
+
+def _shift_imm(mnemonic, funct3, funct7, opcode=OP_IMM, word_op=False, shamt6=True):
+    return InstructionSpec(
+        mnemonic, InstructionFormat.I, opcode, funct3, funct7, ExecClass.ALU,
+        writes_rd=True, reads_rs1=True, reads_rs2=False,
+        word_op=word_op, is_shift64=shamt6,
+    )
+
+
+def _branch(mnemonic, funct3):
+    return InstructionSpec(
+        mnemonic, InstructionFormat.B, OP_BRANCH, funct3, None, ExecClass.BRANCH,
+        writes_rd=False, reads_rs1=True, reads_rs2=True,
+    )
+
+
+def _load(mnemonic, funct3):
+    return InstructionSpec(
+        mnemonic, InstructionFormat.I, OP_LOAD, funct3, None, ExecClass.LOAD,
+        writes_rd=True, reads_rs1=True, reads_rs2=False,
+    )
+
+
+def _store(mnemonic, funct3):
+    return InstructionSpec(
+        mnemonic, InstructionFormat.S, OP_STORE, funct3, None, ExecClass.STORE,
+        writes_rd=False, reads_rs1=True, reads_rs2=True,
+    )
+
+
+def _csr(mnemonic, funct3, immediate_form):
+    return InstructionSpec(
+        mnemonic, InstructionFormat.I, OP_SYSTEM, funct3, None, ExecClass.CSR,
+        writes_rd=True, reads_rs1=not immediate_form, reads_rs2=False,
+    )
+
+
+INSTRUCTIONS: tuple[InstructionSpec, ...] = (
+    # Upper-immediate and control transfer.
+    InstructionSpec("lui", InstructionFormat.U, OP_LUI, None, None, ExecClass.ALU,
+                    writes_rd=True, reads_rs1=False, reads_rs2=False),
+    InstructionSpec("auipc", InstructionFormat.U, OP_AUIPC, None, None, ExecClass.ALU,
+                    writes_rd=True, reads_rs1=False, reads_rs2=False),
+    InstructionSpec("jal", InstructionFormat.J, OP_JAL, None, None, ExecClass.JAL,
+                    writes_rd=True, reads_rs1=False, reads_rs2=False),
+    InstructionSpec("jalr", InstructionFormat.I, OP_JALR, 0b000, None, ExecClass.JALR,
+                    writes_rd=True, reads_rs1=True, reads_rs2=False),
+    # Conditional branches.
+    _branch("beq", 0b000), _branch("bne", 0b001),
+    _branch("blt", 0b100), _branch("bge", 0b101),
+    _branch("bltu", 0b110), _branch("bgeu", 0b111),
+    # Loads / stores.
+    _load("lb", 0b000), _load("lh", 0b001), _load("lw", 0b010), _load("ld", 0b011),
+    _load("lbu", 0b100), _load("lhu", 0b101), _load("lwu", 0b110),
+    _store("sb", 0b000), _store("sh", 0b001), _store("sw", 0b010), _store("sd", 0b011),
+    # Register-immediate ALU.
+    _i("addi", 0b000), _i("slti", 0b010), _i("sltiu", 0b011),
+    _i("xori", 0b100), _i("ori", 0b110), _i("andi", 0b111),
+    _shift_imm("slli", 0b001, 0b0000000),
+    _shift_imm("srli", 0b101, 0b0000000),
+    _shift_imm("srai", 0b101, 0b0100000),
+    _i("addiw", 0b000, opcode=OP_IMM_32, word_op=True),
+    _shift_imm("slliw", 0b001, 0b0000000, opcode=OP_IMM_32, word_op=True, shamt6=False),
+    _shift_imm("srliw", 0b101, 0b0000000, opcode=OP_IMM_32, word_op=True, shamt6=False),
+    _shift_imm("sraiw", 0b101, 0b0100000, opcode=OP_IMM_32, word_op=True, shamt6=False),
+    # Register-register ALU.
+    _r("add", 0b000, 0b0000000), _r("sub", 0b000, 0b0100000),
+    _r("sll", 0b001, 0b0000000), _r("slt", 0b010, 0b0000000),
+    _r("sltu", 0b011, 0b0000000), _r("xor", 0b100, 0b0000000),
+    _r("srl", 0b101, 0b0000000), _r("sra", 0b101, 0b0100000),
+    _r("or", 0b110, 0b0000000), _r("and", 0b111, 0b0000000),
+    _r("addw", 0b000, 0b0000000, opcode=OP_REG_32, word_op=True),
+    _r("subw", 0b000, 0b0100000, opcode=OP_REG_32, word_op=True),
+    _r("sllw", 0b001, 0b0000000, opcode=OP_REG_32, word_op=True),
+    _r("srlw", 0b101, 0b0000000, opcode=OP_REG_32, word_op=True),
+    _r("sraw", 0b101, 0b0100000, opcode=OP_REG_32, word_op=True),
+    # M extension.
+    _r("mul", 0b000, 0b0000001, ExecClass.MUL),
+    _r("mulh", 0b001, 0b0000001, ExecClass.MUL),
+    _r("mulhsu", 0b010, 0b0000001, ExecClass.MUL),
+    _r("mulhu", 0b011, 0b0000001, ExecClass.MUL),
+    _r("div", 0b100, 0b0000001, ExecClass.DIV),
+    _r("divu", 0b101, 0b0000001, ExecClass.DIV),
+    _r("rem", 0b110, 0b0000001, ExecClass.DIV),
+    _r("remu", 0b111, 0b0000001, ExecClass.DIV),
+    _r("mulw", 0b000, 0b0000001, ExecClass.MUL, opcode=OP_REG_32, word_op=True),
+    _r("divw", 0b100, 0b0000001, ExecClass.DIV, opcode=OP_REG_32, word_op=True),
+    _r("divuw", 0b101, 0b0000001, ExecClass.DIV, opcode=OP_REG_32, word_op=True),
+    _r("remw", 0b110, 0b0000001, ExecClass.DIV, opcode=OP_REG_32, word_op=True),
+    _r("remuw", 0b111, 0b0000001, ExecClass.DIV, opcode=OP_REG_32, word_op=True),
+    # Zicsr.
+    _csr("csrrw", 0b001, immediate_form=False),
+    _csr("csrrs", 0b010, immediate_form=False),
+    _csr("csrrc", 0b011, immediate_form=False),
+    _csr("csrrwi", 0b101, immediate_form=True),
+    _csr("csrrsi", 0b110, immediate_form=True),
+    _csr("csrrci", 0b111, immediate_form=True),
+    # System / fence.
+    InstructionSpec("ecall", InstructionFormat.I, OP_SYSTEM, 0b000, None,
+                    ExecClass.SYSTEM, writes_rd=False, reads_rs1=False, reads_rs2=False),
+    InstructionSpec("ebreak", InstructionFormat.I, OP_SYSTEM, 0b000, None,
+                    ExecClass.SYSTEM, writes_rd=False, reads_rs1=False, reads_rs2=False),
+    InstructionSpec("fence", InstructionFormat.I, OP_MISC_MEM, 0b000, None,
+                    ExecClass.FENCE, writes_rd=False, reads_rs1=False, reads_rs2=False),
+)
+
+#: Decode result for words matching no legal encoding.
+ILLEGAL = InstructionSpec(
+    "illegal", InstructionFormat.I, 0, None, None, ExecClass.ILLEGAL,
+    writes_rd=False, reads_rs1=False, reads_rs2=False,
+)
+
+INSTRUCTIONS_BY_NAME: dict[str, InstructionSpec] = {
+    spec.mnemonic: spec for spec in INSTRUCTIONS
+}
+
+_CSR_FUNCT3 = {0b001, 0b010, 0b011, 0b101, 0b110, 0b111}
+
+
+@dataclass(frozen=True)
+class DecodedInstruction:
+    """One decoded 32-bit instruction.
+
+    ``imm`` is the sign-extended immediate as a 64-bit unsigned pattern
+    (for U-format it is the raw upper-20 field; use ``imm << 12`` for the
+    architectural value).  ``csr`` carries the raw 12-bit I-immediate
+    field for CSR/shift instructions.  Register reads/writes are exposed
+    through :meth:`dest` / :meth:`sources` which already account for
+    ``x0`` never being written.
+    """
+
+    word: int
+    spec: InstructionSpec
+    rd: int
+    rs1: int
+    rs2: int
+    imm: int
+    csr: int
+    shamt: int
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+    @property
+    def exec_class(self) -> ExecClass:
+        return self.spec.exec_class
+
+    def dest(self) -> int | None:
+        """Destination GPR index, or None (includes the x0 sink)."""
+        if self.spec.writes_rd and self.rd != 0:
+            return self.rd
+        return None
+
+    def sources(self) -> tuple[int, ...]:
+        """GPR indices read (x0 reads included; they are free)."""
+        sources = []
+        if self.spec.reads_rs1:
+            sources.append(self.rs1)
+        if self.spec.reads_rs2:
+            sources.append(self.rs2)
+        return tuple(sources)
+
+    def is_control_flow(self) -> bool:
+        """True for branches and jumps (the speculation sources)."""
+        return self.exec_class in (ExecClass.BRANCH, ExecClass.JAL, ExecClass.JALR)
+
+
+def decode(word: int) -> DecodedInstruction:
+    """Decode a 32-bit word; unknown encodings yield the ILLEGAL spec."""
+    fields = decode_fields(word)
+    spec = _match_spec(fields)
+    if spec is None:
+        spec = ILLEGAL
+    if spec.fmt is InstructionFormat.U:
+        imm = fields.imm_u
+    elif spec.fmt is InstructionFormat.J:
+        imm = fields.imm_j
+    elif spec.fmt is InstructionFormat.B:
+        imm = fields.imm_b
+    elif spec.fmt is InstructionFormat.S:
+        imm = fields.imm_s
+    else:
+        imm = fields.imm_i
+    shamt_width = 6 if spec.is_shift64 else 5
+    return DecodedInstruction(
+        word=word & 0xFFFFFFFF,
+        spec=spec,
+        rd=fields.rd,
+        rs1=fields.rs1,
+        rs2=fields.rs2,
+        imm=imm,
+        csr=fields.csr,
+        shamt=fields.csr & ((1 << shamt_width) - 1),
+    )
+
+
+def _match_spec(fields) -> InstructionSpec | None:
+    opcode = fields.opcode
+    if opcode == OP_LUI:
+        return INSTRUCTIONS_BY_NAME["lui"]
+    if opcode == OP_AUIPC:
+        return INSTRUCTIONS_BY_NAME["auipc"]
+    if opcode == OP_JAL:
+        return INSTRUCTIONS_BY_NAME["jal"]
+    if opcode == OP_JALR:
+        return INSTRUCTIONS_BY_NAME["jalr"] if fields.funct3 == 0 else None
+    if opcode == OP_BRANCH:
+        return _BRANCHES.get(fields.funct3)
+    if opcode == OP_LOAD:
+        return _LOADS.get(fields.funct3)
+    if opcode == OP_STORE:
+        return _STORES.get(fields.funct3)
+    if opcode == OP_IMM:
+        return _match_op_imm(fields, word_op=False)
+    if opcode == OP_IMM_32:
+        return _match_op_imm(fields, word_op=True)
+    if opcode == OP_REG:
+        return _OP_REG.get((fields.funct3, fields.funct7))
+    if opcode == OP_REG_32:
+        return _OP_REG_32.get((fields.funct3, fields.funct7))
+    if opcode == OP_SYSTEM:
+        return _match_system(fields)
+    if opcode == OP_MISC_MEM:
+        return INSTRUCTIONS_BY_NAME["fence"] if fields.funct3 == 0 else None
+    return None
+
+
+def _match_op_imm(fields, word_op: bool) -> InstructionSpec | None:
+    table = _OP_IMM_32_SHIFTS if word_op else _OP_IMM_SHIFTS
+    plain = _OP_IMM_32_PLAIN if word_op else _OP_IMM_PLAIN
+    if fields.funct3 in table:
+        funct = fields.funct7 if word_op else fields.funct7 & 0b1111110
+        return table[fields.funct3].get(funct)
+    return plain.get(fields.funct3)
+
+
+def _match_system(fields) -> InstructionSpec | None:
+    if fields.funct3 == 0:
+        if fields.csr == 0 and fields.rs1 == 0 and fields.rd == 0:
+            return INSTRUCTIONS_BY_NAME["ecall"]
+        if fields.csr == 1 and fields.rs1 == 0 and fields.rd == 0:
+            return INSTRUCTIONS_BY_NAME["ebreak"]
+        return None
+    if fields.funct3 in _CSR_FUNCT3:
+        return _SYSTEM_CSR[fields.funct3]
+    return None
+
+
+def _build_tables():
+    branches, loads, stores = {}, {}, {}
+    op_reg, op_reg_32 = {}, {}
+    op_imm_plain, op_imm_32_plain = {}, {}
+    op_imm_shifts, op_imm_32_shifts = {}, {}
+    system_csr = {}
+    for spec in INSTRUCTIONS:
+        if spec.opcode == OP_BRANCH:
+            branches[spec.funct3] = spec
+        elif spec.opcode == OP_LOAD:
+            loads[spec.funct3] = spec
+        elif spec.opcode == OP_STORE:
+            stores[spec.funct3] = spec
+        elif spec.opcode == OP_REG:
+            op_reg[(spec.funct3, spec.funct7)] = spec
+        elif spec.opcode == OP_REG_32:
+            op_reg_32[(spec.funct3, spec.funct7)] = spec
+        elif spec.opcode == OP_IMM:
+            if spec.funct7 is not None:
+                op_imm_shifts.setdefault(spec.funct3, {})[spec.funct7] = spec
+            else:
+                op_imm_plain[spec.funct3] = spec
+        elif spec.opcode == OP_IMM_32:
+            if spec.funct7 is not None:
+                op_imm_32_shifts.setdefault(spec.funct3, {})[spec.funct7] = spec
+            else:
+                op_imm_32_plain[spec.funct3] = spec
+        elif spec.opcode == OP_SYSTEM and spec.exec_class is ExecClass.CSR:
+            system_csr[spec.funct3] = spec
+    return (branches, loads, stores, op_reg, op_reg_32, op_imm_plain,
+            op_imm_32_plain, op_imm_shifts, op_imm_32_shifts, system_csr)
+
+
+(_BRANCHES, _LOADS, _STORES, _OP_REG, _OP_REG_32, _OP_IMM_PLAIN,
+ _OP_IMM_32_PLAIN, _OP_IMM_SHIFTS, _OP_IMM_32_SHIFTS, _SYSTEM_CSR) = _build_tables()
+
+
+def encode(mnemonic: str, rd: int = 0, rs1: int = 0, rs2: int = 0,
+           imm: int = 0, csr: int = 0, shamt: int = 0) -> int:
+    """Encode an instruction from mnemonic + operands into a 32-bit word.
+
+    Immediates are *signed byte offsets / values* in their natural units
+    (branch and jump immediates are byte offsets; ``lui``/``auipc`` take
+    the raw upper-20 field).  CSR instructions take the CSR address via
+    ``csr`` and — for the register forms — the source in ``rs1`` (the
+    immediate forms reuse ``rs1`` as the 5-bit zimm, as in the spec).
+    """
+    spec = INSTRUCTIONS_BY_NAME.get(mnemonic.lower())
+    if spec is None:
+        raise KeyError(f"unknown mnemonic: {mnemonic}")
+    if spec.exec_class is ExecClass.CSR:
+        return encode_i_unsigned(spec.opcode, rd, spec.funct3, rs1, csr)
+    if spec.mnemonic == "ecall":
+        return encode_i_unsigned(spec.opcode, 0, 0, 0, 0)
+    if spec.mnemonic == "ebreak":
+        return encode_i_unsigned(spec.opcode, 0, 0, 0, 1)
+    if spec.mnemonic == "fence":
+        return encode_i_unsigned(spec.opcode, 0, 0, 0, 0)
+    if spec.funct7 is not None and spec.fmt is InstructionFormat.I:
+        # Shift-immediate: imm field = funct7/6 | shamt.
+        shamt_width = 6 if spec.is_shift64 else 5
+        if not 0 <= shamt < (1 << shamt_width):
+            raise ValueError(f"shamt out of range for {mnemonic}: {shamt}")
+        imm12 = (spec.funct7 << 5) | shamt
+        return encode_i_unsigned(spec.opcode, rd, spec.funct3, rs1, imm12)
+    if spec.fmt is InstructionFormat.R:
+        return encode_r(spec.opcode, rd, spec.funct3, rs1, rs2, spec.funct7)
+    if spec.fmt is InstructionFormat.I:
+        return encode_i(spec.opcode, rd, spec.funct3, rs1, imm)
+    if spec.fmt is InstructionFormat.S:
+        return encode_s(spec.opcode, spec.funct3, rs1, rs2, imm)
+    if spec.fmt is InstructionFormat.B:
+        return encode_b(spec.opcode, spec.funct3, rs1, rs2, imm)
+    if spec.fmt is InstructionFormat.U:
+        return encode_u(spec.opcode, rd, imm)
+    if spec.fmt is InstructionFormat.J:
+        return encode_j(spec.opcode, rd, imm)
+    raise AssertionError(f"unhandled format for {mnemonic}")
+
+
+#: Canonical no-op (addi x0, x0, 0).
+NOP_WORD = encode("addi", rd=0, rs1=0, imm=0)

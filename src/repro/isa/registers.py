@@ -1,0 +1,118 @@
+"""Architectural register inventory: GPRs, ABI names, and CSRs.
+
+The offline phase of Specure needs to know which signals of the
+processor-under-test are *architectural* (programmer-accessible); this
+module is the ground truth the spec parser (:mod:`repro.isa.spec`) is
+checked against, and the single place where the emulated-vulnerability
+CSRs from the paper's §4.2 ((M)WAIT and Zenbleed) are defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Number of general-purpose integer registers in RV64I.
+GPR_COUNT = 32
+
+#: Register width in bits (RV64).
+XLEN = 64
+
+#: ABI names of the integer registers, indexed by register number.
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+_ABI_TO_INDEX = {name: i for i, name in enumerate(ABI_NAMES)}
+_ABI_TO_INDEX["fp"] = 8  # s0 alias
+
+
+def abi_name(index: int) -> str:
+    """ABI name of GPR ``index`` (e.g. ``abi_name(24) == 's8'``)."""
+    return ABI_NAMES[index]
+
+
+def gpr_index(name: str) -> int:
+    """Register number for an ``x<N>`` or ABI register name.
+
+    Raises :class:`KeyError` for unknown names.
+    """
+    lowered = name.lower()
+    if lowered.startswith("x") and lowered[1:].isdigit():
+        index = int(lowered[1:])
+        if 0 <= index < GPR_COUNT:
+            return index
+        raise KeyError(f"register index out of range: {name}")
+    if lowered in _ABI_TO_INDEX:
+        return _ABI_TO_INDEX[lowered]
+    raise KeyError(f"unknown register name: {name}")
+
+
+@dataclass(frozen=True)
+class CsrSpec:
+    """One control-and-status register.
+
+    ``address`` is the 12-bit CSR address; ``writable`` distinguishes
+    read-write from read-only CSRs; ``custom`` marks the non-standard CSRs
+    the paper adds to BOOM to emulate the (M)WAIT and Zenbleed
+    vulnerabilities.
+    """
+
+    address: int
+    name: str
+    description: str
+    writable: bool = True
+    custom: bool = False
+
+
+#: Machine-mode and user-counter CSRs the core implements (a practical
+#: subset of the privileged spec, enough to exercise CSR data flow).
+STANDARD_CSRS = (
+    CsrSpec(0x300, "mstatus", "Machine status register"),
+    CsrSpec(0x301, "misa", "ISA and extensions"),
+    CsrSpec(0x304, "mie", "Machine interrupt-enable register"),
+    CsrSpec(0x305, "mtvec", "Machine trap-handler base address"),
+    CsrSpec(0x340, "mscratch", "Scratch register for machine trap handlers"),
+    CsrSpec(0x341, "mepc", "Machine exception program counter"),
+    CsrSpec(0x342, "mcause", "Machine trap cause"),
+    CsrSpec(0x343, "mtval", "Machine bad address or instruction"),
+    CsrSpec(0x344, "mip", "Machine interrupt pending"),
+    CsrSpec(0xB00, "mcycle", "Machine cycle counter"),
+    CsrSpec(0xB02, "minstret", "Machine instructions-retired counter"),
+    CsrSpec(0xC00, "cycle", "Cycle counter for RDCYCLE", writable=False),
+    CsrSpec(0xC01, "time", "Timer for RDTIME", writable=False),
+    CsrSpec(0xC02, "instret", "Instructions-retired counter", writable=False),
+    CsrSpec(0xF11, "mvendorid", "Vendor ID", writable=False),
+    CsrSpec(0xF12, "marchid", "Architecture ID", writable=False),
+    CsrSpec(0xF13, "mimpid", "Implementation ID", writable=False),
+    CsrSpec(0xF14, "mhartid", "Hardware thread ID", writable=False),
+)
+
+#: The paper's emulation CSRs (§4.2): three for (M)WAIT, one for Zenbleed.
+#: Placed in the custom read-write range 0x800-0x8FF so no standard
+#: instruction semantics are disturbed.
+CUSTOM_CSRS = (
+    CsrSpec(0x800, "mwait_en", "(M)WAIT emulation: arm the monitor timer", custom=True),
+    CsrSpec(0x801, "monitor_addr", "(M)WAIT emulation: monitored memory address", custom=True),
+    CsrSpec(0x802, "mwait_timer", "(M)WAIT emulation: countdown timer", custom=True),
+    CsrSpec(0x803, "zenbleed_en", "Zenbleed emulation: suppress map-table rollback", custom=True),
+)
+
+ALL_CSRS = STANDARD_CSRS + CUSTOM_CSRS
+
+_CSR_BY_NAME = {spec.name: spec for spec in ALL_CSRS}
+_CSR_BY_ADDRESS = {spec.address: spec for spec in ALL_CSRS}
+
+
+def csr_by_name(name: str) -> CsrSpec:
+    """Look up a CSR spec by its lower-case name."""
+    return _CSR_BY_NAME[name.lower()]
+
+
+def csr_by_address(address: int) -> CsrSpec:
+    """Look up a CSR spec by its 12-bit address."""
+    return _CSR_BY_ADDRESS[address]

@@ -1,0 +1,156 @@
+"""Parse architectural registers out of (an excerpt of) the RISC-V spec.
+
+Specure's offline phase labels the architectural registers of the
+processor-under-test by *parsing the RISC-V privileged and unprivileged
+ISA specifications* and extracting every programmer-accessible register
+(§3.1 of the paper).  We reproduce that pipeline: an embedded plain-text
+excerpt in the style of the specification's register tables is parsed with
+the same kind of table scraping the authors describe, yielding the set of
+architectural register names the IFG labeller consumes.
+
+Keeping this as *parsed text* rather than a hard-coded Python list is
+deliberate: swapping in a different ISA document (or a future spec
+revision) only requires a new text document, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+#: Excerpt mirroring the structure of the RISC-V unprivileged spec's
+#: integer-register table and the privileged spec's CSR listing.  The
+#: custom (M)WAIT / Zenbleed emulation CSRs are appended in the same table
+#: format, as the paper extends BOOM's CSR file with them.
+RISCV_SPEC_EXCERPT = """\
+The RISC-V Instruction Set Manual, Volume I: Unprivileged ISA (excerpt)
+
+Table 25.1: Assembler mnemonics for the RISC-V integer register state.
+
+Register  ABI Name  Description                        Saver
+x0        zero      Hard-wired zero                    --
+x1        ra        Return address                     Caller
+x2        sp        Stack pointer                      Callee
+x3        gp        Global pointer                     --
+x4        tp        Thread pointer                     --
+x5        t0        Temporary/alternate link register  Caller
+x6        t1        Temporary                          Caller
+x7        t2        Temporary                          Caller
+x8        s0        Saved register/frame pointer       Callee
+x9        s1        Saved register                     Callee
+x10       a0        Function argument/return value     Caller
+x11       a1        Function argument/return value     Caller
+x12       a2        Function argument                  Caller
+x13       a3        Function argument                  Caller
+x14       a4        Function argument                  Caller
+x15       a5        Function argument                  Caller
+x16       a6        Function argument                  Caller
+x17       a7        Function argument                  Caller
+x18       s2        Saved register                     Callee
+x19       s3        Saved register                     Callee
+x20       s4        Saved register                     Callee
+x21       s5        Saved register                     Callee
+x22       s6        Saved register                     Callee
+x23       s7        Saved register                     Callee
+x24       s8        Saved register                     Callee
+x25       s9        Saved register                     Callee
+x26       s10       Saved register                     Callee
+x27       s11       Saved register                     Callee
+x28       t3        Temporary                          Caller
+x29       t4        Temporary                          Caller
+x30       t5        Temporary                          Caller
+x31       t6        Temporary                          Caller
+
+The program counter pc holds the address of the current instruction.
+
+The RISC-V Instruction Set Manual, Volume II: Privileged Architecture
+(excerpt)
+
+Table 2.5: Machine-level CSRs.
+
+Number    Privilege  Name        Description
+0x300     MRW        mstatus     Machine status register.
+0x301     MRW        misa        ISA and extensions.
+0x304     MRW        mie         Machine interrupt-enable register.
+0x305     MRW        mtvec       Machine trap-handler base address.
+0x340     MRW        mscratch    Scratch register for machine trap handlers.
+0x341     MRW        mepc        Machine exception program counter.
+0x342     MRW        mcause      Machine trap cause.
+0x343     MRW        mtval       Machine bad address or instruction.
+0x344     MRW        mip         Machine interrupt pending.
+0xB00     MRW        mcycle      Machine cycle counter.
+0xB02     MRW        minstret    Machine instructions-retired counter.
+0xC00     URO        cycle       Cycle counter for RDCYCLE instruction.
+0xC01     URO        time        Timer for RDTIME instruction.
+0xC02     URO        instret     Instructions-retired counter for RDINSTRET.
+0xF11     MRO        mvendorid   Vendor ID.
+0xF12     MRO        marchid     Architecture ID.
+0xF13     MRO        mimpid      Implementation ID.
+0xF14     MRO        mhartid     Hardware thread ID.
+
+Implementation-defined custom CSRs (Specure vulnerability emulation).
+
+Number    Privilege  Name          Description
+0x800     MRW        mwait_en      (M)WAIT emulation: arm the monitor timer.
+0x801     MRW        monitor_addr  (M)WAIT emulation: monitored address.
+0x802     MRW        mwait_timer   (M)WAIT emulation: countdown timer.
+0x803     MRW        zenbleed_en   Zenbleed emulation: suppress rollback.
+"""
+
+_GPR_ROW = re.compile(r"^x(\d+)\s+(\S+)\s+", re.MULTILINE)
+_CSR_ROW = re.compile(r"^0x([0-9A-Fa-f]{3})\s+([MSU]R[WO])\s+(\w+)\s+", re.MULTILINE)
+_PC_SENTENCE = re.compile(r"program counter\s+(\w+)\b", re.IGNORECASE)
+
+
+@dataclass
+class ArchitecturalRegisters:
+    """The programmer-accessible register state extracted from a spec text.
+
+    ``gprs`` maps register numbers to ABI names; ``csrs`` maps CSR
+    addresses to names; ``pc_name`` is the program-counter identifier.
+    """
+
+    gprs: dict[int, str] = field(default_factory=dict)
+    csrs: dict[int, str] = field(default_factory=dict)
+    pc_name: str = "pc"
+
+    def names(self) -> list[str]:
+        """Canonical architectural register names, in a stable order.
+
+        GPRs are reported by their ``x<N>`` names (the hardware view),
+        CSRs by their spec names, plus the program counter.
+        """
+        ordered = [f"x{i}" for i in sorted(self.gprs)]
+        ordered.append(self.pc_name)
+        ordered.extend(self.csrs[addr] for addr in sorted(self.csrs))
+        return ordered
+
+
+def parse_architectural_registers(spec_text: str) -> ArchitecturalRegisters:
+    """Extract programmer-accessible registers from a spec-style text.
+
+    Recognises the unprivileged spec's integer-register table rows
+    (``x<N>  <abi>  <description>``), the privileged spec's CSR table rows
+    (``0xNNN  <priv>  <name>  <description>``), and the sentence that
+    introduces the program counter.
+    """
+    result = ArchitecturalRegisters()
+    for match in _GPR_ROW.finditer(spec_text):
+        result.gprs[int(match.group(1))] = match.group(2)
+    for match in _CSR_ROW.finditer(spec_text):
+        result.csrs[int(match.group(1), 16)] = match.group(3)
+    pc_match = _PC_SENTENCE.search(spec_text)
+    if pc_match:
+        result.pc_name = pc_match.group(1)
+    return result
+
+
+def architectural_register_names(spec_text: str | None = None) -> list[str]:
+    """Architectural register names parsed from ``spec_text``.
+
+    With no argument, parses the embedded RISC-V excerpt — this is what
+    the offline phase uses by default.
+    """
+    if spec_text is None:
+        spec_text = RISCV_SPEC_EXCERPT
+    return parse_architectural_registers(spec_text).names()

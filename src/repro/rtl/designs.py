@@ -1,0 +1,129 @@
+"""Reference Verilog designs written in the supported subset.
+
+* :data:`LISTING_1` — the paper's §3.1 example, verbatim.
+* :data:`PIPELINE_CPU` — a three-stage, accumulator-style streaming CPU
+  used as a *second processor-under-test* for the Verilog route: it is
+  parsed, elaborated, simulated cycle-by-cycle with
+  :class:`~repro.rtl.sim.RtlSimulator`, and fed to the offline phase,
+  demonstrating that Specure's front half is genuinely
+  hardware-agnostic (it never sees the Python core model).
+
+The streaming CPU's ISA (instructions arrive on ``instr`` each cycle,
+8 bits: ``op[7:5] | arg[4:0]``):
+
+    op 0  NOP
+    op 1  LDI  — acc <= arg (zero-extended)
+    op 2  ADD  — acc <= acc + r[arg[1:0]]
+    op 3  XOR  — acc <= acc ^ r[arg[1:0]]
+    op 4  ST   — r[arg[1:0]] <= acc
+    op 5  SHL  — acc <= acc << 1
+
+Three pipeline stages (fetch-latch, decode, execute) mean an
+instruction's effect lands two cycles after it is presented; the
+pipeline latches are the microarchitectural registers, the accumulator
+and the register file are the architectural surface.
+"""
+
+LISTING_1 = """
+module D_FF(input d, input clk, output q);
+  reg q;
+  always @(posedge clk)
+    q <= d;
+endmodule
+module top(input clk, input i, output o);
+  reg q1;
+  D_FF df1 (.d(i), .clk(clk), .q(q1));
+  D_FF df2 (.d(q1), .clk(clk), .q(o));
+endmodule
+"""
+
+PIPELINE_CPU = """
+// Three-stage streaming accumulator CPU (subset Verilog).
+module regfile(input clk, input we, input [1:0] waddr,
+               input [7:0] wdata, input [1:0] raddr,
+               output [7:0] rdata,
+               output [7:0] r0_q, output [7:0] r1_q,
+               output [7:0] r2_q, output [7:0] r3_q);
+  reg [7:0] r0;
+  reg [7:0] r1;
+  reg [7:0] r2;
+  reg [7:0] r3;
+  assign rdata = raddr == 2'd0 ? r0
+               : raddr == 2'd1 ? r1
+               : raddr == 2'd2 ? r2
+               : r3;
+  assign r0_q = r0;
+  assign r1_q = r1;
+  assign r2_q = r2;
+  assign r3_q = r3;
+  always @(posedge clk)
+    if (we)
+      if (waddr == 2'd0) r0 <= wdata;
+      else if (waddr == 2'd1) r1 <= wdata;
+      else if (waddr == 2'd2) r2 <= wdata;
+      else r3 <= wdata;
+endmodule
+
+module alu(input [2:0] op, input [7:0] acc_in, input [7:0] operand,
+           input [4:0] arg, output [7:0] result);
+  assign result = op == 3'd1 ? {3'b000, arg}
+                : op == 3'd2 ? acc_in + operand
+                : op == 3'd3 ? acc_in ^ operand
+                : op == 3'd5 ? acc_in << 1
+                : acc_in;
+endmodule
+
+module cpu(input clk, input [7:0] instr, output [7:0] acc_out);
+  // Stage 1: fetch latch.
+  reg [7:0] instr_f;
+  // Stage 2: decode latches.
+  reg [2:0] op_d;
+  reg [4:0] arg_d;
+  // Architectural accumulator.
+  reg [7:0] acc;
+
+  wire [2:0] op_w;
+  wire [4:0] arg_w;
+  wire [7:0] operand;
+  wire [7:0] alu_out;
+  wire we;
+  wire [7:0] r0_q;
+  wire [7:0] r1_q;
+  wire [7:0] r2_q;
+  wire [7:0] r3_q;
+
+  assign op_w = instr_f[7:5];
+  assign arg_w = instr_f[4:0];
+  assign we = op_d == 3'd4;
+  assign acc_out = acc;
+
+  regfile rf (.clk(clk), .we(we), .waddr(arg_d[1:0]), .wdata(acc),
+              .raddr(arg_d[1:0]), .rdata(operand),
+              .r0_q(r0_q), .r1_q(r1_q), .r2_q(r2_q), .r3_q(r3_q));
+  alu ex (.op(op_d), .acc_in(acc), .operand(operand), .arg(arg_d),
+          .result(alu_out));
+
+  always @(posedge clk) begin
+    instr_f <= instr;
+    op_d <= op_w;
+    arg_d <= arg_w;
+    if (op_d != 3'd0)
+      if (op_d != 3'd4)
+        acc <= alu_out;
+  end
+endmodule
+"""
+
+#: Assembler for the streaming CPU: mnemonic -> opcode.
+CPU_OPS = {"nop": 0, "ldi": 1, "add": 2, "xor": 3, "st": 4, "shl": 5}
+
+
+def cpu_assemble(program: list[tuple[str, int]]) -> list[int]:
+    """Assemble ``[(mnemonic, arg), ...]`` into instruction bytes."""
+    words = []
+    for mnemonic, arg in program:
+        opcode = CPU_OPS[mnemonic.lower()]
+        if not 0 <= arg < 32:
+            raise ValueError(f"arg out of range: {arg}")
+        words.append((opcode << 5) | arg)
+    return words

@@ -1,0 +1,193 @@
+"""Elaboration: AST module hierarchy -> flat :class:`ElaboratedDesign`.
+
+Performs hierarchical instantiation with fully-qualified signal names
+(``top.df1.q``), rewrites every expression and statement to reference
+qualified names, and records port connections as distinct assign kinds so
+the IFG builder can emit the paper's connection edges exactly.
+"""
+
+from __future__ import annotations
+
+from repro.rtl import ast
+from repro.rtl.ir import (
+    ASSIGN_COMB,
+    ASSIGN_CONN_IN,
+    ASSIGN_CONN_OUT,
+    ElabAssign,
+    ElabFF,
+    ElaboratedDesign,
+    Signal,
+    SignalKind,
+)
+
+
+class ElaborationError(ValueError):
+    """Structural error: unknown module, undeclared port, bad connection."""
+
+
+def elaborate(source: ast.Source, top: str | None = None) -> ElaboratedDesign:
+    """Elaborate ``source`` with ``top`` (default: last module) as root.
+
+    The root instance is named after its module, matching the paper's
+    ``top.*`` naming in the Listing 1 walkthrough.
+    """
+    if not source.modules:
+        raise ElaborationError("no modules in source")
+    modules = {module.name: module for module in source.modules}
+    top_module = source.modules[-1] if top is None else None
+    if top_module is None:
+        if top not in modules:
+            raise ElaborationError(f"top module {top!r} not found")
+        top_module = modules[top]
+    design = ElaboratedDesign(top=top_module.name)
+    _instantiate(modules, top_module, top_module.name, depth=0, design=design)
+    return design
+
+
+def _instantiate(
+    modules: dict[str, ast.Module],
+    module: ast.Module,
+    prefix: str,
+    depth: int,
+    design: ElaboratedDesign,
+) -> None:
+    # Declare port and net signals.
+    for port in module.ports:
+        if port.direction == "__undeclared__":
+            raise ElaborationError(
+                f"{prefix}: port {port.name!r} has no direction declaration"
+            )
+        kind = SignalKind.INPUT if port.direction == "input" else SignalKind.OUTPUT
+        design.add_signal(
+            Signal(f"{prefix}.{port.name}", port.width, kind, depth=depth)
+        )
+    for net in module.nets:
+        kind = SignalKind.REG if net.kind == "reg" else SignalKind.WIRE
+        design.add_signal(Signal(f"{prefix}.{net.name}", net.width, kind, depth=depth))
+
+    # Continuous assigns.
+    for item in module.assigns:
+        target = f"{prefix}.{item.target}"
+        _require_signal(design, target, prefix)
+        design.assigns.append(
+            ElabAssign(target, _qualify_expr(item.value, prefix, design), ASSIGN_COMB)
+        )
+
+    # Flip-flop processes.
+    for block in module.always_blocks:
+        clock = f"{prefix}.{block.clock}"
+        _require_signal(design, clock, prefix)
+        body = _qualify_statement(block.body, prefix, design)
+        design.ffs.append(ElabFF(clock, body))
+
+    # Sub-instances.
+    for instance in module.instances:
+        child = modules.get(instance.module_name)
+        if child is None:
+            raise ElaborationError(
+                f"{prefix}: unknown module {instance.module_name!r} "
+                f"(instance {instance.instance_name!r})"
+            )
+        child_prefix = f"{prefix}.{instance.instance_name}"
+        _instantiate(modules, child, child_prefix, depth + 1, design)
+        for port_name, expr in instance.connections:
+            try:
+                port = child.port(port_name)
+            except KeyError:
+                raise ElaborationError(
+                    f"{child_prefix}: module {child.name!r} has no port {port_name!r}"
+                ) from None
+            child_signal = f"{child_prefix}.{port_name}"
+            if port.direction == "input":
+                design.assigns.append(
+                    ElabAssign(
+                        child_signal,
+                        _qualify_expr(expr, prefix, design),
+                        ASSIGN_CONN_IN,
+                    )
+                )
+            else:
+                if not isinstance(expr, ast.Identifier):
+                    raise ElaborationError(
+                        f"{child_prefix}: output port {port_name!r} must connect "
+                        f"to a plain identifier"
+                    )
+                parent_signal = f"{prefix}.{expr.name}"
+                _require_signal(design, parent_signal, prefix)
+                design.assigns.append(
+                    ElabAssign(
+                        parent_signal,
+                        ast.Identifier(child_signal),
+                        ASSIGN_CONN_OUT,
+                    )
+                )
+
+    # Mark flip-flop targets as state (after all FFs of this module added).
+    for target in design.ff_targets():
+        if target in design.signals:
+            design.signals[target].is_state = True
+
+
+def _require_signal(design: ElaboratedDesign, name: str, prefix: str) -> None:
+    if name not in design.signals:
+        raise ElaborationError(f"{prefix}: reference to undeclared signal {name!r}")
+
+
+def _qualify_expr(expr: ast.Expr, prefix: str, design: ElaboratedDesign) -> ast.Expr:
+    """Rewrite identifiers to fully-qualified names, checking existence."""
+    if isinstance(expr, ast.Identifier):
+        name = f"{prefix}.{expr.name}"
+        _require_signal(design, name, prefix)
+        return ast.Identifier(name)
+    if isinstance(expr, ast.Number):
+        return expr
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _qualify_expr(expr.operand, prefix, design))
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(
+            expr.op,
+            _qualify_expr(expr.left, prefix, design),
+            _qualify_expr(expr.right, prefix, design),
+        )
+    if isinstance(expr, ast.Ternary):
+        return ast.Ternary(
+            _qualify_expr(expr.condition, prefix, design),
+            _qualify_expr(expr.if_true, prefix, design),
+            _qualify_expr(expr.if_false, prefix, design),
+        )
+    if isinstance(expr, ast.BitSelect):
+        base = _qualify_expr(expr.base, prefix, design)
+        return ast.BitSelect(base, _qualify_expr(expr.index, prefix, design))
+    if isinstance(expr, ast.PartSelect):
+        base = _qualify_expr(expr.base, prefix, design)
+        return ast.PartSelect(base, expr.msb, expr.lsb)
+    if isinstance(expr, ast.Concat):
+        return ast.Concat(
+            tuple(_qualify_expr(part, prefix, design) for part in expr.parts)
+        )
+    raise ElaborationError(f"unsupported expression node {type(expr).__name__}")
+
+
+def _qualify_statement(
+    statement: ast.Statement, prefix: str, design: ElaboratedDesign
+) -> ast.Statement:
+    if isinstance(statement, ast.NonBlocking):
+        target = f"{prefix}.{statement.target}"
+        _require_signal(design, target, prefix)
+        return ast.NonBlocking(target, _qualify_expr(statement.value, prefix, design))
+    if isinstance(statement, ast.If):
+        return ast.If(
+            _qualify_expr(statement.condition, prefix, design),
+            _qualify_statement(statement.then_body, prefix, design),
+            None
+            if statement.else_body is None
+            else _qualify_statement(statement.else_body, prefix, design),
+        )
+    if isinstance(statement, ast.Block):
+        return ast.Block(
+            tuple(
+                _qualify_statement(child, prefix, design)
+                for child in statement.statements
+            )
+        )
+    raise ElaborationError(f"unsupported statement node {type(statement).__name__}")

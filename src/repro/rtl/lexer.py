@@ -1,0 +1,136 @@
+"""Tokenizer for the Verilog subset.
+
+Handles identifiers, keywords, sized and unsized numeric literals
+(``8'hFF``, ``4'b1010``, ``'d15``, ``42``), all operators used by the
+subset (including ``<=``, which the parser disambiguates between
+non-blocking assignment and less-equal by context), and ``//`` and
+``/* */`` comments.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+
+class LexError(ValueError):
+    """Bad input character or malformed literal, with line info."""
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "module", "endmodule", "input", "output", "inout", "wire", "reg",
+    "assign", "always", "posedge", "negedge", "if", "else", "begin", "end",
+})
+
+#: Multi-character punctuation, longest first so maximal munch works.
+_PUNCTUATION = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "(", ")", "[", "]", "{", "}", ",", ";", ":", ".", "@",
+    "=", "+", "-", "*", "&", "|", "^", "~", "!", "<", ">", "?", "/", "%",
+)
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*")
+_SIZED = re.compile(r"(\d+)?'([bdhoBDHO])([0-9a-fA-F_xXzZ?]+)")
+_UNSIGNED = re.compile(r"\d[\d_]*")
+
+_BASE_RADIX = {"b": 2, "d": 10, "h": 16, "o": 8}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: int | None  # for numbers
+    width: int | None  # for sized numbers
+    line: int
+
+
+class Lexer:
+    """One-pass tokenizer; produces a list ending with an EOF token."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.text):
+                tokens.append(Token(TokenKind.EOF, "", None, None, self.line))
+                return tokens
+            tokens.append(self._next_token())
+
+    def _skip_whitespace_and_comments(self) -> None:
+        text = self.text
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch == "\n":
+                self.line += 1
+                self.pos += 1
+            elif ch.isspace():
+                self.pos += 1
+            elif text.startswith("//", self.pos):
+                end = text.find("\n", self.pos)
+                self.pos = len(text) if end < 0 else end
+            elif text.startswith("/*", self.pos):
+                end = text.find("*/", self.pos + 2)
+                if end < 0:
+                    raise LexError(f"line {self.line}: unterminated block comment")
+                self.line += text.count("\n", self.pos, end)
+                self.pos = end + 2
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        text = self.text
+
+        sized = _SIZED.match(text, self.pos)
+        if sized:
+            width_text, base, digits = sized.groups()
+            radix = _BASE_RADIX[base.lower()]
+            cleaned = digits.replace("_", "")
+            if re.search(r"[xXzZ?]", cleaned):
+                # Unknown/high-Z bits are treated as 0 (two-state simulation).
+                cleaned = re.sub(r"[xXzZ?]", "0", cleaned)
+            try:
+                value = int(cleaned, radix)
+            except ValueError:
+                raise LexError(
+                    f"line {self.line}: bad digits {digits!r} for base {base!r}"
+                ) from None
+            width = int(width_text) if width_text else None
+            self.pos = sized.end()
+            return Token(TokenKind.NUMBER, sized.group(0), value, width, self.line)
+
+        ident = _IDENT.match(text, self.pos)
+        if ident:
+            word = ident.group(0)
+            self.pos = ident.end()
+            kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+            return Token(kind, word, None, None, self.line)
+
+        number = _UNSIGNED.match(text, self.pos)
+        if number:
+            word = number.group(0)
+            self.pos = number.end()
+            return Token(
+                TokenKind.NUMBER, word, int(word.replace("_", "")), None, self.line
+            )
+
+        for punct in _PUNCTUATION:
+            if text.startswith(punct, self.pos):
+                self.pos += len(punct)
+                return Token(TokenKind.PUNCT, punct, None, None, self.line)
+
+        raise LexError(f"line {self.line}: unexpected character {text[self.pos]!r}")

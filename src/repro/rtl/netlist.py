@@ -1,0 +1,93 @@
+"""Programmatic netlists: signals + explicit information-flow edges.
+
+The BOOM-like core model is a behavioural simulator, not parsed Verilog,
+but the offline phase needs an RTL-shaped view of it: the set of register
+signals and the flow connections between them.  A :class:`Netlist` is
+exactly that — the moral equivalent of what Chisel elaboration would hand
+Pyverilog in the paper's flow.  Each hardware unit of the core declares
+its registers and edges here; the IFG builder consumes either a netlist
+or an elaborated Verilog design through the same interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class NetSignal:
+    """One netlist signal.
+
+    ``is_state`` marks clocked registers (snapshot members); ``unit``
+    names the owning hardware unit (for reports); ``width`` is
+    informational at this level.
+    """
+
+    name: str
+    width: int
+    is_state: bool
+    unit: str | None = None
+
+
+class Netlist:
+    """A flat signal/edge container with hierarchical dotted names."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.signals: dict[str, NetSignal] = {}
+        self.edges: list[tuple[str, str]] = []
+        self._edge_set: set[tuple[str, str]] = set()
+
+    # -- declaration ---------------------------------------------------
+
+    def reg(self, name: str, width: int = 64, unit: str | None = None) -> str:
+        """Declare a clocked register signal; returns its name."""
+        return self._declare(name, width, is_state=True, unit=unit)
+
+    def wire(self, name: str, width: int = 64, unit: str | None = None) -> str:
+        """Declare a combinational signal; returns its name."""
+        return self._declare(name, width, is_state=False, unit=unit)
+
+    def _declare(self, name: str, width: int, is_state: bool, unit: str | None) -> str:
+        if name in self.signals:
+            raise ValueError(f"duplicate netlist signal {name!r}")
+        self.signals[name] = NetSignal(name, width, is_state, unit)
+        return name
+
+    # -- connectivity ----------------------------------------------------
+
+    def connect(self, src: str, dst: str) -> None:
+        """Add a directed information-flow edge ``src -> dst``."""
+        if src not in self.signals:
+            raise KeyError(f"unknown source signal {src!r}")
+        if dst not in self.signals:
+            raise KeyError(f"unknown destination signal {dst!r}")
+        if src == dst:
+            raise ValueError(f"self-edge on {src!r}")
+        key = (src, dst)
+        if key not in self._edge_set:
+            self._edge_set.add(key)
+            self.edges.append(key)
+
+    def connect_many(self, sources: list[str], dst: str) -> None:
+        """Edges from every source to ``dst``."""
+        for src in sources:
+            self.connect(src, dst)
+
+    def fanout(self, src: str, destinations: list[str]) -> None:
+        """Edges from ``src`` to every destination."""
+        for dst in destinations:
+            self.connect(src, dst)
+
+    # -- queries ---------------------------------------------------------
+
+    def state_names(self) -> list[str]:
+        """Register signal names, in declaration order."""
+        return [s.name for s in self.signals.values() if s.is_state]
+
+    def names_by_unit(self, unit: str) -> list[str]:
+        """Signals owned by a unit (e.g. ``'dcache'``)."""
+        return [s.name for s in self.signals.values() if s.unit == unit]
+
+    def __len__(self) -> int:
+        return len(self.signals)

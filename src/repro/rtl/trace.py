@@ -1,0 +1,124 @@
+"""Change-event signal traces ("waveforms") and snapshot reconstruction.
+
+The paper's Microarchitecture Visualizer dumps waveforms and slices them
+into per-cycle snapshots of the whole processor state.  Materialising a
+full snapshot per cycle is VCD-scale data, so — like a waveform file — we
+store the *initial state plus change events* and reconstruct snapshots on
+demand.  The Leakage Detector only ever needs snapshots at speculative
+window boundaries, and toggle/LP coverage are computed directly from the
+event stream, which makes thousands of fuzzing iterations tractable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One signal change: at the end of ``cycle``, ``signal`` became ``new``."""
+
+    cycle: int
+    signal: int  # index into the trace's signal-name table
+    old: int
+    new: int
+
+
+class SignalTrace:
+    """A recorded simulation: signal names, initial values, change events.
+
+    Cycle convention: ``initial`` is the state *before* cycle 0 executes;
+    an event with ``cycle == c`` means the signal changed during cycle
+    ``c``, i.e. it is visible in the snapshot *at the end of* cycle ``c``.
+    ``snapshot(c)`` returns the end-of-cycle-``c`` state; ``snapshot(-1)``
+    returns the initial state.
+    """
+
+    def __init__(self, signal_names: list[str], initial: list[int]):
+        if len(signal_names) != len(initial):
+            raise ValueError("signal_names and initial must have equal length")
+        self.signal_names = list(signal_names)
+        self.initial = list(initial)
+        self.events: list[ChangeEvent] = []
+        self._index_of = {name: i for i, name in enumerate(signal_names)}
+        self._event_cycles: list[int] = []  # parallel to events, for bisect
+        self.final_cycle = -1
+
+    def index_of(self, name: str) -> int:
+        """Index of a signal by hierarchical name."""
+        return self._index_of[name]
+
+    def record(self, cycle: int, signal: int, old: int, new: int) -> None:
+        """Append a change event (cycles must be non-decreasing)."""
+        if cycle < self.final_cycle:
+            raise ValueError(
+                f"events must be appended in cycle order ({cycle} < {self.final_cycle})"
+            )
+        self.events.append(ChangeEvent(cycle, signal, old, new))
+        self._event_cycles.append(cycle)
+        self.final_cycle = cycle
+
+    def close(self, last_cycle: int) -> None:
+        """Mark the end of the simulation (even if the tail was quiet)."""
+        self.final_cycle = max(self.final_cycle, last_cycle)
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+
+    def snapshot(self, cycle: int) -> list[int]:
+        """Full state at the *end* of ``cycle`` (``-1`` = initial state)."""
+        state = list(self.initial)
+        for event in self.events:
+            if event.cycle > cycle:
+                break
+            state[event.signal] = event.new
+        return state
+
+    def value_of(self, name: str, cycle: int) -> int:
+        """Value of one signal at the end of ``cycle``."""
+        index = self._index_of[name]
+        value = self.initial[index]
+        for event in self.events:
+            if event.cycle > cycle:
+                break
+            if event.signal == index:
+                value = event.new
+        return value
+
+    def events_in(self, start: int, end: int) -> list[ChangeEvent]:
+        """Events with ``start <= cycle <= end`` (cycle-ordered)."""
+        lo = bisect_right(self._event_cycles, start - 1)
+        hi = bisect_right(self._event_cycles, end)
+        return self.events[lo:hi]
+
+    def toggled_signals(self, start: int, end: int) -> set[int]:
+        """Indices of signals that changed value in [start, end]."""
+        return {event.signal for event in self.events_in(start, end)}
+
+    def toggle_counts(self, start: int, end: int) -> dict[int, int]:
+        """Per-signal change counts in [start, end]."""
+        counts: dict[int, int] = {}
+        for event in self.events_in(start, end):
+            counts[event.signal] = counts.get(event.signal, 0) + 1
+        return counts
+
+    def diff(self, start: int, end: int) -> dict[int, tuple[int, int]]:
+        """Signals whose value differs between the end of ``start`` and
+        the end of ``end``; maps signal index to (value_at_start,
+        value_at_end).
+
+        This is the paper's snapshot discrepancy: the Δ between the
+        before-speculative and after-speculative snapshots.
+        """
+        before = self.snapshot(start)
+        after = self.snapshot(end)
+        return {
+            index: (before[index], after[index])
+            for index in range(len(before))
+            if before[index] != after[index]
+        }
+
+    def __len__(self) -> int:
+        return len(self.events)

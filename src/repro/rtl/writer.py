@@ -1,0 +1,98 @@
+"""Emit Verilog text from the AST (the inverse of the parser).
+
+Used to round-trip designs in tests (parse → write → parse must be
+structurally identical) and to export programmatically built modules for
+inspection.
+"""
+
+from __future__ import annotations
+
+from repro.rtl import ast
+
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6, "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8, "+": 9, "-": 9, "*": 10, "/": 10, "%": 10,
+}
+
+
+def write_verilog(source: ast.Source) -> str:
+    """Render all modules of a source back to Verilog text."""
+    return "\n".join(_write_module(module) for module in source.modules)
+
+
+def _write_module(module: ast.Module) -> str:
+    lines = []
+    ports = ", ".join(_port_header(p) for p in module.ports)
+    lines.append(f"module {module.name}({ports});")
+    for net in module.nets:
+        lines.append(f"  {net.kind}{_range(net.width)} {net.name};")
+    for item in module.assigns:
+        lines.append(f"  assign {item.target} = {_expr(item.value)};")
+    for block in module.always_blocks:
+        lines.append(f"  always @(posedge {block.clock})")
+        lines.extend(_statement(block.body, indent=4))
+    for instance in module.instances:
+        conns = ", ".join(
+            f".{port}({_expr(expr)})" for port, expr in instance.connections
+        )
+        lines.append(f"  {instance.module_name} {instance.instance_name} ({conns});")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def _port_header(port: ast.PortDecl) -> str:
+    reg = " reg" if port.is_reg else ""
+    return f"{port.direction}{reg}{_range(port.width)} {port.name}"
+
+
+def _range(width: int) -> str:
+    return "" if width == 1 else f" [{width - 1}:0]"
+
+
+def _statement(statement: ast.Statement, indent: int) -> list[str]:
+    pad = " " * indent
+    if isinstance(statement, ast.NonBlocking):
+        return [f"{pad}{statement.target} <= {_expr(statement.value)};"]
+    if isinstance(statement, ast.If):
+        lines = [f"{pad}if ({_expr(statement.condition)})"]
+        lines.extend(_statement(statement.then_body, indent + 2))
+        if statement.else_body is not None:
+            lines.append(f"{pad}else")
+            lines.extend(_statement(statement.else_body, indent + 2))
+        return lines
+    if isinstance(statement, ast.Block):
+        lines = [f"{pad}begin"]
+        for child in statement.statements:
+            lines.extend(_statement(child, indent + 2))
+        lines.append(f"{pad}end")
+        return lines
+    raise TypeError(f"unsupported statement {type(statement).__name__}")
+
+
+def _expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.Number):
+        if expr.width is not None:
+            return f"{expr.width}'h{expr.value:X}"
+        return str(expr.value)
+    if isinstance(expr, ast.UnaryOp):
+        return f"{expr.op}{_expr(expr.operand, 99)}"
+    if isinstance(expr, ast.BinaryOp):
+        prec = _PRECEDENCE[expr.op]
+        text = f"{_expr(expr.left, prec)} {expr.op} {_expr(expr.right, prec + 1)}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, ast.Ternary):
+        text = (
+            f"{_expr(expr.condition, 1)} ? {_expr(expr.if_true)} "
+            f": {_expr(expr.if_false)}"
+        )
+        return f"({text})" if parent_prec > 0 else text
+    if isinstance(expr, ast.BitSelect):
+        return f"{expr.base.name}[{_expr(expr.index)}]"
+    if isinstance(expr, ast.PartSelect):
+        return f"{expr.base.name}[{expr.msb}:{expr.lsb}]"
+    if isinstance(expr, ast.Concat):
+        return "{" + ", ".join(_expr(part) for part in expr.parts) + "}"
+    raise TypeError(f"unsupported expression {type(expr).__name__}")

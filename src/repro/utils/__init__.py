@@ -1,0 +1,33 @@
+"""Shared low-level utilities: bit vectors, deterministic RNG, text tables."""
+
+from repro.utils.bitvec import (
+    mask,
+    sext,
+    zext,
+    truncate,
+    bit,
+    bits,
+    set_bits,
+    popcount,
+    to_signed,
+    to_unsigned,
+)
+from repro.utils.rng import DeterministicRng
+from repro.utils.text import ascii_table, ascii_plot, format_hex
+
+__all__ = [
+    "mask",
+    "sext",
+    "zext",
+    "truncate",
+    "bit",
+    "bits",
+    "set_bits",
+    "popcount",
+    "to_signed",
+    "to_unsigned",
+    "DeterministicRng",
+    "ascii_table",
+    "ascii_plot",
+    "format_hex",
+]

@@ -1,0 +1,97 @@
+"""Fixed-width bit-vector arithmetic helpers.
+
+Hardware models in this package represent signal values as plain Python
+integers interpreted as unsigned bit vectors of a known width.  These
+helpers implement the handful of width-aware operations (masking, sign
+extension, bit slicing) that every RTL-ish component needs, with explicit
+widths everywhere so that a 64-bit datapath never silently grows.
+"""
+
+from __future__ import annotations
+
+
+def mask(width: int) -> int:
+    """Return an all-ones bit mask of ``width`` bits.
+
+    >>> hex(mask(8))
+    '0xff'
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate ``value`` to its low ``width`` bits (unsigned result)."""
+    return value & mask(width)
+
+
+def zext(value: int, width: int) -> int:
+    """Zero-extend: alias of :func:`truncate`, named for intent at call sites."""
+    return truncate(value, width)
+
+
+def sext(value: int, width: int, from_width: int | None = None) -> int:
+    """Sign-extend ``value`` to ``width`` bits.
+
+    ``from_width`` gives the width the value currently occupies; when
+    omitted, ``value`` is assumed to already be ``width`` bits wide and the
+    call simply normalises it (useful after arithmetic that may overflow).
+
+    The result is returned as an *unsigned* bit pattern of ``width`` bits.
+
+    >>> hex(sext(0x80, 16, from_width=8))
+    '0xff80'
+    """
+    if from_width is None:
+        from_width = width
+    value = truncate(value, from_width)
+    sign_bit = 1 << (from_width - 1)
+    if value & sign_bit:
+        value |= mask(width) & ~mask(from_width)
+    return truncate(value, width)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret a ``width``-bit pattern as a two's-complement signed int."""
+    value = truncate(value, width)
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Convert a (possibly negative) Python int to a ``width``-bit pattern."""
+    return truncate(value, width)
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` of ``value`` (0 = LSB)."""
+    return (value >> index) & 1
+
+
+def bits(value: int, high: int, low: int) -> int:
+    """Return the inclusive bit slice ``value[high:low]``.
+
+    >>> bits(0b110100, 4, 2)
+    5
+    """
+    if high < low:
+        raise ValueError(f"invalid slice [{high}:{low}]")
+    return (value >> low) & mask(high - low + 1)
+
+
+def set_bits(value: int, high: int, low: int, field: int) -> int:
+    """Return ``value`` with the inclusive slice ``[high:low]`` replaced."""
+    if high < low:
+        raise ValueError(f"invalid slice [{high}:{low}]")
+    width = high - low + 1
+    cleared = value & ~(mask(width) << low)
+    return cleared | ((field & mask(width)) << low)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in ``value`` (``value`` must be non-negative)."""
+    if value < 0:
+        raise ValueError("popcount of a negative value is undefined")
+    return value.bit_count()

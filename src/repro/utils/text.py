@@ -1,0 +1,97 @@
+"""Plain-text rendering of tables and plots for reports and benchmarks.
+
+The benchmark harness regenerates every table and figure of the paper as
+terminal output; these helpers render aligned ASCII tables (paper tables)
+and simple scatter/line plots (paper figures) without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_hex(value: int, width_bits: int = 32) -> str:
+    """Format an unsigned value as fixed-width uppercase hex, no prefix."""
+    digits = (width_bits + 3) // 4
+    return format(value, f"0{digits}X")
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    >>> print(ascii_table(["a", "b"], [[1, 22], [333, 4]]))
+    a   | b
+    ----+---
+    1   | 22
+    333 | 4
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (x, y) series as an ASCII scatter plot.
+
+    Each series is drawn with its own marker character (assigned in
+    insertion order).  Used to regenerate the paper's Figure 2 in the
+    terminal.
+    """
+    markers = "*o+x#@%&"
+    points = [(name, pts) for name, pts in series.items() if pts]
+    if not points:
+        return "(no data)"
+
+    all_x = [x for _, pts in points for x, _ in pts]
+    all_y = [y for _, pts in points for _, y in pts]
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (_, pts) in enumerate(points):
+        marker = markers[index % len(markers)]
+        for x, y in pts:
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (max {y_max:g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_label}: {x_min:g} .. {x_max:g}")
+    for index, (name, _) in enumerate(points):
+        lines.append(f"  {markers[index % len(markers)]} = {name}")
+    return "\n".join(lines)

@@ -1,0 +1,318 @@
+"""Unit tests for the core's hardware units (bpu, tlb, dcache, csr,
+rename, rob) against a minimal tracer."""
+
+import pytest
+
+from repro.boom.bpu import BranchPredictor
+from repro.boom.config import BoomConfig
+from repro.boom.csr import MWAIT_TIMER, CsrFile
+from repro.boom.dcache import DCache
+from repro.boom.netlist import build_boom_netlist
+from repro.boom.rename import RenameTable
+from repro.boom.rob import DISPATCHED, DONE, Rob
+from repro.boom.tlb import Tlb
+from repro.boom.tracer import TraceWriter
+from repro.golden.memory import SparseMemory
+from repro.isa.instructions import decode, encode
+
+
+@pytest.fixture()
+def config():
+    return BoomConfig.small()
+
+
+@pytest.fixture()
+def tracer(config):
+    return TraceWriter(build_boom_netlist(config))
+
+
+class TestTraceWriter:
+    def test_set_records_only_changes(self, tracer):
+        index = tracer.idx("boom.fetch.pc_f")
+        tracer.set_cycle(0)
+        tracer.set(index, 5)
+        tracer.set(index, 5)
+        tracer.set(index, 6)
+        assert len(tracer.trace.events) == 2
+
+    def test_init_sets_initial_without_event(self, tracer):
+        index = tracer.idx("boom.arch.x1")
+        tracer.init(index, 99)
+        assert tracer.trace.initial[index] == 99
+        assert not tracer.trace.events
+
+    def test_unknown_name_rejected(self, tracer):
+        with pytest.raises(KeyError):
+            tracer.idx("boom.ghost")
+
+
+class TestBranchPredictor:
+    def test_counters_start_weakly_not_taken(self, config, tracer):
+        bpu = BranchPredictor(config, tracer)
+        assert not bpu.predict_branch(0x8000_0000)
+
+    def test_training_flips_prediction(self, config, tracer):
+        bpu = BranchPredictor(config, tracer)
+        pc = 0x8000_0100
+        history = bpu.ghist
+        bpu.train_branch(pc, history, taken=True)
+        assert bpu.predict_branch(pc)  # counter 1 -> 2: taken
+
+    def test_saturation(self, config, tracer):
+        bpu = BranchPredictor(config, tracer)
+        pc = 0x8000_0100
+        for _ in range(10):
+            bpu.train_branch(pc, bpu.ghist, taken=True)
+        for _ in range(2):
+            bpu.train_branch(pc, bpu.ghist, taken=False)
+        assert not bpu.predict_branch(pc)  # 3 -> 1 after two not-taken
+
+    def test_history_speculation_and_repair(self, config, tracer):
+        bpu = BranchPredictor(config, tracer)
+        snapshot = bpu.speculate_history(True)
+        assert bpu.ghist == ((snapshot << 1) | 1) & ((1 << config.ghist_bits) - 1)
+        bpu.repair_history(snapshot, actual_taken=False)
+        assert bpu.ghist == (snapshot << 1) & ((1 << config.ghist_bits) - 1)
+
+    def test_btb_partial_tag_aliasing(self, config, tracer):
+        """Two PCs that share index+partial tag alias — the BTI lever."""
+        bpu = BranchPredictor(config, tracer)
+        pc_a = 0x8000_0000
+        # Same BTB index and same partial tag: stride by
+        # entries * 2^tag_bits instruction slots.
+        stride = config.btb_entries * (1 << config.btb_tag_bits) * 4
+        pc_b = pc_a + stride
+        bpu.train_indirect(pc_a, 0x1234)
+        assert bpu.predict_indirect(pc_b) == 0x1234
+
+    def test_btb_miss(self, config, tracer):
+        bpu = BranchPredictor(config, tracer)
+        assert bpu.predict_indirect(0x8000_0040) is None
+
+    def test_ras_push_pop(self, config, tracer):
+        bpu = BranchPredictor(config, tracer)
+        bpu.push_ras(0x100)
+        bpu.push_ras(0x200)
+        assert bpu.pop_ras() == 0x200
+        assert bpu.pop_ras() == 0x100
+        assert bpu.pop_ras() is None
+
+    def test_ras_repair(self, config, tracer):
+        bpu = BranchPredictor(config, tracer)
+        bpu.push_ras(0x100)
+        top = bpu.ras_top
+        bpu.push_ras(0x200)
+        bpu.pop_ras()
+        bpu.repair_ras(top)
+        assert bpu.pop_ras() == 0x100
+
+
+class TestTlb:
+    def test_miss_then_hit(self, config, tracer):
+        tlb = Tlb(config, tracer)
+        assert tlb.translate(0x8100_0000) == config.tlb_miss_penalty
+        assert tlb.translate(0x8100_0008) == 0  # same page
+        assert tlb.misses == 1 and tlb.hits == 1
+
+    def test_round_robin_eviction(self, config, tracer):
+        tlb = Tlb(config, tracer)
+        for page in range(config.tlb_entries + 1):
+            tlb.translate(page << config.page_bits)
+        # First page was evicted by the (entries+1)-th fill.
+        assert tlb.translate(0) == config.tlb_miss_penalty
+
+
+class TestDCache:
+    def make(self, config, tracer, on_change=None):
+        memory = SparseMemory(fill_seed=7)
+        return DCache(config, tracer, memory, on_line_change=on_change), memory
+
+    def test_miss_then_hit(self, config, tracer):
+        cache, _ = self.make(config, tracer)
+        assert cache.access(0x8100_0000) == config.dcache_miss_latency
+        assert cache.access(0x8100_0008) == config.dcache_hit_latency
+
+    def test_eviction_lru(self, config, tracer):
+        cache, _ = self.make(config, tracer)
+        stride = config.dcache_sets * config.line_bytes
+        base = 0x8100_0000
+        for way in range(config.dcache_ways + 1):
+            cache.access(base + way * stride)  # all map to set 0
+        assert not cache.line_present(base)  # LRU victim was the first
+        assert cache.evictions == 1
+
+    def test_write_through(self, config, tracer):
+        cache, memory = self.make(config, tracer)
+        cache.write(0x8100_0010, 0xAB, 1)
+        assert memory.read_byte(0x8100_0010) == 0xAB
+        assert cache.line_present(0x8100_0010)  # write-allocate
+
+    def test_monitor_callback_on_fill_and_write(self, config, tracer):
+        changes = []
+        cache, _ = self.make(config, tracer, on_change=changes.append)
+        cache.access(0x8100_0020)
+        assert changes == [0x8100_0020]
+        cache.write(0x8100_0024, 1, 4)  # hit in same line
+        assert changes == [0x8100_0020, 0x8100_0020]
+
+    def test_monitor_callback_on_eviction(self, config, tracer):
+        changes = []
+        cache, _ = self.make(config, tracer, on_change=changes.append)
+        stride = config.dcache_sets * config.line_bytes
+        base = 0x8100_0000
+        for way in range(config.dcache_ways + 1):
+            cache.access(base + way * stride)
+        assert base in changes[config.dcache_ways:]  # eviction notified
+
+    def test_state_fingerprint_changes(self, config, tracer):
+        cache, _ = self.make(config, tracer)
+        before = cache.state_fingerprint()
+        cache.access(0x8100_0000)
+        assert cache.state_fingerprint() != before
+
+
+class TestCsrFile:
+    def test_read_write(self, tracer):
+        csr = CsrFile(tracer)
+        assert csr.write(0x340, 123)
+        assert csr.read(0x340) == 123
+
+    def test_read_only_rejected(self, tracer):
+        csr = CsrFile(tracer)
+        assert not csr.write(0xC00, 5)  # cycle is URO
+        assert csr.read(0xC00) == 0
+
+    def test_unimplemented_ignored(self, tracer):
+        csr = CsrFile(tracer)
+        assert not csr.write(0x7C0, 5)
+        assert csr.read(0x7C0) == 0
+
+    def test_hardware_clear_timer(self, tracer):
+        csr = CsrFile(tracer)
+        csr.write(MWAIT_TIMER, 50)
+        assert csr.hardware_clear_timer()
+        assert csr.read(MWAIT_TIMER) == 0
+        assert not csr.hardware_clear_timer()  # already zero: no change
+
+    def test_monitor_helpers(self, tracer):
+        csr = CsrFile(tracer)
+        assert not csr.mwait_monitor_active()
+        csr.write(0x800, 1)
+        assert csr.mwait_monitor_active()
+        csr.write(0x801, 0x8100_0400)
+        assert csr.monitor_address() == 0x8100_0400
+        assert not csr.zenbleed_enabled()
+        csr.write(0x803, 1)
+        assert csr.zenbleed_enabled()
+
+
+class TestRenameTable:
+    def test_allocate_and_retire(self, tracer):
+        rename = RenameTable(tracer)
+        rename.allocate(5, rob_index=3)
+        assert rename.producer(5) == 3
+        rename.retire(5, rob_index=3)
+        assert rename.producer(5) is None
+
+    def test_retire_of_stale_producer_ignored(self, tracer):
+        rename = RenameTable(tracer)
+        rename.allocate(5, 3)
+        rename.allocate(5, 7)  # newer producer
+        rename.retire(5, 3)
+        assert rename.producer(5) == 7
+
+    def test_x0_never_mapped(self, tracer):
+        rename = RenameTable(tracer)
+        rename.allocate(0, 3)
+        assert rename.producer(0) is None
+
+    def test_snapshot_restore(self, tracer):
+        rename = RenameTable(tracer)
+        rename.allocate(5, 1)
+        rename.snapshot(key=10)
+        rename.allocate(5, 2)
+        rename.allocate(6, 3)
+        rename.restore(10)
+        assert rename.producer(5) == 1
+        assert rename.producer(6) is None
+
+    def test_scrub_committed_updates_snapshots(self, tracer):
+        rename = RenameTable(tracer)
+        rename.allocate(5, 1)
+        rename.snapshot(key=10)
+        rename.scrub_committed(1)
+        rename.restore(10)
+        assert rename.producer(5) is None  # stale tag purged
+
+    def test_scrub_squashed(self, tracer):
+        rename = RenameTable(tracer)
+        rename.allocate(5, 1)
+        rename.allocate(6, 2)
+        rename.scrub_squashed({2})
+        assert rename.producer(5) == 1
+        assert rename.producer(6) is None
+
+
+class TestRob:
+    def make(self, config, tracer):
+        return Rob(config, tracer)
+
+    def test_allocate_order(self, config, tracer):
+        rob = self.make(config, tracer)
+        first = rob.allocate(0x100, decode(encode("addi", rd=1, rs1=0, imm=1)))
+        second = rob.allocate(0x104, decode(encode("addi", rd=2, rs1=0, imm=2)))
+        assert [e.index for e in rob.in_age_order()] == [first.index, second.index]
+
+    def test_full(self, config, tracer):
+        rob = self.make(config, tracer)
+        for i in range(config.rob_entries):
+            rob.allocate(0x100 + 4 * i, decode(encode("addi", rd=1, rs1=0, imm=0)))
+        assert rob.full()
+        with pytest.raises(RuntimeError):
+            rob.allocate(0x900, decode(encode("addi", rd=1, rs1=0, imm=0)))
+
+    def test_pop_head(self, config, tracer):
+        rob = self.make(config, tracer)
+        entry = rob.allocate(0x100, decode(encode("addi", rd=1, rs1=0, imm=0)))
+        entry.state = DONE
+        popped = rob.pop_head()
+        assert popped is entry
+        assert rob.empty()
+
+    def test_squash_after(self, config, tracer):
+        rob = self.make(config, tracer)
+        entries = [
+            rob.allocate(0x100 + 4 * i, decode(encode("addi", rd=1, rs1=0, imm=0)))
+            for i in range(5)
+        ]
+        squashed = rob.squash_after(entries[1])
+        assert [e.age for e in squashed] == [2, 3, 4]
+        assert rob.count == 2
+        assert rob.tail == (entries[1].index + 1) % config.rob_entries
+
+    def test_wraparound(self, config, tracer):
+        rob = self.make(config, tracer)
+        nop = decode(encode("addi", rd=1, rs1=0, imm=0))
+        for _ in range(config.rob_entries):
+            entry = rob.allocate(0x100, nop)
+            entry.state = DONE
+            rob.pop_head()
+        entry = rob.allocate(0x200, nop)
+        assert entry.index == 0  # wrapped
+        assert rob.count == 1
+
+    def test_older_stores(self, config, tracer):
+        rob = self.make(config, tracer)
+        store = rob.allocate(0x100, decode(encode("sd", rs1=1, rs2=2, imm=0)))
+        store.store_size = 8
+        load = rob.allocate(0x104, decode(encode("ld", rd=3, rs1=1, imm=0)))
+        assert rob.older_stores(load) == [store]
+        assert rob.older_stores(store) == []
+
+    def test_unsafe_flag_traced(self, config, tracer):
+        rob = self.make(config, tracer)
+        entry = rob.allocate(0x100, decode(encode("beq", rs1=0, rs2=0, imm=8)))
+        rob.set_unsafe(entry, True)
+        assert tracer.get(tracer.idx(f"boom.rob.e{entry.index}_unsafe")) == 1
+        rob.set_unsafe(entry, False)
+        assert tracer.get(tracer.idx(f"boom.rob.e{entry.index}_unsafe")) == 0

@@ -1,0 +1,91 @@
+"""Configuration and reference-design validation tests."""
+
+import pytest
+
+from repro.boom.config import BoomConfig
+from repro.boom.vulns import VulnConfig
+from repro.coverage.lp import LpCoverage
+from repro.rtl.designs import CPU_OPS, LISTING_1, PIPELINE_CPU, cpu_assemble
+
+
+class TestBoomConfig:
+    def test_presets_valid(self):
+        for preset in (BoomConfig.small(), BoomConfig.medium(),
+                       BoomConfig.large()):
+            assert preset.rob_entries >= 4
+
+    def test_preset_ordering(self):
+        small, medium, large = (BoomConfig.small(), BoomConfig.medium(),
+                                BoomConfig.large())
+        assert small.rob_entries < medium.rob_entries < large.rob_entries
+        assert small.gshare_entries < medium.gshare_entries < large.gshare_entries
+
+    def test_rob_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            BoomConfig(rob_entries=2)
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ValueError):
+            BoomConfig(line_bytes=12)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            BoomConfig(dcache_sets=5)
+
+    def test_non_power_of_two_gshare_rejected(self):
+        with pytest.raises(ValueError):
+            BoomConfig(gshare_entries=33)
+
+    def test_vulns_default_unarmed(self):
+        config = BoomConfig.small()
+        assert not config.vulns.mwait
+        assert not config.vulns.zenbleed
+
+    def test_preset_accepts_vulns(self):
+        config = BoomConfig.medium(VulnConfig(mwait=True))
+        assert config.vulns.mwait and not config.vulns.zenbleed
+
+
+class TestVulnConfig:
+    def test_factories(self):
+        assert VulnConfig.none() == VulnConfig()
+        armed = VulnConfig.all()
+        assert armed.mwait and armed.zenbleed
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            VulnConfig().mwait = True  # type: ignore[misc]
+
+
+class TestLpMode:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            LpCoverage([], [], mode="???")
+
+
+class TestReferenceDesigns:
+    def test_listing1_text_parses(self):
+        from repro.rtl.parser import parse
+
+        assert [m.name for m in parse(LISTING_1).modules] == ["D_FF", "top"]
+
+    def test_pipeline_cpu_text_parses(self):
+        from repro.rtl.parser import parse
+
+        names = [m.name for m in parse(PIPELINE_CPU).modules]
+        assert names == ["regfile", "alu", "cpu"]
+
+    def test_cpu_assemble(self):
+        words = cpu_assemble([("ldi", 5), ("st", 0), ("nop", 0)])
+        assert words == [(1 << 5) | 5, (4 << 5), 0]
+
+    def test_cpu_assemble_arg_range(self):
+        with pytest.raises(ValueError):
+            cpu_assemble([("ldi", 32)])
+
+    def test_cpu_assemble_unknown_op(self):
+        with pytest.raises(KeyError):
+            cpu_assemble([("jmp", 0)])
+
+    def test_all_ops_distinct(self):
+        assert len(set(CPU_OPS.values())) == len(CPU_OPS)

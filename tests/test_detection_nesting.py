@@ -1,0 +1,96 @@
+"""Tests for speculation-window nesting analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boom import BoomConfig, BoomCore, VulnConfig
+from repro.detection.nesting import depth_histogram, max_depth, nesting_forest
+from repro.detection.windows import DetectedWindow, extract_windows
+from repro.fuzz.seeds import bti_seed, random_seed
+from repro.utils.rng import DeterministicRng
+
+
+def w(tag, start, end, mispredicted=False):
+    return DetectedWindow(tag=tag, start=start, end=end, pc=0, word=0x13,
+                          mispredicted=mispredicted)
+
+
+class TestForestConstruction:
+    def test_empty(self):
+        assert nesting_forest([]) == []
+        assert max_depth([]) == 0
+        assert depth_histogram([]) == {}
+
+    def test_flat_sequence(self):
+        windows = [w(1, 0, 3), w(2, 5, 8), w(3, 10, 11)]
+        forest = nesting_forest(windows)
+        assert len(forest) == 3
+        assert max_depth(windows) == 1
+        assert depth_histogram(windows) == {1: 3}
+
+    def test_simple_nesting(self):
+        windows = [w(1, 0, 10), w(2, 2, 5)]
+        forest = nesting_forest(windows)
+        assert len(forest) == 1
+        assert forest[0].window.tag == 1
+        assert forest[0].children[0].window.tag == 2
+        assert max_depth(windows) == 2
+
+    def test_deep_chain(self):
+        windows = [w(i, i, 20 - i) for i in range(1, 6)]
+        assert max_depth(windows) == 5
+        assert depth_histogram(windows) == {1: 1, 2: 1, 3: 1, 4: 1, 5: 1}
+
+    def test_siblings_inside_parent(self):
+        windows = [w(1, 0, 20), w(2, 1, 5), w(3, 6, 9), w(4, 10, 12)]
+        forest = nesting_forest(windows)
+        assert len(forest) == 1
+        assert len(forest[0].children) == 3
+        assert forest[0].count() == 4
+
+    def test_overlap_without_containment_is_sibling(self):
+        # [0,5] and [3,8] overlap but neither contains the other.
+        windows = [w(1, 0, 5), w(2, 3, 8)]
+        forest = nesting_forest(windows)
+        assert len(forest) == 2
+        assert max_depth(windows) == 1
+
+    def test_identical_intervals_nest_by_tag(self):
+        windows = [w(1, 2, 7), w(2, 2, 7)]
+        assert max_depth(windows) == 2  # one inside the other, not lost
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 40), st.integers(0, 20)),
+        min_size=0, max_size=25,
+    ))
+    @settings(max_examples=50)
+    def test_forest_preserves_all_windows(self, raw):
+        windows = [
+            w(tag, start, start + length)
+            for tag, (start, length) in enumerate(raw)
+        ]
+        forest = nesting_forest(windows)
+        assert sum(node.count() for node in forest) == len(windows)
+
+
+class TestOnRealRuns:
+    @pytest.fixture(scope="class")
+    def core(self):
+        return BoomCore(BoomConfig.small(VulnConfig.all()))
+
+    def test_bti_seed_nests(self, core):
+        """The BTI seed opens bne windows inside jalr windows."""
+        result = core.run(bti_seed())
+        windows = extract_windows(result.trace)
+        assert max_depth(windows) >= 2
+
+    def test_depths_bounded_by_window_count(self, core):
+        for trial in range(5):
+            program = random_seed(DeterministicRng(3100 + trial))
+            result = core.run(program)
+            windows = extract_windows(result.trace)
+            if windows:
+                assert 1 <= max_depth(windows) <= len(windows)
+            histogram = depth_histogram(windows)
+            assert sum(histogram.values()) == len(windows)

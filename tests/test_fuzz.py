@@ -1,0 +1,241 @@
+"""Tests for the fuzzing stack: inputs, mutations, seeds, corpus, loop."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.fuzzer import Fuzzer
+from repro.fuzz.input import TestProgram
+from repro.fuzz.mutations import MutationEngine, random_instruction
+from repro.fuzz.seeds import bti_seed, mispredict_seed, random_seed, rsb_seed, special_seeds
+from repro.isa.instructions import ILLEGAL, decode
+from repro.utils.rng import DeterministicRng
+
+
+class TestTestProgram:
+    def test_reg_init_forced_to_32(self):
+        with pytest.raises(ValueError):
+            TestProgram(words=[0], reg_init=[0] * 31)
+
+    def test_x0_forced_zero(self):
+        program = TestProgram(words=[0], reg_init=[5] + [0] * 31)
+        assert program.reg_init[0] == 0
+
+    def test_copy_is_deep(self):
+        program = TestProgram(words=[1, 2], memory_overlay={8: 9})
+        clone = program.copy()
+        clone.words[0] = 99
+        clone.memory_overlay[8] = 0
+        assert program.words[0] == 1
+        assert program.memory_overlay[8] == 9
+
+    def test_bytes_roundtrip(self):
+        program = TestProgram(words=[0xDEADBEEF, 0x12345678])
+        rebuilt = TestProgram.from_bytes(program.to_bytes(), program)
+        assert rebuilt.words == program.words
+
+    def test_with_secret(self):
+        program = TestProgram(words=[0])
+        secret = program.with_secret(0x100, b"\xAA\xBB")
+        assert secret.memory_overlay == {0x100: 0xAA, 0x101: 0xBB}
+        assert not program.memory_overlay
+
+    def test_fingerprint_distinguishes(self):
+        a = TestProgram(words=[1])
+        b = TestProgram(words=[2])
+        assert a.fingerprint() != b.fingerprint()
+        assert a.fingerprint() == TestProgram(words=[1]).fingerprint()
+
+    def test_random_biases_registers_to_data_region(self):
+        program = TestProgram.random(DeterministicRng(1))
+        in_region = sum(
+            1 for value in program.reg_init[1:]
+            if 0x8100_0000 <= value < 0x8200_0000
+        )
+        assert in_region >= 8
+
+
+class TestRandomInstruction:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=100)
+    def test_always_legal(self, seed):
+        word = random_instruction(DeterministicRng(seed))
+        assert decode(word).spec is not ILLEGAL
+
+    def test_csr_targets_implemented_csrs(self):
+        from repro.isa.registers import ALL_CSRS
+
+        valid = {spec.address for spec in ALL_CSRS if spec.writable}
+        rng = DeterministicRng(3)
+        seen_csr = False
+        for _ in range(400):
+            inst = decode(random_instruction(rng))
+            if inst.exec_class.value == "csr":
+                seen_csr = True
+                assert inst.csr in valid
+        assert seen_csr
+
+
+class TestMutationEngine:
+    def test_mutation_changes_something(self):
+        rng = DeterministicRng(5)
+        engine = MutationEngine(rng)
+        base = random_seed(DeterministicRng(1))
+        changed = 0
+        for _ in range(20):
+            mutant = engine.mutate(base)
+            if (mutant.words != base.words
+                    or mutant.reg_init != base.reg_init
+                    or mutant.data_seed != base.data_seed):
+                changed += 1
+        assert changed >= 18
+
+    def test_mutation_never_empties_program(self):
+        engine = MutationEngine(DeterministicRng(7))
+        program = TestProgram(words=[0x13])
+        for _ in range(100):
+            program = engine.mutate(program)
+            assert program.words
+
+    def test_mutation_respects_max_length(self):
+        engine = MutationEngine(DeterministicRng(9), max_program_words=10)
+        program = TestProgram(words=[0x13] * 10)
+        for _ in range(100):
+            program = engine.mutate(program, rounds=3)
+            assert len(program.words) <= 10
+
+    def test_splice_combines(self):
+        engine = MutationEngine(DeterministicRng(11))
+        first = TestProgram(words=[1, 2, 3, 4])
+        second = TestProgram(words=[10, 20, 30])
+        child = engine.splice(first, second)
+        assert child.words[0] == 1
+        assert any(word in (10, 20, 30) for word in child.words)
+
+    def test_original_untouched(self):
+        engine = MutationEngine(DeterministicRng(13))
+        base = TestProgram(words=[7, 8, 9])
+        engine.mutate(base, rounds=5)
+        assert base.words == [7, 8, 9]
+
+    def test_deterministic(self):
+        base = random_seed(DeterministicRng(2))
+        a = MutationEngine(DeterministicRng(42)).mutate(base, rounds=3)
+        b = MutationEngine(DeterministicRng(42)).mutate(base, rounds=3)
+        assert a.words == b.words
+
+
+class TestSeeds:
+    def test_special_seeds_stable_order(self):
+        labels = [seed.label for seed in special_seeds()]
+        assert labels == ["seed:mispredict", "seed:bti", "seed:rsb"]
+
+    def test_seeds_are_fresh_copies(self):
+        assert mispredict_seed().words == mispredict_seed().words
+        first = bti_seed()
+        first.words[0] = 0
+        assert bti_seed().words[0] != 0
+
+    def test_seed_context_registers(self):
+        seed = rsb_seed()
+        assert seed.reg_init[8] == 0x8100_0000  # s0
+        assert seed.reg_init[18] == 5           # s2 (divisor)
+
+    def test_random_seed_mixes_valid_and_raw(self):
+        program = random_seed(DeterministicRng(3), length=40)
+        legal = sum(1 for w in program.words if decode(w).spec is not ILLEGAL)
+        assert 20 <= legal <= 40
+
+
+class TestCorpus:
+    def test_dedup(self):
+        corpus = Corpus()
+        program = TestProgram(words=[1])
+        assert corpus.add(program, 3)
+        assert not corpus.add(program, 5)
+        assert len(corpus) == 1
+
+    def test_eviction_keeps_high_energy(self):
+        corpus = Corpus(max_entries=2)
+        corpus.add(TestProgram(words=[1]), new_items=1)
+        corpus.add(TestProgram(words=[2]), new_items=50)
+        corpus.add(TestProgram(words=[3]), new_items=50)
+        assert len(corpus) == 2
+        kept = {entry.program.words[0] for entry in corpus.entries}
+        assert 1 not in kept
+
+    def test_pick_weighted_and_decays(self):
+        corpus = Corpus()
+        corpus.add(TestProgram(words=[1]), new_items=0)
+        corpus.add(TestProgram(words=[2]), new_items=100)
+        rng = DeterministicRng(1)
+        picks = [corpus.pick(rng).program.words[0] for _ in range(30)]
+        assert picks.count(2) > picks.count(1)
+
+    def test_pick_empty_raises(self):
+        with pytest.raises(IndexError):
+            Corpus().pick(DeterministicRng(0))
+
+
+class TestFuzzerLoop:
+    @staticmethod
+    def fake_evaluate(program):
+        """Coverage = set of distinct words; finding on a magic word."""
+        items = [("w", word) for word in program.words]
+        findings = []
+        if any(word == 0xDEADBEEF for word in program.words):
+            findings.append(("magic", None))
+        return items, findings, {}
+
+    def test_seeds_evaluated_first(self):
+        seeds = [TestProgram(words=[1]), TestProgram(words=[2])]
+        fuzzer = Fuzzer(self.fake_evaluate, seeds, DeterministicRng(1))
+        result = fuzzer.run(iterations=2)
+        assert result.final_coverage() == 2
+        assert result.iterations == 2
+
+    def test_coverage_monotonic(self):
+        seeds = [random_seed(DeterministicRng(1))]
+        fuzzer = Fuzzer(self.fake_evaluate, seeds, DeterministicRng(2))
+        result = fuzzer.run(iterations=40)
+        assert all(
+            a <= b for a, b in
+            zip(result.coverage_curve, result.coverage_curve[1:])
+        )
+
+    def test_stop_when(self):
+        seeds = [TestProgram(words=[0xDEADBEEF])]
+        fuzzer = Fuzzer(self.fake_evaluate, seeds, DeterministicRng(3))
+        result = fuzzer.run(
+            iterations=100,
+            stop_when=lambda findings: any(f.kind == "magic" for f in findings),
+        )
+        assert result.iterations == 1
+        assert result.first_finding("magic") is not None
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            Fuzzer(self.fake_evaluate, [], DeterministicRng(1))
+
+    def test_corpus_grows_on_new_coverage(self):
+        seeds = [TestProgram(words=[1, 2, 3])]
+        fuzzer = Fuzzer(self.fake_evaluate, seeds, DeterministicRng(5))
+        fuzzer.run(iterations=50)
+        assert len(fuzzer.corpus) >= 1
+
+    def test_deterministic_campaign(self):
+        def run():
+            seeds = [random_seed(DeterministicRng(9))]
+            fuzzer = Fuzzer(self.fake_evaluate, seeds, DeterministicRng(10))
+            return fuzzer.run(iterations=30).coverage_curve
+
+        assert run() == run()
+
+    def test_iterations_to_coverage(self):
+        seeds = [TestProgram(words=[1]), TestProgram(words=[1, 2, 3, 4])]
+        fuzzer = Fuzzer(self.fake_evaluate, seeds, DeterministicRng(11))
+        result = fuzzer.run(iterations=5)
+        assert result.iterations_to_coverage(1) == 1
+        assert result.iterations_to_coverage(4) == 2
+        assert result.iterations_to_coverage(10**6) is None

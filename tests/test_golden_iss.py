@@ -1,0 +1,254 @@
+"""Tests for the golden-model instruction-set simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.golden.iss import Iss, IssConfig, alu_value, branch_taken, muldiv_value
+from repro.golden.memory import SparseMemory
+from repro.isa.assembler import assemble
+from repro.isa.instructions import decode, encode
+from repro.utils.bitvec import to_signed, to_unsigned
+
+
+def run_asm(source: str, max_steps: int = 1000, memory: SparseMemory | None = None):
+    iss = Iss(memory=memory or SparseMemory())
+    iss.load_program(assemble(source, base_address=iss.config.base_address))
+    trace = iss.run(max_steps)
+    return iss, trace
+
+
+class TestBasicExecution:
+    def test_arithmetic(self):
+        iss, _ = run_asm("addi t0, zero, 5\naddi t1, zero, 3\nadd t2, t0, t1\n")
+        assert iss.regs[7] == 8  # t2
+
+    def test_x0_stays_zero(self):
+        iss, _ = run_asm("addi zero, zero, 7\naddi t0, zero, 1\n")
+        assert iss.regs[0] == 0
+
+    def test_loop(self):
+        iss, _ = run_asm(
+            """
+            addi t0, zero, 5
+            addi t1, zero, 0
+            loop:
+                add  t1, t1, t0
+                addi t0, t0, -1
+                bne  t0, zero, loop
+            """
+        )
+        assert iss.regs[6] == 5 + 4 + 3 + 2 + 1
+
+    def test_load_store_roundtrip(self):
+        iss, _ = run_asm(
+            """
+            lui  t0, 0x10
+            addi t1, zero, -99
+            sd   t1, 0(t0)
+            ld   t2, 0(t0)
+            """
+        )
+        assert to_signed(iss.regs[7], 64) == -99
+
+    def test_byte_store_sign_extension(self):
+        iss, _ = run_asm(
+            """
+            lui  t0, 0x10
+            addi t1, zero, 0x80
+            sb   t1, 0(t0)
+            lb   t2, 0(t0)
+            lbu  t3, 0(t0)
+            """
+        )
+        assert to_signed(iss.regs[7], 64) == -128
+        assert iss.regs[28] == 0x80
+
+    def test_jal_link(self):
+        iss, trace = run_asm("jal ra, 8\nnop\necall\n")
+        base = iss.config.base_address
+        assert iss.regs[1] == base + 4
+        # The jump skipped the nop.
+        assert [r.pc for r in trace] == [base, base + 8]
+
+    def test_jalr_clears_lsb(self):
+        # lui sign-extends on RV64: 0x80000 << 12 -> 0xFFFFFFFF80000000.
+        iss, _ = run_asm(
+            """
+            lui  t0, 0x80000
+            addi t0, t0, 9
+            jalr ra, 0(t0)
+            """,
+            max_steps=3,
+        )
+        assert iss.pc == 0xFFFFFFFF80000008
+
+    def test_ecall_halts(self):
+        iss, trace = run_asm("ecall\nnop\n")
+        assert iss.halted
+        assert len(trace) == 1
+
+    def test_runaway_pc_stops_run(self):
+        iss, trace = run_asm("jal zero, 0x100\n")
+        assert len(trace) == 1  # left the program region
+
+    def test_illegal_is_noop(self):
+        iss, trace = run_asm(".word 0xFFFFFFFF\naddi t0, zero, 1\n")
+        assert iss.regs[5] == 1
+        assert len(trace) == 2
+
+    def test_instret_counts(self):
+        iss, _ = run_asm("nop\nnop\nnop\n")
+        assert iss.instret == 3
+        # Counter CSRs are plain storage (see Iss.step docstring).
+        assert iss.read_csr(0xC02) == 0
+
+
+class TestCsrSemantics:
+    def test_csrrw_swaps(self):
+        iss, _ = run_asm(
+            """
+            addi t0, zero, 55
+            csrrw t1, mscratch, t0
+            csrrw t2, mscratch, zero
+            """
+        )
+        assert iss.regs[6] == 0     # old value was 0
+        assert iss.regs[7] == 55    # then read back 55
+
+    def test_csrrs_set_bits(self):
+        iss, _ = run_asm(
+            """
+            addi t0, zero, 0xF0
+            csrrw zero, mscratch, t0
+            addi t1, zero, 0x0F
+            csrrs t2, mscratch, t1
+            """
+        )
+        assert iss.read_csr(0x340) == 0xFF
+        assert iss.regs[7] == 0xF0
+
+    def test_csrrc_clears_bits(self):
+        iss, _ = run_asm(
+            """
+            addi t0, zero, 0xFF
+            csrrw zero, mscratch, t0
+            addi t1, zero, 0x0F
+            csrrc zero, mscratch, t1
+            """
+        )
+        assert iss.read_csr(0x340) == 0xF0
+
+    def test_csrrs_rs1_x0_does_not_write(self):
+        iss, _ = run_asm("csrrs t0, mcycle, zero\n")
+        # Read-only side effect: no write performed (value unchanged at 0).
+        assert iss.read_csr(0xB00) == 0
+
+    def test_immediate_forms(self):
+        iss, _ = run_asm("csrrwi zero, mwait_en, 1\ncsrrsi zero, mwait_en, 2\n")
+        assert iss.read_csr(0x800) == 3
+
+    def test_read_only_csr_write_ignored(self):
+        iss, _ = run_asm("addi t0, zero, 9\ncsrrw zero, cycle, t0\n")
+        assert iss.read_csr(0xC00) == 0
+
+    def test_unimplemented_csr_reads_zero(self):
+        iss, _ = run_asm("csrrs t0, 0x7C0, zero\n")
+        assert iss.regs[5] == 0
+
+    def test_custom_csrs_plain_storage(self):
+        iss, _ = run_asm(
+            """
+            lui   t0, 0x20
+            csrrw zero, monitor_addr, t0
+            csrrs t1, monitor_addr, zero
+            """
+        )
+        assert iss.regs[6] == 0x20000
+
+
+class TestSemanticFunctions:
+    """Pure-function semantics shared with the OoO core."""
+
+    def test_branch_taken_signed_vs_unsigned(self):
+        minus_one = to_unsigned(-1, 64)
+        assert branch_taken("blt", minus_one, 0)
+        assert not branch_taken("bltu", minus_one, 0)
+        assert branch_taken("bgeu", minus_one, 0)
+
+    def test_div_edge_cases(self):
+        div = decode(encode("div", rd=1, rs1=2, rs2=3))
+        assert muldiv_value(div, 5, 0) == to_unsigned(-1, 64)
+        int_min = 1 << 63
+        assert muldiv_value(div, int_min, to_unsigned(-1, 64)) == int_min
+
+    def test_div_rounds_toward_zero(self):
+        div = decode(encode("div", rd=1, rs1=2, rs2=3))
+        assert to_signed(muldiv_value(div, to_unsigned(-7, 64), 2), 64) == -3
+        rem = decode(encode("rem", rd=1, rs1=2, rs2=3))
+        assert to_signed(muldiv_value(rem, to_unsigned(-7, 64), 2), 64) == -1
+
+    def test_rem_sign_follows_dividend(self):
+        rem = decode(encode("rem", rd=1, rs1=2, rs2=3))
+        assert to_signed(muldiv_value(rem, 7, to_unsigned(-2, 64)), 64) == 1
+
+    def test_mulh_variants(self):
+        a = 0xFFFFFFFFFFFFFFFF  # -1 signed
+        mulh = decode(encode("mulh", rd=1, rs1=2, rs2=3))
+        assert muldiv_value(mulh, a, a) == 0  # (-1)*(-1) high bits = 0
+        mulhu = decode(encode("mulhu", rd=1, rs1=2, rs2=3))
+        assert muldiv_value(mulhu, a, a) == 0xFFFFFFFFFFFFFFFE
+
+    def test_word_ops_sign_extend(self):
+        addw = decode(encode("addw", rd=1, rs1=2, rs2=3))
+        assert alu_value(addw, 0x7FFFFFFF, 1, 0) == 0xFFFFFFFF80000000
+
+    def test_sra_vs_srl(self):
+        sra = decode(encode("sra", rd=1, rs1=2, rs2=3))
+        srl = decode(encode("srl", rd=1, rs1=2, rs2=3))
+        value = to_unsigned(-16, 64)
+        assert to_signed(alu_value(sra, value, 2, 0), 64) == -4
+        assert alu_value(srl, value, 2, 0) == (value >> 2)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=(1 << 64) - 1))
+    @settings(max_examples=50)
+    def test_divu_remu_invariant(self, a, b):
+        """For b != 0: a == divu(a,b) * b + remu(a,b) (mod 2^64)."""
+        divu = decode(encode("divu", rd=1, rs1=2, rs2=3))
+        remu = decode(encode("remu", rd=1, rs1=2, rs2=3))
+        if b == 0:
+            assert muldiv_value(divu, a, b) == (1 << 64) - 1
+            assert muldiv_value(remu, a, b) == a
+        else:
+            q = muldiv_value(divu, a, b)
+            r = muldiv_value(remu, a, b)
+            assert (q * b + r) & ((1 << 64) - 1) == a
+            assert r < b
+
+
+class TestDeterminism:
+    def test_same_program_same_state(self):
+        source = """
+        addi t0, zero, 13
+        lui  t1, 0x11
+        sw   t0, 4(t1)
+        lw   t2, 4(t1)
+        mul  t3, t2, t0
+        """
+        iss_a, trace_a = run_asm(source)
+        iss_b, trace_b = run_asm(source)
+        assert iss_a.regs == iss_b.regs
+        assert trace_a == trace_b
+
+    def test_uninitialised_memory_is_reproducible(self):
+        source = "lui t0, 0x99\nld t1, 0(t0)\n"
+        iss_a, _ = run_asm(source, memory=SparseMemory(fill_seed=4))
+        iss_b, _ = run_asm(source, memory=SparseMemory(fill_seed=4))
+        assert iss_a.regs[6] == iss_b.regs[6]
+
+    def test_max_steps_budget(self):
+        iss = Iss(config=IssConfig(max_steps=5))
+        iss.load_program(assemble("loop: jal zero, loop\n",
+                                  base_address=iss.config.base_address))
+        trace = iss.run()
+        assert len(trace) == 5

@@ -1,0 +1,64 @@
+"""Tests for the sparse memory substrate."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.golden.memory import SparseMemory
+
+
+class TestSparseMemory:
+    def test_write_read_byte(self):
+        mem = SparseMemory()
+        mem.write_byte(0x1000, 0xAB)
+        assert mem.read_byte(0x1000) == 0xAB
+
+    def test_little_endian_word(self):
+        mem = SparseMemory()
+        mem.write(0x100, 0x11223344, 4)
+        assert mem.read_byte(0x100) == 0x44
+        assert mem.read_byte(0x103) == 0x11
+
+    def test_signed_read(self):
+        mem = SparseMemory()
+        mem.write(0x0, 0x80, 1)
+        assert mem.read(0x0, 1, signed=True) == 0xFFFFFFFFFFFFFF80
+
+    def test_background_fill_deterministic(self):
+        a = SparseMemory(fill_seed=5)
+        b = SparseMemory(fill_seed=5)
+        assert a.read(0xDEAD, 8) == b.read(0xDEAD, 8)
+
+    def test_background_fill_differs_by_seed(self):
+        a = SparseMemory(fill_seed=1)
+        b = SparseMemory(fill_seed=2)
+        values_a = [a.read_byte(addr) for addr in range(64)]
+        values_b = [b.read_byte(addr) for addr in range(64)]
+        assert values_a != values_b
+
+    def test_copy_is_independent(self):
+        mem = SparseMemory()
+        mem.write_byte(0, 1)
+        clone = mem.copy()
+        clone.write_byte(0, 2)
+        assert mem.read_byte(0) == 1
+        assert clone.read_byte(0) == 2
+
+    def test_load_words(self):
+        mem = SparseMemory()
+        mem.load_words(0x8000_0000, [0xDEADBEEF, 0x12345678])
+        assert mem.read(0x8000_0000, 4) == 0xDEADBEEF
+        assert mem.read(0x8000_0004, 4) == 0x12345678
+
+    def test_address_wraparound_masked(self):
+        mem = SparseMemory()
+        mem.write_byte(-1, 0x7F)  # wraps to 2^64-1
+        assert mem.read_byte(0xFFFFFFFFFFFFFFFF) == 0x7F
+        assert 0xFFFFFFFFFFFFFFFF in mem
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.sampled_from([1, 2, 4, 8]))
+    def test_write_read_roundtrip_property(self, address, value, size):
+        mem = SparseMemory()
+        mem.write(address, value, size)
+        assert mem.read(address, size) == value & ((1 << (8 * size)) - 1)

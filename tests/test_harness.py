@@ -1,0 +1,126 @@
+"""Tests for the campaign harness and experiment registry."""
+
+import pytest
+
+from repro.boom import BoomConfig, VulnConfig
+from repro.harness.campaign import (
+    CoverageCurve,
+    mean_curve,
+    run_coverage_campaign,
+    run_detection_campaign,
+)
+from repro.harness.experiments import EXPERIMENTS, render_registry
+from repro.harness.plotting import render_coverage_figure
+
+
+class TestCoverageCurve:
+    def test_points_and_final(self):
+        curve = CoverageCurve("x", [1, 2, 5])
+        assert curve.final() == 5
+        assert curve.as_points() == [(1, 1), (2, 2), (3, 5)]
+
+    def test_stride_keeps_last(self):
+        curve = CoverageCurve("x", list(range(10)))
+        points = curve.as_points(stride=4)
+        assert points[-1] == (10, 9)
+
+    def test_iterations_to(self):
+        curve = CoverageCurve("x", [1, 3, 7, 7])
+        assert curve.iterations_to(3) == 2
+        assert curve.iterations_to(8) is None
+
+    def test_mean_curve(self):
+        merged = mean_curve(
+            [CoverageCurve("a", [0, 10]), CoverageCurve("b", [10, 20])],
+            "mean",
+        )
+        assert merged.values == [5, 15]
+        assert merged.label == "mean"
+
+    def test_mean_curve_empty(self):
+        with pytest.raises(ValueError):
+            mean_curve([], "x")
+
+    def test_mean_curve_truncates_to_shortest(self):
+        merged = mean_curve(
+            [CoverageCurve("a", [1, 2, 3]), CoverageCurve("b", [1, 2])],
+            "m",
+        )
+        assert len(merged.values) == 2
+
+
+class TestCampaignRunners:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return BoomConfig.small(VulnConfig.all())
+
+    def test_coverage_campaign_repeats(self, config):
+        curves = run_coverage_campaign(config, "lp", iterations=6, repeats=2,
+                                       base_seed=5)
+        assert len(curves) == 2
+        assert all(len(curve.values) == 6 for curve in curves)
+        assert all(curve.final() > 0 for curve in curves)
+
+    def test_code_arm_also_reports_lp(self, config):
+        curves = run_coverage_campaign(config, "code", iterations=5,
+                                       repeats=1, base_seed=5)
+        assert curves[0].final() > 0  # observed LP coverage, not code items
+
+    def test_detection_campaign(self, config):
+        outcome = run_detection_campaign(
+            config, kinds=["spectre_v1"], iterations=40, seed=3,
+        )
+        assert outcome.detected("spectre_v1")
+        assert outcome.first_detection["spectre_v1"] >= 1
+
+    def test_detection_campaign_budget_exhaustion(self, config):
+        outcome = run_detection_campaign(
+            config, kinds=["mwait"], iterations=3, seed=3,
+        )
+        assert not outcome.detected("mwait")
+
+    def test_timed_campaign_respects_deadline(self, config):
+        import time
+
+        from repro.harness.campaign import run_timed_campaign
+
+        started = time.monotonic()
+        report = run_timed_campaign(config, seconds=2.0, seed=5)
+        elapsed = time.monotonic() - started
+        assert report.fuzz.iterations >= 1
+        assert elapsed < 10.0  # overshoot bounded by one evaluation
+
+    def test_timed_campaign_rejects_nonpositive(self, config):
+        from repro.harness.campaign import run_timed_campaign
+
+        with pytest.raises(ValueError):
+            run_timed_campaign(config, seconds=0)
+
+
+class TestRegistry:
+    def test_eight_experiments(self):
+        assert len(EXPERIMENTS) == 8
+        assert [spec.identifier for spec in EXPERIMENTS] == [
+            f"E{i}" for i in range(1, 9)
+        ]
+
+    def test_every_experiment_has_bench(self):
+        import os
+
+        for spec in EXPERIMENTS:
+            assert os.path.exists(spec.benchmark), spec.benchmark
+
+    def test_render(self):
+        text = render_registry()
+        assert "Table 2" in text
+        assert "Figure 2" in text
+
+
+class TestPlotting:
+    def test_figure_contains_both_series(self):
+        lp = CoverageCurve("lp", [10 * i for i in range(20)])
+        code = CoverageCurve("code", [5 * i for i in range(20)])
+        figure = render_coverage_figure(lp, code, total_pdlc=500)
+        assert "Leakage Path (LP)" in figure
+        assert "Traditional Code Coverage" in figure
+        assert "Figure 2" in figure

@@ -1,0 +1,273 @@
+"""Tests for IFG construction, labelling, and PDLC extraction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ifg.builder import build_ifg_from_design, build_ifg_from_netlist
+from repro.ifg.graph import Ifg
+from repro.ifg.labeling import default_arch_matcher, label_architectural
+from repro.ifg.pdlc import (
+    extract_pdlc_forward,
+    extract_pdlc_reverse,
+    pdlc_pair_set,
+)
+from repro.rtl.elaborate import elaborate
+from repro.rtl.netlist import Netlist
+from repro.rtl.parser import parse
+from tests.test_rtl_parser import LISTING_1
+
+
+class TestIfgGraph:
+    def test_add_and_query(self):
+        ifg = Ifg()
+        ifg.add_vertex("a")
+        ifg.add_vertex("b", is_state=True)
+        ifg.add_edge("a", "b")
+        assert ifg.vertex_count == 2
+        assert ifg.edge_count == 1
+        assert ifg.successors("a") == ["b"]
+        assert ifg.predecessors("b") == ["a"]
+
+    def test_duplicate_edges_ignored(self):
+        ifg = Ifg()
+        ifg.add_vertex("a")
+        ifg.add_vertex("b")
+        ifg.add_edge("a", "b")
+        ifg.add_edge("a", "b")
+        assert ifg.edge_count == 1
+
+    def test_self_loop_ignored(self):
+        ifg = Ifg()
+        ifg.add_vertex("a", is_state=True)
+        ifg.add_edge("a", "a")
+        assert ifg.edge_count == 0
+
+    def test_unknown_vertex_rejected(self):
+        ifg = Ifg()
+        ifg.add_vertex("a")
+        with pytest.raises(KeyError):
+            ifg.add_edge("a", "ghost")
+
+    def test_idempotent_vertex_merges_state(self):
+        ifg = Ifg()
+        ifg.add_vertex("a")
+        ifg.add_vertex("a", is_state=True)
+        assert ifg.info["a"].is_state
+
+    def test_to_networkx(self):
+        ifg = Ifg()
+        ifg.add_vertex("a")
+        ifg.add_vertex("b")
+        ifg.add_edge("a", "b")
+        graph = ifg.to_networkx()
+        assert graph.number_of_nodes() == 2
+        assert graph.has_edge("a", "b")
+
+
+class TestListing1Ifg:
+    """The paper's §3.1 worked example, asserted edge-for-edge."""
+
+    PAPER_R = {
+        "top.q1", "top.clk", "top.i", "top.o",
+        "top.df1.d", "top.df1.q", "top.df1.clk",
+        "top.df2.d", "top.df2.clk", "top.df2.q",
+    }
+    PAPER_F = {
+        ("top.clk", "top.df1.clk"), ("top.clk", "top.df2.clk"),
+        ("top.i", "top.df1.d"), ("top.df1.d", "top.df1.q"),
+        ("top.df1.q", "top.q1"), ("top.q1", "top.df2.d"),
+        ("top.df2.d", "top.df2.q"), ("top.df2.q", "top.o"),
+    }
+
+    def build(self):
+        return build_ifg_from_design(elaborate(parse(LISTING_1), top="top"))
+
+    def test_r_matches_paper(self):
+        assert set(self.build().vertices()) == self.PAPER_R
+
+    def test_f_matches_paper(self):
+        assert set(self.build().edges()) == self.PAPER_F
+
+    def test_clock_has_no_edge_into_ff_state(self):
+        ifg = self.build()
+        assert not ifg.has_edge("top.df1.clk", "top.df1.q")
+
+
+class TestImplicitFlow:
+    def test_condition_contributes_edge(self):
+        text = """
+        module m(input clk, input en, input d, output reg q);
+          always @(posedge clk)
+            if (en) q <= d;
+        endmodule
+        """
+        ifg = build_ifg_from_design(elaborate(parse(text)))
+        assert ifg.has_edge("m.en", "m.q")
+        assert ifg.has_edge("m.d", "m.q")
+        assert not ifg.has_edge("m.clk", "m.q")
+
+    def test_nested_conditions_accumulate(self):
+        text = """
+        module m(input clk, input a, input b, input d, output reg q);
+          always @(posedge clk)
+            if (a)
+              if (b) q <= d;
+        endmodule
+        """
+        ifg = build_ifg_from_design(elaborate(parse(text)))
+        assert ifg.has_edge("m.a", "m.q")
+        assert ifg.has_edge("m.b", "m.q")
+
+
+class TestLabeling:
+    def test_suffix_matching(self):
+        matcher = default_arch_matcher(["x5", "pc", "mwait_timer"])
+        assert matcher("core.arch.x5")
+        assert matcher("core.csr.mwait_timer")
+        assert not matcher("core.fetch.pc_f")
+        assert not matcher("core.arch.x55")
+
+    def test_label_counts(self):
+        ifg = Ifg()
+        ifg.add_vertex("core.arch.x1", is_state=True)
+        ifg.add_vertex("core.rob.head", is_state=True)
+        count = label_architectural(ifg, arch_names=["x1"])
+        assert count == 1
+        assert ifg.architectural_registers() == ["core.arch.x1"]
+        assert ifg.microarchitectural_registers() == ["core.rob.head"]
+
+    def test_default_spec_names(self):
+        ifg = Ifg()
+        ifg.add_vertex("c.arch.x7", is_state=True)
+        ifg.add_vertex("c.csr.zenbleed_en", is_state=True)
+        ifg.add_vertex("c.bpu.ghist", is_state=True)
+        assert label_architectural(ifg) == 2
+
+
+def diamond_netlist() -> Netlist:
+    """micro source fans out through two paths into two arch registers."""
+    net = Netlist("n")
+    net.reg("n.micro.m0", unit="micro")
+    net.reg("n.micro.m1", unit="micro")
+    net.wire("n.w0")
+    net.wire("n.w1")
+    net.reg("n.arch.x1", unit="arch")
+    net.reg("n.arch.x2", unit="arch")
+    net.connect("n.micro.m0", "n.w0")
+    net.connect("n.micro.m0", "n.w1")
+    net.connect("n.w0", "n.arch.x1")
+    net.connect("n.w1", "n.arch.x2")
+    net.connect("n.micro.m1", "n.w1")
+    return net
+
+
+class TestPdlcExtraction:
+    def build(self):
+        ifg = build_ifg_from_netlist(diamond_netlist())
+        label_architectural(ifg, arch_names=["x1", "x2"])
+        return ifg
+
+    def test_expected_pairs(self):
+        items = extract_pdlc_reverse(self.build())
+        assert pdlc_pair_set(items) == {
+            ("n.micro.m0", "n.arch.x1"),
+            ("n.micro.m0", "n.arch.x2"),
+            ("n.micro.m1", "n.arch.x2"),
+        }
+
+    def test_forward_equals_reverse(self):
+        ifg = self.build()
+        assert pdlc_pair_set(extract_pdlc_forward(ifg)) == pdlc_pair_set(
+            extract_pdlc_reverse(ifg)
+        )
+
+    def test_witness_paths_are_connected(self):
+        ifg = self.build()
+        for item in extract_pdlc_reverse(ifg):
+            assert item.path[0] == item.source
+            assert item.path[-1] == item.dest
+            for src, dst in zip(item.path, item.path[1:]):
+                assert ifg.has_edge(src, dst)
+
+    def test_indices_are_dense_and_ordered(self):
+        items = extract_pdlc_reverse(self.build())
+        assert [item.index for item in items] == list(range(len(items)))
+        keys = [(item.source, item.dest) for item in items]
+        assert keys == sorted(keys)
+
+    def test_arch_to_arch_not_included(self):
+        # An architectural register reaching another is not a PDLC.
+        net = Netlist("n")
+        net.reg("n.arch.x1", unit="arch")
+        net.reg("n.arch.x2", unit="arch")
+        net.connect("n.arch.x1", "n.arch.x2")
+        ifg = build_ifg_from_netlist(net)
+        label_architectural(ifg, arch_names=["x1", "x2"])
+        assert extract_pdlc_reverse(ifg) == []
+
+    def test_unreachable_micro_not_included(self):
+        net = diamond_netlist()
+        net.reg("n.micro.isolated", unit="micro")
+        ifg = build_ifg_from_netlist(net)
+        label_architectural(ifg, arch_names=["x1", "x2"])
+        sources = {item.source for item in extract_pdlc_reverse(ifg)}
+        assert "n.micro.isolated" not in sources
+
+    def test_wire_only_intermediates_allowed(self):
+        # Wires (non-state) may appear inside paths but never as endpoints.
+        items = extract_pdlc_reverse(self.build())
+        for item in items:
+            assert item.signals() >= {item.source, item.dest}
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25)
+    def test_random_dag_equivalence(self, seed):
+        """Forward and reverse extraction agree on random DAGs."""
+        from repro.utils.rng import DeterministicRng
+
+        rng = DeterministicRng(seed)
+        ifg = Ifg()
+        n = rng.randint(4, 24)
+        names = [f"g.s{i}" for i in range(n)]
+        for i, name in enumerate(names):
+            ifg.add_vertex(name, is_state=rng.coin(0.6))
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.coin(0.15):
+                    ifg.add_edge(names[i], names[j])
+        arch = [name for name in names if rng.coin(0.2)]
+        for name in arch:
+            ifg.info[name].is_arch = ifg.info[name].is_state
+        assert pdlc_pair_set(extract_pdlc_forward(ifg)) == pdlc_pair_set(
+            extract_pdlc_reverse(ifg)
+        )
+
+
+class TestNetlist:
+    def test_duplicate_signal_rejected(self):
+        net = Netlist("n")
+        net.reg("n.a")
+        with pytest.raises(ValueError):
+            net.reg("n.a")
+
+    def test_unknown_edge_endpoint_rejected(self):
+        net = Netlist("n")
+        net.reg("n.a")
+        with pytest.raises(KeyError):
+            net.connect("n.a", "n.ghost")
+
+    def test_self_edge_rejected(self):
+        net = Netlist("n")
+        net.reg("n.a")
+        with pytest.raises(ValueError):
+            net.connect("n.a", "n.a")
+
+    def test_unit_query(self):
+        net = diamond_netlist()
+        assert net.names_by_unit("micro") == ["n.micro.m0", "n.micro.m1"]
+
+    def test_state_names(self):
+        net = diamond_netlist()
+        assert "n.w0" not in net.state_names()
+        assert "n.micro.m0" in net.state_names()

@@ -1,0 +1,145 @@
+"""Tests for the assembler and disassembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble, assemble_line
+from repro.isa.disassembler import disassemble
+from repro.isa.instructions import decode, encode
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        words = assemble(
+            """
+            addi t0, zero, 5
+            addi t1, zero, 3
+            add  t2, t0, t1
+            """
+        )
+        assert len(words) == 3
+        assert decode(words[2]).mnemonic == "add"
+
+    def test_labels_backward_and_forward(self):
+        words = assemble(
+            """
+            start:
+                addi t0, t0, -1
+                bne  t0, zero, start
+                jal  ra, done
+                nop
+            done:
+                ecall
+            """
+        )
+        branch = decode(words[1])
+        assert branch.mnemonic == "bne"
+        from repro.utils.bitvec import to_signed
+        assert to_signed(branch.imm, 64) == -4
+        jal = decode(words[2])
+        assert to_signed(jal.imm, 64) == 8
+
+    def test_base_address_affects_labels(self):
+        source = "target:\n nop\n jal ra, target\n"
+        w0 = assemble(source, base_address=0)
+        w1 = assemble(source, base_address=0x8000_0000)
+        assert w0 == w1  # PC-relative offsets are base-independent
+
+    def test_memory_operands(self):
+        words = assemble("lw a0, 8(sp)\nsd a1, -16(s0)\n")
+        lw = decode(words[0])
+        assert lw.mnemonic == "lw" and lw.rd == 10 and lw.rs1 == 2
+        sd = decode(words[1])
+        assert sd.mnemonic == "sd" and sd.rs2 == 11
+
+    def test_csr_by_name_and_address(self):
+        by_name = assemble_line("csrrw t0, mwait_en, t1")
+        by_addr = assemble_line("csrrw t0, 0x800, t1")
+        assert by_name == by_addr
+
+    def test_csr_immediate_form(self):
+        word = assemble_line("csrrwi t0, zenbleed_en, 1")
+        inst = decode(word)
+        assert inst.mnemonic == "csrrwi"
+        assert inst.rs1 == 1  # zimm rides in rs1
+
+    def test_pseudo_instructions(self):
+        assert decode(assemble_line("nop")).mnemonic == "addi"
+        assert decode(assemble_line("ret")).mnemonic == "jalr"
+        assert decode(assemble_line("li t0, -3")).mnemonic == "addi"
+        assert decode(assemble_line("mv t0, t1")).mnemonic == "addi"
+        assert decode(assemble_line("j 8")).mnemonic == "jal"
+
+    def test_comments_stripped(self):
+        words = assemble("addi t0, zero, 1 # comment\n// full line\nnop ; tail\n")
+        assert len(words) == 2
+
+    def test_word_directive(self):
+        assert assemble(".word 0xDEADBEEF") == [0xDEADBEEF]
+
+    def test_hex_negative_immediate(self):
+        word = assemble_line("addi t0, zero, 0xFFF")
+        from repro.utils.bitvec import to_signed
+        assert to_signed(decode(word).imm, 64) == -1
+
+    def test_errors(self):
+        with pytest.raises(AssemblyError):
+            assemble("bogus t0, t1")
+        with pytest.raises(AssemblyError):
+            assemble("addi t9, zero, 1")
+        with pytest.raises(AssemblyError):
+            assemble("addi t0, zero\n")
+        with pytest.raises(AssemblyError):
+            assemble("l: nop\nl: nop\n")
+        with pytest.raises(AssemblyError):
+            assemble("lw a0, nope\n")
+
+    def test_shift_assembly(self):
+        word = assemble_line("slli t0, t1, 33")
+        inst = decode(word)
+        assert inst.mnemonic == "slli" and inst.shamt == 33
+
+
+class TestDisassembler:
+    def test_paper_table1_examples(self):
+        # The exact readable forms printed in the paper's Table 1 (both
+        # words carry a -92 byte offset, fixing the fetch PCs).
+        assert disassemble(0xFBEC52E3, pc=0x8000260C) == "BGE S8, T5, 0x800025B0"
+        assert disassemble(0xFB6F42E3, pc=0x800025FC) == "BLT T5, S6, 0x800025A0"
+
+    def test_register_style(self):
+        word = encode("add", rd=10, rs1=24, rs2=30)
+        assert disassemble(word) == "ADD A0, S8, T5"
+
+    def test_load_store_style(self):
+        assert disassemble(encode("lw", rd=10, rs1=2, imm=8)) == "LW A0, 8(SP)"
+        assert disassemble(encode("sd", rs1=8, rs2=11, imm=-16)) == "SD A1, -16(S0)"
+
+    def test_csr_uses_name(self):
+        word = encode("csrrw", rd=5, rs1=6, csr=0x802)
+        assert disassemble(word) == "CSRRW T0, mwait_timer, T1"
+
+    def test_unknown_csr_hex(self):
+        word = encode("csrrs", rd=5, rs1=0, csr=0x7C0)
+        assert "0x7C0" in disassemble(word)
+
+    def test_illegal_word(self):
+        assert disassemble(0xFFFFFFFF) == ".WORD 0xFFFFFFFF"
+
+    def test_jal_target(self):
+        word = encode("jal", rd=1, imm=-32)
+        assert disassemble(word, pc=0x100) == "JAL RA, 0xE0"
+
+    def test_system_and_fence(self):
+        assert disassemble(encode("ecall")) == "ECALL"
+        assert disassemble(encode("fence")) == "FENCE"
+
+    def test_u_format(self):
+        assert disassemble(encode("lui", rd=5, imm=0x12345)) == "LUI T0, 0x12345"
+
+    def test_shift(self):
+        assert disassemble(encode("srai", rd=5, rs1=6, shamt=7)) == "SRAI T0, T1, 7"
+
+    def test_roundtrip_through_assembler(self):
+        for text in ["ADD A0, S8, T5", "LW A0, 8(SP)", "SRAI T0, T1, 7"]:
+            word = assemble_line(text.lower())
+            assert disassemble(word) == text

@@ -1,0 +1,163 @@
+"""Tests for instruction encoding/decoding, including roundtrip properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.encoding import decode_fields, encode_b, encode_i, encode_j, encode_s, encode_u
+from repro.isa.instructions import (
+    ILLEGAL,
+    INSTRUCTIONS,
+    INSTRUCTIONS_BY_NAME,
+    ExecClass,
+    InstructionFormat,
+    NOP_WORD,
+    decode,
+    encode,
+)
+from repro.utils.bitvec import to_signed
+
+
+class TestFieldPacking:
+    def test_i_format_roundtrip(self):
+        word = encode_i(0b0010011, rd=5, funct3=0, rs1=6, imm=-7)
+        fields = decode_fields(word)
+        assert fields.rd == 5
+        assert fields.rs1 == 6
+        assert to_signed(fields.imm_i, 64) == -7
+
+    def test_s_format_roundtrip(self):
+        word = encode_s(0b0100011, funct3=3, rs1=2, rs2=9, imm=-64)
+        fields = decode_fields(word)
+        assert to_signed(fields.imm_s, 64) == -64
+
+    def test_b_format_roundtrip(self):
+        word = encode_b(0b1100011, funct3=1, rs1=4, rs2=8, imm=-4096)
+        fields = decode_fields(word)
+        assert to_signed(fields.imm_b, 64) == -4096
+
+    def test_b_format_odd_offset_rejected(self):
+        with pytest.raises(ValueError):
+            encode_b(0b1100011, 0, 1, 2, imm=3)
+
+    def test_j_format_roundtrip(self):
+        word = encode_j(0b1101111, rd=1, imm=0x7FFFE)
+        fields = decode_fields(word)
+        assert to_signed(fields.imm_j, 64) == 0x7FFFE
+
+    def test_u_format_roundtrip(self):
+        word = encode_u(0b0110111, rd=3, imm=0xABCDE)
+        assert decode_fields(word).imm_u == 0xABCDE
+
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError):
+            encode_i(0b0010011, rd=32, funct3=0, rs1=0, imm=0)
+
+    @given(st.integers(min_value=-4096, max_value=4094))
+    def test_branch_imm_roundtrip_property(self, imm):
+        imm &= ~1
+        word = encode_b(0b1100011, 0, 1, 2, imm)
+        assert to_signed(decode_fields(word).imm_b, 64) == imm
+
+    @given(st.integers(min_value=-(1 << 20), max_value=(1 << 20) - 2))
+    def test_jump_imm_roundtrip_property(self, imm):
+        imm &= ~1
+        word = encode_j(0b1101111, 0, imm)
+        assert to_signed(decode_fields(word).imm_j, 64) == imm
+
+
+class TestDecode:
+    def test_nop(self):
+        inst = decode(NOP_WORD)
+        assert inst.mnemonic == "addi"
+        assert inst.rd == 0 and inst.rs1 == 0
+        assert inst.dest() is None  # x0 is never a real destination
+
+    def test_paper_table1_instruction(self):
+        # Table 1 row 1: FBEC52E3 = BGE S8, T5, pc-92
+        inst = decode(0xFBEC52E3)
+        assert inst.mnemonic == "bge"
+        assert inst.rs1 == 24  # s8
+        assert inst.rs2 == 30  # t5
+        assert to_signed(inst.imm, 64) == -92
+
+    def test_illegal_word(self):
+        assert decode(0xFFFFFFFF).spec is ILLEGAL
+        assert decode(0).spec is ILLEGAL
+
+    def test_all_specs_roundtrip_via_encode(self):
+        for spec in INSTRUCTIONS:
+            word = _sample_word(spec)
+            decoded = decode(word)
+            assert decoded.spec is spec, f"{spec.mnemonic} decoded as {decoded.mnemonic}"
+
+    def test_shift64_shamt(self):
+        word = encode("slli", rd=1, rs1=2, shamt=45)
+        inst = decode(word)
+        assert inst.mnemonic == "slli"
+        assert inst.shamt == 45
+
+    def test_shift32_shamt_range(self):
+        with pytest.raises(ValueError):
+            encode("slliw", rd=1, rs1=2, shamt=32)
+
+    def test_srai_vs_srli(self):
+        assert decode(encode("srai", rd=1, rs1=1, shamt=3)).mnemonic == "srai"
+        assert decode(encode("srli", rd=1, rs1=1, shamt=3)).mnemonic == "srli"
+
+    def test_csr_decode(self):
+        word = encode("csrrw", rd=5, rs1=6, csr=0x800)
+        inst = decode(word)
+        assert inst.mnemonic == "csrrw"
+        assert inst.csr == 0x800
+
+    def test_ecall_ebreak_distinct(self):
+        assert decode(encode("ecall")).mnemonic == "ecall"
+        assert decode(encode("ebreak")).mnemonic == "ebreak"
+
+    def test_sources_and_dest(self):
+        inst = decode(encode("add", rd=3, rs1=1, rs2=2))
+        assert inst.sources() == (1, 2)
+        assert inst.dest() == 3
+        store = decode(encode("sd", rs1=1, rs2=2, imm=0))
+        assert store.dest() is None
+        assert store.sources() == (1, 2)
+
+    def test_control_flow_classes(self):
+        assert decode(encode("beq", rs1=0, rs2=0, imm=8)).is_control_flow()
+        assert decode(encode("jal", rd=1, imm=8)).is_control_flow()
+        assert decode(encode("jalr", rd=1, rs1=2, imm=0)).is_control_flow()
+        assert not decode(encode("add", rd=1, rs1=2, rs2=3)).is_control_flow()
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_decode_never_raises(self, word):
+        inst = decode(word)
+        assert inst.spec is not None
+
+    @given(st.sampled_from([s.mnemonic for s in INSTRUCTIONS]))
+    def test_encode_decode_identity(self, mnemonic):
+        spec = INSTRUCTIONS_BY_NAME[mnemonic]
+        word = _sample_word(spec)
+        redecoded = decode(word)
+        assert redecoded.mnemonic == mnemonic
+
+
+def _sample_word(spec) -> int:
+    """A representative legal word for each instruction spec."""
+    if spec.exec_class is ExecClass.CSR:
+        return encode(spec.mnemonic, rd=1, rs1=2, csr=0x300)
+    if spec.mnemonic in ("ecall", "ebreak", "fence"):
+        return encode(spec.mnemonic)
+    if spec.funct7 is not None and spec.fmt is InstructionFormat.I:
+        return encode(spec.mnemonic, rd=1, rs1=2, shamt=3)
+    if spec.fmt is InstructionFormat.R:
+        return encode(spec.mnemonic, rd=1, rs1=2, rs2=3)
+    if spec.fmt is InstructionFormat.I:
+        return encode(spec.mnemonic, rd=1, rs1=2, imm=-5)
+    if spec.fmt is InstructionFormat.S:
+        return encode(spec.mnemonic, rs1=1, rs2=2, imm=-8)
+    if spec.fmt is InstructionFormat.B:
+        return encode(spec.mnemonic, rs1=1, rs2=2, imm=-16)
+    if spec.fmt is InstructionFormat.U:
+        return encode(spec.mnemonic, rd=1, imm=0x12345)
+    return encode(spec.mnemonic, rd=1, imm=-32)  # J

@@ -1,0 +1,58 @@
+"""Tests for the spec-excerpt parser that labels architectural registers."""
+
+from repro.isa.registers import ALL_CSRS, ABI_NAMES
+from repro.isa.spec import (
+    RISCV_SPEC_EXCERPT,
+    architectural_register_names,
+    parse_architectural_registers,
+)
+
+
+class TestSpecParsing:
+    def test_all_32_gprs_extracted(self):
+        regs = parse_architectural_registers(RISCV_SPEC_EXCERPT)
+        assert sorted(regs.gprs) == list(range(32))
+
+    def test_abi_names_match_register_table(self):
+        regs = parse_architectural_registers(RISCV_SPEC_EXCERPT)
+        for index, name in regs.gprs.items():
+            assert name == ABI_NAMES[index]
+
+    def test_pc_extracted(self):
+        regs = parse_architectural_registers(RISCV_SPEC_EXCERPT)
+        assert regs.pc_name == "pc"
+
+    def test_all_csrs_extracted(self):
+        regs = parse_architectural_registers(RISCV_SPEC_EXCERPT)
+        expected = {spec.address: spec.name for spec in ALL_CSRS}
+        assert regs.csrs == expected
+
+    def test_custom_emulation_csrs_present(self):
+        names = architectural_register_names()
+        for custom in ("mwait_en", "monitor_addr", "mwait_timer", "zenbleed_en"):
+            assert custom in names
+
+    def test_names_order_stable(self):
+        names = architectural_register_names()
+        assert names[0] == "x0"
+        assert names[31] == "x31"
+        assert names[32] == "pc"
+        assert len(names) == 32 + 1 + len(ALL_CSRS)
+
+    def test_parse_empty_text(self):
+        regs = parse_architectural_registers("")
+        assert not regs.gprs
+        assert not regs.csrs
+        assert regs.pc_name == "pc"
+
+    def test_parse_custom_document(self):
+        text = (
+            "x0   zero  Hard-wired zero  --\n"
+            "x5   t0    Temporary        Caller\n"
+            "0x123  MRW  mycsr  A custom CSR.\n"
+            "The program counter ip holds the address.\n"
+        )
+        regs = parse_architectural_registers(text)
+        assert regs.gprs == {0: "zero", 5: "t0"}
+        assert regs.csrs == {0x123: "mycsr"}
+        assert regs.pc_name == "ip"

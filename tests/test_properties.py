@@ -1,0 +1,161 @@
+"""System-level property tests: the invariants the reproduction rests on.
+
+* **Soundness (no false positives):** on an unarmed core with default
+  observables, the Vulnerability Detector reports nothing, for *any*
+  program — every architectural change inside a misspeculated window is
+  explained by the commit log.
+* **Completeness of rollback:** without the Zenbleed hook, committed
+  architectural state never depends on wrong-path execution (co-sim).
+* **Window well-formedness:** windows derived from traces are disjoint
+  in tag, properly ordered, and contained in the run.
+* **Coverage monotonicity and boundedness.**
+
+All properties run under hypothesis with deterministic program
+generators, so failures shrink to minimal counterexample programs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boom import BoomConfig, BoomCore, VulnConfig
+from repro.core.offline import run_offline
+from repro.coverage.lp import LpCoverage
+from repro.detection.leakage import LeakageDetector
+from repro.detection.vulnerability import VulnerabilityDetector
+from repro.detection.windows import extract_windows
+from repro.fuzz.mutations import MutationEngine
+from repro.fuzz.seeds import random_seed, special_seeds
+from repro.golden.iss import Iss, IssConfig
+from repro.golden.memory import SparseMemory
+from repro.utils.rng import DeterministicRng
+
+_PLAIN_CORE = BoomCore(BoomConfig.small())
+_PLAIN_OFFLINE = run_offline(_PLAIN_CORE.netlist)
+_ARMED_CORE = BoomCore(BoomConfig.small(VulnConfig.all()))
+
+seeds_strategy = st.integers(min_value=0, max_value=10**6)
+
+
+def generate_program(seed: int, mutate: bool = False):
+    rng = DeterministicRng(seed)
+    program = random_seed(rng, length=rng.randint(6, 30))
+    if mutate:
+        program = MutationEngine(rng.fork(1)).mutate(program,
+                                                     rounds=rng.randint(1, 4))
+    return program
+
+
+class TestSoundness:
+    """The detector never cries wolf on a clean core."""
+
+    @given(seeds_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_no_false_positives_on_unarmed_core(self, seed):
+        program = generate_program(seed, mutate=True)
+        result = _PLAIN_CORE.run(program)
+        detector = VulnerabilityDetector(_PLAIN_OFFLINE.pdlc,
+                                         monitor_dcache=False)
+        leaks = LeakageDetector().potential_leaks(result)
+        assert detector.detect(result, leaks) == []
+
+    @given(seeds_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_no_false_positives_on_armed_but_untriggered(self, seed):
+        """Armed hooks without the CSRs set behave like an unarmed core.
+
+        Programs that organically write the custom CSRs are skipped —
+        they may legitimately leak (that is the point of the hooks).
+        """
+        program = generate_program(seed)
+        result = _ARMED_CORE.run(program)
+        if result.csr_values[0x803] or (
+            result.csr_values[0x800] and result.csr_values[0x802] == 0
+        ):
+            return  # the program armed a hook: leaks would be genuine
+        detector = VulnerabilityDetector(_PLAIN_OFFLINE.pdlc,
+                                         monitor_dcache=False)
+        leaks = LeakageDetector().potential_leaks(result)
+        for report in detector.detect(result, leaks):
+            assert report.kind != "zenbleed"
+            assert report.kind != "mwait"
+
+
+class TestRollbackCompleteness:
+    @given(seeds_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_cosim_commit_stream(self, seed):
+        """Committed architectural results equal the in-order ISS."""
+        program = generate_program(seed, mutate=True)
+        result = _PLAIN_CORE.run(program)
+        memory = SparseMemory(fill_seed=program.data_seed)
+        for address, value in program.memory_overlay.items():
+            memory.write_byte(address, value)
+        iss = Iss(memory=memory,
+                  config=IssConfig(max_steps=len(result.commits)))
+        iss.regs = list(program.reg_init)
+        iss.load_program(program.words)
+        golden = iss.run(max_steps=len(result.commits))
+        assert len(golden) == len(result.commits)
+        for commit, reference in zip(result.commits, golden):
+            assert (commit.pc, commit.rd, commit.rd_value,
+                    commit.store_addr, commit.store_value) == (
+                reference.pc, reference.rd, reference.rd_value,
+                reference.store_address, reference.store_value)
+
+
+class TestWindowProperties:
+    @given(seeds_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_windows_well_formed(self, seed):
+        program = generate_program(seed)
+        result = _ARMED_CORE.run(program)
+        windows = extract_windows(result.trace)
+        tags = [w.tag for w in windows]
+        assert len(tags) == len(set(tags))  # tags unique
+        for window in windows:
+            assert 0 <= window.start <= window.end <= result.cycles
+        starts = [w.start for w in windows]
+        assert starts == sorted(starts)
+
+    @given(seeds_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_trace_windows_equal_ground_truth(self, seed):
+        program = generate_program(seed, mutate=True)
+        result = _ARMED_CORE.run(program)
+        derived = {(w.tag, w.start, w.end, w.mispredicted)
+                   for w in extract_windows(result.trace)}
+        truth = {(w.tag, w.start, w.end, w.mispredicted)
+                 for w in result.windows}
+        assert derived == truth
+
+
+class TestCoverageProperties:
+    _LP = LpCoverage(_PLAIN_OFFLINE.pdlc, list(_PLAIN_CORE.netlist.signals))
+
+    @given(seeds_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_lp_coverage_bounded_and_stable(self, seed):
+        program = generate_program(seed)
+        result = _PLAIN_CORE.run(program)
+        covered = self._LP.covered(result)
+        assert all(0 <= index < self._LP.total for index in covered)
+        assert covered == self._LP.covered(_PLAIN_CORE.run(program))
+
+    @given(seeds_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_trace_snapshot_consistency(self, seed):
+        """The final snapshot equals the live architectural state."""
+        program = generate_program(seed)
+        result = _PLAIN_CORE.run(program)
+        final = result.trace.snapshot(result.trace.final_cycle)
+        for reg in range(32):
+            index = result.trace.index_of(f"boom.arch.x{reg}")
+            assert final[index] == result.arch_regs[reg]
+
+
+class TestSeedsAlwaysMisspeculate:
+    def test_every_special_seed_opens_a_mispredicted_window(self):
+        for seed in special_seeds():
+            result = _ARMED_CORE.run(seed)
+            assert result.mispredicted_windows(), seed.label

@@ -1,0 +1,181 @@
+"""Tests for the Verilog-subset lexer and parser."""
+
+import pytest
+
+from repro.rtl import ast
+from repro.rtl.lexer import Lexer, LexError, TokenKind
+from repro.rtl.parser import ParseError, parse
+
+#: The paper's Listing 1, verbatim (minus the PDF's spacing artifacts).
+LISTING_1 = """
+module D_FF(input d, input clk, output q);
+  reg q;
+  always @(posedge clk)
+    q <= d;
+endmodule
+module top(input clk, input i, output o);
+  reg q1;
+  D_FF df1 (.d(i), .clk(clk), .q(q1));
+  D_FF df2 (.d(q1), .clk(clk), .q(o));
+endmodule
+"""
+
+
+class TestLexer:
+    def test_identifiers_and_keywords(self):
+        tokens = Lexer("module foo_1;").tokenize()
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[1].text == "foo_1"
+        assert tokens[1].kind is TokenKind.IDENT
+
+    def test_sized_literals(self):
+        tokens = Lexer("8'hFF 4'b1010 'd15 42").tokenize()
+        assert (tokens[0].value, tokens[0].width) == (0xFF, 8)
+        assert (tokens[1].value, tokens[1].width) == (0b1010, 4)
+        assert (tokens[2].value, tokens[2].width) == (15, None)
+        assert (tokens[3].value, tokens[3].width) == (42, None)
+
+    def test_x_z_fold_to_zero(self):
+        tokens = Lexer("4'bx0z1").tokenize()
+        assert tokens[0].value == 0b0001
+
+    def test_comments(self):
+        tokens = Lexer("a // line\n /* block\n comment */ b").tokenize()
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            Lexer("/* oops").tokenize()
+
+    def test_line_numbers(self):
+        tokens = Lexer("a\nb\nc").tokenize()
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_multichar_punct_maximal_munch(self):
+        tokens = Lexer("a <= b << 2").tokenize()
+        assert [t.text for t in tokens[:-1]] == ["a", "<=", "b", "<<", "2"]
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            Lexer("a ` b").tokenize()
+
+
+class TestParser:
+    def test_listing1_structure(self):
+        source = parse(LISTING_1)
+        assert [m.name for m in source.modules] == ["D_FF", "top"]
+        dff = source.module("D_FF")
+        assert [p.name for p in dff.ports] == ["d", "clk", "q"]
+        assert dff.port("q").is_reg  # 'reg q;' merged into the output port
+        assert len(dff.always_blocks) == 1
+        top = source.module("top")
+        assert len(top.instances) == 2
+        assert top.instances[0].module_name == "D_FF"
+        assert dict(top.instances[0].connections).keys() == {"d", "clk", "q"}
+
+    def test_ranges(self):
+        source = parse("module m(input [7:0] a, output reg [3:0] b); endmodule")
+        assert source.module("m").port("a").width == 8
+        assert source.module("m").port("b").width == 4
+        assert source.module("m").port("b").is_reg
+
+    def test_descending_range_rejected(self):
+        with pytest.raises(ParseError):
+            parse("module m(input [0:7] a); endmodule")
+
+    def test_classic_port_style(self):
+        source = parse(
+            """
+            module m(a, b);
+              input [1:0] a;
+              output b;
+              assign b = a[0];
+            endmodule
+            """
+        )
+        module = source.module("m")
+        assert module.port("a").direction == "input"
+        assert module.port("a").width == 2
+        assert module.port("b").direction == "output"
+
+    def test_expressions_precedence(self):
+        source = parse(
+            "module m(input a, input b, input c, output o);\n"
+            "assign o = a & b | c;\nendmodule"
+        )
+        expr = source.module("m").assigns[0].value
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "|"
+        assert isinstance(expr.left, ast.BinaryOp) and expr.left.op == "&"
+
+    def test_ternary(self):
+        source = parse(
+            "module m(input s, input a, input b, output o);\n"
+            "assign o = s ? a : b;\nendmodule"
+        )
+        assert isinstance(source.module("m").assigns[0].value, ast.Ternary)
+
+    def test_if_else_begin_end(self):
+        source = parse(
+            """
+            module m(input clk, input en, input d, output reg q);
+              always @(posedge clk)
+                if (en) begin
+                  q <= d;
+                end else
+                  q <= 1'b0;
+            endmodule
+            """
+        )
+        body = source.module("m").always_blocks[0].body
+        assert isinstance(body, ast.If)
+        assert isinstance(body.then_body, ast.Block)
+        assert isinstance(body.else_body, ast.NonBlocking)
+
+    def test_bit_and_part_select(self):
+        source = parse(
+            "module m(input [7:0] a, output o, output [3:0] p);\n"
+            "assign o = a[3];\nassign p = a[7:4];\nendmodule"
+        )
+        module = source.module("m")
+        assert isinstance(module.assigns[0].value, ast.BitSelect)
+        sel = module.assigns[1].value
+        assert isinstance(sel, ast.PartSelect)
+        assert (sel.msb, sel.lsb) == (7, 4)
+
+    def test_concat(self):
+        source = parse(
+            "module m(input [3:0] a, input [3:0] b, output [7:0] o);\n"
+            "assign o = {a, b};\nendmodule"
+        )
+        assert isinstance(source.module("m").assigns[0].value, ast.Concat)
+
+    def test_nonblocking_vs_lte_disambiguation(self):
+        source = parse(
+            """
+            module m(input clk, input [3:0] a, input [3:0] b, output reg q);
+              always @(posedge clk)
+                q <= a <= b;
+            endmodule
+            """
+        )
+        body = source.module("m").always_blocks[0].body
+        assert isinstance(body, ast.NonBlocking)
+        assert isinstance(body.value, ast.BinaryOp) and body.value.op == "<="
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse("module m(; endmodule")
+        with pytest.raises(ParseError):
+            parse("module m(input a) endmodule")  # missing ;
+        with pytest.raises(ParseError):
+            parse("module m(input a); assign = 1; endmodule")
+        with pytest.raises(ParseError):
+            parse("module m(input a); always @(negedge a) q <= 1; endmodule")
+
+    def test_expr_identifiers(self):
+        source = parse(
+            "module m(input a, input b, input s, output o);\n"
+            "assign o = s ? a + b : ~a;\nendmodule"
+        )
+        names = ast.expr_identifiers(source.module("m").assigns[0].value)
+        assert set(names) == {"a", "b", "s"}

@@ -1,0 +1,225 @@
+"""Tests for the cycle-driven RTL simulator."""
+
+import pytest
+
+from repro.rtl.elaborate import elaborate
+from repro.rtl.parser import parse
+from repro.rtl.sim import RtlSimulator, SimulationError
+from tests.test_rtl_parser import LISTING_1
+
+
+def make_sim(text: str, top: str | None = None) -> RtlSimulator:
+    return RtlSimulator(elaborate(parse(text), top=top))
+
+
+class TestListing1Behaviour:
+    def test_two_cycle_delay(self):
+        # Step convention: inputs are applied, then the clock edge fires.
+        # i presented in cycle k is captured by df1 at the end of cycle k
+        # and reaches o at the end of cycle k+1 — two edges end to end.
+        sim = make_sim(LISTING_1, top="top")
+        outputs = []
+        stimulus = [1, 0, 1, 1, 0, 0, 1]
+        for value in stimulus:
+            sim.step({"i": value})
+            outputs.append(sim.value("o"))
+        assert outputs == [0] + stimulus[:-1]
+
+    def test_trace_events(self):
+        sim = make_sim(LISTING_1, top="top")
+        trace = sim.run(4, stimulus=[{"i": 1}, {"i": 0}, {"i": 0}, {"i": 0}])
+        assert trace.final_cycle == 3
+        assert trace.value_of("top.df1.q", 0) == 1
+        assert trace.value_of("top.df2.q", 1) == 1
+        assert trace.value_of("top.o", 1) == 1
+        assert trace.value_of("top.o", 2) == 0
+
+
+class TestCombinational:
+    def test_assign_chain(self):
+        sim = make_sim(
+            """
+            module m(input a, output o);
+              wire b;
+              assign b = ~a;
+              assign o = ~b;
+            endmodule
+            """
+        )
+        sim.step({"a": 1})
+        assert sim.value("o") == 1
+        sim.step({"a": 0})
+        assert sim.value("o") == 0
+
+    def test_order_independence(self):
+        # Declared out of dependency order; scheduler must topo-sort.
+        sim = make_sim(
+            """
+            module m(input a, output o);
+              wire b;
+              assign o = b;
+              assign b = a;
+            endmodule
+            """
+        )
+        sim.step({"a": 1})
+        assert sim.value("o") == 1
+
+    def test_combinational_loop_rejected(self):
+        with pytest.raises(SimulationError):
+            make_sim(
+                """
+                module m(input a, output o);
+                  wire x;
+                  assign x = o;
+                  assign o = x;
+                endmodule
+                """
+            )
+
+    def test_multiple_drivers_rejected(self):
+        with pytest.raises(SimulationError):
+            make_sim(
+                """
+                module m(input a, output o);
+                  assign o = a;
+                  assign o = ~a;
+                endmodule
+                """
+            )
+
+    def test_arithmetic_and_width_truncation(self):
+        sim = make_sim(
+            """
+            module m(input [3:0] a, input [3:0] b, output [3:0] sum);
+              assign sum = a + b;
+            endmodule
+            """
+        )
+        sim.step({"a": 12, "b": 7})
+        assert sim.value("sum") == (12 + 7) & 0xF
+
+    def test_ternary_and_compare(self):
+        sim = make_sim(
+            """
+            module m(input [7:0] a, input [7:0] b, output [7:0] o);
+              assign o = (a < b) ? a : b;
+            endmodule
+            """
+        )
+        sim.step({"a": 9, "b": 4})
+        assert sim.value("o") == 4
+
+    def test_concat_and_selects(self):
+        sim = make_sim(
+            """
+            module m(input [7:0] a, output [7:0] o, output bit3);
+              assign o = {a[3:0], a[7:4]};
+              assign bit3 = a[3];
+            endmodule
+            """
+        )
+        sim.step({"a": 0xA5})
+        assert sim.value("o") == 0x5A
+        assert sim.value("bit3") == 0
+
+    def test_division_by_zero_is_zero(self):
+        sim = make_sim(
+            """
+            module m(input [7:0] a, input [7:0] b, output [7:0] q, output [7:0] r);
+              assign q = a / b;
+              assign r = a % b;
+            endmodule
+            """
+        )
+        sim.step({"a": 9, "b": 0})
+        assert sim.value("q") == 0
+        assert sim.value("r") == 0
+
+    def test_reduction_operators(self):
+        sim = make_sim(
+            """
+            module m(input [3:0] a, output all1, output any1, output par);
+              assign all1 = &a;
+              assign any1 = |a;
+              assign par = ^a;
+            endmodule
+            """
+        )
+        sim.step({"a": 0xF})
+        assert (sim.value("all1"), sim.value("any1"), sim.value("par")) == (1, 1, 0)
+        sim.step({"a": 0x1})
+        assert (sim.value("all1"), sim.value("any1"), sim.value("par")) == (0, 1, 1)
+
+
+class TestSequential:
+    COUNTER = """
+    module counter(input clk, input rst, output reg [7:0] count);
+      always @(posedge clk)
+        if (rst) count <= 8'd0;
+        else count <= count + 8'd1;
+    endmodule
+    """
+
+    def test_counter(self):
+        sim = make_sim(self.COUNTER)
+        sim.step({"rst": 1})
+        assert sim.value("count") == 0
+        for _ in range(5):
+            sim.step({"rst": 0})
+        assert sim.value("count") == 5
+
+    def test_nonblocking_simultaneous_swap(self):
+        sim = make_sim(
+            """
+            module swap(input clk, input load, input [3:0] x, output reg [3:0] a);
+              reg [3:0] b;
+              always @(posedge clk)
+                if (load) begin
+                  a <= x;
+                  b <= x + 4'd1;
+                end else begin
+                  a <= b;
+                  b <= a;
+                end
+            endmodule
+            """
+        )
+        sim.step({"load": 1, "x": 3})
+        assert sim.value("a") == 3
+        sim.step({"load": 0})
+        assert sim.value("a") == 4  # got old b, not new a
+        sim.step({"load": 0})
+        assert sim.value("a") == 3
+
+    def test_ff_and_comb_driver_conflict_rejected(self):
+        with pytest.raises(SimulationError):
+            make_sim(
+                """
+                module m(input clk, input d, output reg q);
+                  assign q = d;
+                  always @(posedge clk) q <= d;
+                endmodule
+                """
+            )
+
+    def test_last_write_wins_in_block(self):
+        sim = make_sim(
+            """
+            module m(input clk, input d, output reg q);
+              always @(posedge clk) begin
+                q <= 1'b0;
+                q <= d;
+              end
+            endmodule
+            """
+        )
+        sim.step({"d": 1})
+        assert sim.value("q") == 1
+
+    def test_inputs_hold_between_steps(self):
+        sim = make_sim(self.COUNTER)
+        sim.step({"rst": 1})
+        sim.step({"rst": 0})
+        sim.step()  # rst stays 0
+        assert sim.value("count") == 2

@@ -1,0 +1,94 @@
+"""Tests for change-event traces and snapshot reconstruction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtl.trace import SignalTrace
+
+
+def make_trace():
+    trace = SignalTrace(["a", "b", "c"], [0, 10, 100])
+    trace.record(0, 0, 0, 1)     # a: 0 -> 1 in cycle 0
+    trace.record(2, 1, 10, 11)   # b: 10 -> 11 in cycle 2
+    trace.record(2, 0, 1, 2)     # a: 1 -> 2 in cycle 2
+    trace.record(5, 2, 100, 0)   # c: 100 -> 0 in cycle 5
+    trace.close(6)
+    return trace
+
+
+class TestSnapshots:
+    def test_initial_snapshot(self):
+        assert make_trace().snapshot(-1) == [0, 10, 100]
+
+    def test_intermediate_snapshots(self):
+        trace = make_trace()
+        assert trace.snapshot(0) == [1, 10, 100]
+        assert trace.snapshot(1) == [1, 10, 100]
+        assert trace.snapshot(2) == [2, 11, 100]
+        assert trace.snapshot(6) == [2, 11, 0]
+
+    def test_value_of(self):
+        trace = make_trace()
+        assert trace.value_of("b", 1) == 10
+        assert trace.value_of("b", 2) == 11
+
+    def test_diff_window(self):
+        trace = make_trace()
+        delta = trace.diff(0, 5)
+        assert delta == {0: (1, 2), 1: (10, 11), 2: (100, 0)}
+
+    def test_diff_empty_window(self):
+        assert make_trace().diff(3, 4) == {}
+
+
+class TestEvents:
+    def test_events_in_range(self):
+        trace = make_trace()
+        assert [e.cycle for e in trace.events_in(1, 4)] == [2, 2]
+        assert len(trace.events_in(0, 6)) == 4
+
+    def test_toggled_signals(self):
+        trace = make_trace()
+        assert trace.toggled_signals(2, 2) == {0, 1}
+        assert trace.toggled_signals(3, 4) == set()
+
+    def test_toggle_counts(self):
+        trace = make_trace()
+        assert trace.toggle_counts(0, 6) == {0: 2, 1: 1, 2: 1}
+
+    def test_out_of_order_rejected(self):
+        trace = make_trace()
+        with pytest.raises(ValueError):
+            trace.record(1, 0, 2, 3)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            SignalTrace(["a"], [1, 2])
+
+    def test_index_of(self):
+        assert make_trace().index_of("c") == 2
+
+
+class TestSnapshotConsistency:
+    @given(st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 2), st.integers(0, 99)),
+        max_size=30,
+    ))
+    def test_snapshot_equals_replay(self, raw_events):
+        """snapshot(c) must equal a naive forward replay at every cycle."""
+        trace = SignalTrace(["a", "b", "c"], [0, 0, 0])
+        state = [0, 0, 0]
+        events = sorted(raw_events, key=lambda item: item[0])
+        history = {}
+        for cycle, signal, new in events:
+            if new != state[signal]:
+                trace.record(cycle, signal, state[signal], new)
+                state[signal] = new
+            history[cycle] = list(state)
+        trace.close(20)
+        replay = [0, 0, 0]
+        for cycle in range(21):
+            if cycle in history:
+                replay = history[cycle]
+            assert trace.snapshot(cycle) == replay

@@ -1,0 +1,123 @@
+"""Tests for run statistics and test-case trimming."""
+
+import pytest
+
+from repro.boom import BoomConfig, BoomCore, VulnConfig
+from repro.boom.stats import run_stats
+from repro.fuzz.input import TestProgram
+from repro.fuzz.seeds import mispredict_seed, special_seeds
+from repro.fuzz.trim import trim_program, trim_register_context
+from repro.fuzz.triggers import zenbleed_trigger
+from repro.isa.assembler import assemble
+
+
+@pytest.fixture(scope="module")
+def core():
+    return BoomCore(BoomConfig.small(VulnConfig.all()))
+
+
+class TestRunStats:
+    def test_basic_fields(self, core):
+        result = core.run(mispredict_seed())
+        stats = run_stats(result)
+        assert stats.cycles == result.cycles
+        assert stats.instructions == result.instret
+        assert 0 < stats.ipc <= core.config.commit_width
+        assert stats.windows >= stats.mispredicted >= 1
+        assert 0 <= stats.misprediction_rate <= 1
+        assert stats.halt_reason == "halt_instruction"
+
+    def test_hit_rates_bounded(self, core):
+        for seed in special_seeds():
+            stats = run_stats(core.run(seed))
+            assert 0 <= stats.dcache_hit_rate <= 1
+            assert 0 <= stats.tlb_hit_rate <= 1
+
+    def test_no_speculation_program(self, core):
+        words = assemble("addi t0, zero, 1\naddi t1, t0, 2\necall\n")
+        stats = run_stats(core.run(TestProgram(words=words)))
+        assert stats.windows == 0
+        assert stats.misprediction_rate == 0.0
+        assert stats.max_speculation_depth == 0
+
+    def test_render(self, core):
+        stats = run_stats(core.run(mispredict_seed()))
+        text = stats.render()
+        assert "IPC" in text and "misprediction rate" in text
+
+    def test_zero_cycle_safety(self):
+        from repro.boom.core import CoreResult
+        from repro.rtl.trace import SignalTrace
+
+        empty = CoreResult(
+            trace=SignalTrace([], []), commits=[], windows=[],
+            coverage_points={}, cycles=0, instret=0, halt_reason="max_cycles",
+            arch_regs=[0] * 32, csr_values={},
+        )
+        stats = run_stats(empty)
+        assert stats.ipc == 0.0
+
+
+class TestTrimProgram:
+    @staticmethod
+    def zenbleed_predicate(core):
+        def holds(program: TestProgram) -> bool:
+            result = core.run(program)
+            return result.coverage_points.get("zenbleed.leak", 0) > 0
+        return holds
+
+    def test_trim_preserves_behaviour(self, core):
+        predicate = self.zenbleed_predicate(core)
+        original = zenbleed_trigger()
+        assert predicate(original)
+        trimmed = trim_program(original, predicate)
+        assert predicate(trimmed)
+        assert len(trimmed.words) <= len(original.words)
+
+    def test_trim_actually_shrinks_padded_input(self, core):
+        predicate = self.zenbleed_predicate(core)
+        padded = zenbleed_trigger()
+        padded.words = [0x13] * 12 + padded.words  # 12 leading nops
+        assert predicate(padded)
+        trimmed = trim_program(padded, predicate)
+        assert len(trimmed.words) < len(padded.words)
+
+    def test_trim_rejects_nonholding_input(self, core):
+        predicate = self.zenbleed_predicate(core)
+        benign = TestProgram(words=assemble("nop\necall\n"))
+        with pytest.raises(ValueError):
+            trim_program(benign, predicate)
+
+    def test_trim_label(self, core):
+        predicate = self.zenbleed_predicate(core)
+        trimmed = trim_program(zenbleed_trigger(), predicate)
+        assert trimmed.label.endswith("+trimmed")
+
+    def test_trim_deterministic(self, core):
+        predicate = self.zenbleed_predicate(core)
+        a = trim_program(zenbleed_trigger(), predicate)
+        b = trim_program(zenbleed_trigger(), predicate)
+        assert a.words == b.words
+
+    def test_synthetic_minimisation(self):
+        """On a pure-list predicate the trimmer reaches the minimum."""
+        def needs_magic(program: TestProgram) -> bool:
+            return 0xDEADBEEF in program.words
+
+        padded = TestProgram(words=[0x13] * 20 + [0xDEADBEEF] + [0x13] * 20)
+        trimmed = trim_program(padded, needs_magic, max_rounds=16)
+        assert trimmed.words == [0xDEADBEEF]
+
+
+class TestTrimRegisters:
+    def test_zeroes_unneeded_registers(self, core):
+        predicate = TestTrimProgram.zenbleed_predicate(core)
+        original = zenbleed_trigger()
+        slimmed = trim_register_context(original, predicate)
+        assert predicate(slimmed)
+        nonzero_before = sum(1 for v in original.reg_init if v)
+        nonzero_after = sum(1 for v in slimmed.reg_init if v)
+        assert nonzero_after <= nonzero_before
+        # The divisor register (s2) is genuinely needed for the slow
+        # chain only if zeroing it breaks the window — either way the
+        # predicate still holds on the result.

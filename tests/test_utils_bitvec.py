@@ -1,0 +1,102 @@
+"""Unit and property tests for repro.utils.bitvec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitvec import (
+    bit,
+    bits,
+    mask,
+    popcount,
+    set_bits,
+    sext,
+    to_signed,
+    to_unsigned,
+    truncate,
+    zext,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small(self):
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+        assert mask(64) == 0xFFFFFFFFFFFFFFFF
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestTruncate:
+    def test_truncate_keeps_low_bits(self):
+        assert truncate(0x1FF, 8) == 0xFF
+
+    def test_zext_is_alias(self):
+        assert zext(0x1FF, 8) == truncate(0x1FF, 8)
+
+
+class TestSext:
+    def test_positive_unchanged(self):
+        assert sext(0x7F, 16, from_width=8) == 0x7F
+
+    def test_negative_extends(self):
+        assert sext(0x80, 16, from_width=8) == 0xFF80
+
+    def test_same_width_normalises(self):
+        assert sext(0x1_0000_0000_0000_0001, 64) == 1
+
+
+class TestSignedConversion:
+    def test_roundtrip_negative(self):
+        assert to_signed(0xFFFFFFFFFFFFFFFF, 64) == -1
+        assert to_unsigned(-1, 64) == 0xFFFFFFFFFFFFFFFF
+
+    def test_min_value(self):
+        assert to_signed(1 << 63, 64) == -(1 << 63)
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_roundtrip_property(self, value):
+        assert to_signed(to_unsigned(value, 64), 64) == value
+
+
+class TestBitSlicing:
+    def test_bit(self):
+        assert bit(0b100, 2) == 1
+        assert bit(0b100, 1) == 0
+
+    def test_bits(self):
+        assert bits(0b110100, 4, 2) == 0b101
+
+    def test_bits_bad_slice(self):
+        with pytest.raises(ValueError):
+            bits(0, 1, 3)
+
+    def test_set_bits(self):
+        assert set_bits(0, 7, 4, 0xA) == 0xA0
+        assert set_bits(0xFF, 7, 4, 0) == 0x0F
+
+    @given(st.integers(min_value=0, max_value=mask(32)),
+           st.integers(min_value=0, max_value=24),
+           st.integers(min_value=0, max_value=mask(8)))
+    def test_set_then_get_roundtrip(self, value, low, f):
+        high = low + 7
+        assert bits(set_bits(value, high, low, f), high, low) == f
+
+
+class TestPopcount:
+    def test_values(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    @given(st.integers(min_value=0, max_value=mask(64)))
+    def test_matches_bin_count(self, value):
+        assert popcount(value) == bin(value).count("1")

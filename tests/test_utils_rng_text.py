@@ -1,0 +1,93 @@
+"""Tests for the deterministic RNG and text-rendering helpers."""
+
+from repro.utils.rng import DeterministicRng
+from repro.utils.text import ascii_plot, ascii_table, format_hex
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.randint(0, 1 << 30) for _ in range(8)] != [
+            b.randint(0, 1 << 30) for _ in range(8)
+        ]
+
+    def test_fork_is_deterministic_and_independent(self):
+        parent = DeterministicRng(42)
+        child1 = parent.fork(1)
+        child1_again = DeterministicRng(42).fork(1)
+        assert child1.randint(0, 10**9) == child1_again.randint(0, 10**9)
+        # Forking does not perturb the parent stream.
+        p1 = DeterministicRng(42)
+        p2 = DeterministicRng(42)
+        p2.fork(5)
+        assert p1.randint(0, 10**9) == p2.randint(0, 10**9)
+
+    def test_randbits_width(self):
+        rng = DeterministicRng(3)
+        for _ in range(50):
+            assert 0 <= rng.randbits(12) < (1 << 12)
+
+    def test_randbits_zero_width(self):
+        assert DeterministicRng(0).randbits(0) == 0
+
+    def test_coin_probability_extremes(self):
+        rng = DeterministicRng(9)
+        assert not any(rng.coin(0.0) for _ in range(20))
+        assert all(rng.coin(1.0) for _ in range(20))
+
+    def test_shuffle_and_sample(self):
+        rng = DeterministicRng(11)
+        items = list(range(10))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(10))
+        picked = rng.sample(range(100), 5)
+        assert len(set(picked)) == 5
+
+
+class TestFormatHex:
+    def test_width(self):
+        assert format_hex(0x1F, 32) == "0000001F"
+        assert format_hex(0xFBEC52E3, 32) == "FBEC52E3"
+
+    def test_odd_bit_width_rounds_up(self):
+        assert format_hex(5, 13) == "0005"
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        out = ascii_table(["a", "b"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "333" in lines[3]
+
+    def test_title(self):
+        out = ascii_table(["x"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_row_length_mismatch(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [[1]])
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_labels(self):
+        out = ascii_plot(
+            {"lp": [(0, 0), (10, 10)], "code": [(0, 0), (10, 5)]},
+            width=20, height=5, title="fig",
+        )
+        assert "fig" in out
+        assert "* = lp" in out
+        assert "o = code" in out
+
+    def test_empty(self):
+        assert ascii_plot({}) == "(no data)"

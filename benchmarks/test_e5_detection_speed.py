@@ -24,6 +24,9 @@ from repro.utils.text import ascii_table
 
 from benchmarks.conftest import emit
 
+#: Multi-minute campaign benchmark: opt in with ``-m slow``.
+pytestmark = pytest.mark.slow
+
 BUDGET = 600
 
 

@@ -22,6 +22,9 @@ from repro.utils.text import ascii_table
 
 from benchmarks.conftest import emit
 
+#: Multi-minute campaign benchmark: opt in with ``-m slow``.
+pytestmark = pytest.mark.slow
+
 ITERATIONS = 220
 REPEATS = 3
 

@@ -1,13 +1,20 @@
-"""``python -m repro`` — a one-command self-check.
+"""``python -m repro`` — self-check and sharded campaign entry point.
 
-Prints the library version, runs the offline phase on the default
-processor-under-test, verifies all four studied vulnerabilities through
-the detection pipeline, and prints the experiment registry.
+Without arguments: prints the library version, runs the offline phase on
+the default processor-under-test, verifies all four studied
+vulnerabilities through the detection pipeline, and prints the
+experiment registry.
+
+With ``--iterations N``: runs a fuzzing campaign instead — optionally
+sharded (``--shards``) across worker processes (``--jobs``) — and prints
+the merged campaign report.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+import time
 
 from repro import BoomConfig, Specure, VulnConfig, __version__
 from repro.core.online import OnlinePhase
@@ -15,7 +22,8 @@ from repro.fuzz.triggers import all_triggers
 from repro.harness.experiments import render_registry
 
 
-def main() -> int:
+def selfcheck() -> int:
+    """The original one-command self-check (default mode)."""
     print(f"repro {__version__} — Specure (DAC'24) reproduction")
     print()
 
@@ -34,6 +42,64 @@ def main() -> int:
     print()
     print(render_registry())
     return 1 if failures else 0
+
+
+def run_campaign(args: argparse.Namespace) -> int:
+    """Run a (possibly sharded) campaign and print the merged report."""
+    from repro.harness.parallel import run_sharded_campaign
+
+    started = time.perf_counter()
+    report = run_sharded_campaign(
+        BoomConfig.small(VulnConfig.all()),
+        args.iterations,
+        shards=args.shards,
+        jobs=args.jobs,
+        base_seed=args.seed,
+        coverage=args.coverage,
+        monitor_dcache=True,
+    )
+    elapsed = time.perf_counter() - started
+    print(report.render())
+    print()
+    print(
+        f"({args.shards} shard(s) x {args.iterations} iterations, "
+        f"jobs={args.jobs or 1}, {elapsed:.2f}s wall clock)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Specure (DAC'24) reproduction: self-check or campaign.",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="run a fuzzing campaign of N iterations per shard "
+             "(default: run the self-check instead)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1, metavar="K",
+        help="number of independent campaign shards (default 1)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sharded runs (default: inline)",
+    )
+    parser.add_argument(
+        "--coverage", choices=("lp", "code"), default="lp",
+        help="coverage feedback metric (default lp)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1,
+        help="base campaign seed (default 1)",
+    )
+    args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.iterations is not None:
+        return run_campaign(args)
+    return selfcheck()
 
 
 if __name__ == "__main__":

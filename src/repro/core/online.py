@@ -42,6 +42,23 @@ class OnlineStats:
     simulate_seconds: float = 0.0
     analysis_seconds: float = 0.0
 
+    def merge(self, *others: "OnlineStats") -> "OnlineStats":
+        """Field-wise sum with other shards' stats (new object).
+
+        Every field is an additive counter, so the merge is commutative
+        and associative — shard completion order does not matter.
+        """
+        merged = OnlineStats(**vars(self))
+        for other in others:
+            merged.programs += other.programs
+            merged.cycles += other.cycles
+            merged.instructions += other.instructions
+            merged.windows += other.windows
+            merged.mispredicted_windows += other.mispredicted_windows
+            merged.simulate_seconds += other.simulate_seconds
+            merged.analysis_seconds += other.analysis_seconds
+        return merged
+
 
 class OnlinePhase:
     """The evaluation pipeline handed to the fuzzing loop."""
@@ -91,7 +108,7 @@ class OnlinePhase:
 
         windows = self.leakage.windows(result)
         self.mst.add_windows(windows)
-        leaks = self.leakage.potential_leaks(result)
+        leaks = self.leakage.potential_leaks(result, windows=windows)
         reports = self.vulnerability.detect(result, leaks)
         self.reports.extend(reports)
 

@@ -108,6 +108,36 @@ class Specure:
         """Run one fuzzing campaign end to end."""
         return self.build_campaign().run(iterations, stop_when=stop_when)
 
+    def sharded_campaign(
+        self,
+        iterations_per_shard: int,
+        shards: int = 2,
+        jobs: int | None = None,
+        stop_kind: str | None = None,
+    ) -> CampaignReport:
+        """Run ``shards`` seeded campaigns (``jobs`` worker processes)
+        and merge their artifacts into one :class:`CampaignReport`.
+
+        Shard ``k`` uses seed ``self.seed + 1000 * k``; merging is
+        deterministic regardless of worker scheduling (see
+        :mod:`repro.harness.parallel`).  ``stop_kind`` ends each shard
+        at its first finding of that vulnerability kind.
+        """
+        from repro.harness.parallel import run_sharded_campaign
+
+        return run_sharded_campaign(
+            self.config,
+            iterations_per_shard,
+            shards=shards,
+            jobs=jobs,
+            base_seed=self.seed,
+            coverage=self.coverage,
+            monitor_dcache=self.monitor_dcache,
+            use_special_seeds=self.use_special_seeds,
+            random_seed_count=self.random_seed_count,
+            stop_kind=stop_kind,
+        )
+
 
 def stop_on_kind(kind: str) -> Callable[[list[FuzzFinding]], bool]:
     """A stop predicate: end the campaign at the first ``kind`` finding."""

@@ -66,7 +66,8 @@ class LpCoverage:
         covered: set[int] = set()
         done_groups: set[int] = set()
         for window in result.windows:
-            toggled = result.trace.toggled_signals(window.start, window.end)
+            view = result.trace.window_view(window.start, window.end)
+            toggled = view.toggled()
             if not toggled:
                 continue
             for group_index, (needed, members) in enumerate(self._groups):
@@ -90,7 +91,8 @@ class LpCoverage:
         """
         counts: dict[int, int] = {}
         for window in result.windows:
-            window_counts = result.trace.toggle_counts(window.start, window.end)
+            view = result.trace.window_view(window.start, window.end)
+            window_counts = view.counts()
             if not window_counts:
                 continue
             for needed, members in self._groups:

@@ -33,15 +33,24 @@ class LeakageDetector:
         """All speculative windows of a run (Step 1)."""
         return extract_windows(result.trace, self.signal_map)
 
-    def potential_leaks(self, result: CoreResult) -> list[PotentialLeak]:
+    def potential_leaks(
+        self,
+        result: CoreResult,
+        windows: list[DetectedWindow] | None = None,
+    ) -> list[PotentialLeak]:
         """Changed-signal sets for every *misspeculated* window (Step 2).
 
         Only misspeculated windows can leak transient state: a correctly
         predicted window's changes are simply early execution of the
         architectural path.
+
+        Callers that already ran Step 1 pass its result as ``windows``
+        so the trace is not replayed a second time per iteration.
         """
+        if windows is None:
+            windows = self.windows(result)
         leaks = []
-        for window in self.windows(result):
+        for window in windows:
             if not window.mispredicted:
                 continue
             changed = window_diff(result.trace, window)

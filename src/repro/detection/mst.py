@@ -28,6 +28,19 @@ class MisspeculationTable:
         self.rows.extend(added)
         return len(added)
 
+    def merge(self, *others: "MisspeculationTable") -> "MisspeculationTable":
+        """Combine this table with others into a new table.
+
+        Rows are canonically ordered by (start, end, tag, pc, word), so
+        the merge of shard-local tables is associative and independent
+        of shard completion order.
+        """
+        rows: list[DetectedWindow] = list(self.rows)
+        for other in others:
+            rows.extend(other.rows)
+        rows.sort(key=lambda w: (w.start, w.end, w.tag, w.pc, w.word))
+        return MisspeculationTable(rows=rows)
+
     def __len__(self) -> int:
         return len(self.rows)
 

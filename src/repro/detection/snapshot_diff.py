@@ -21,8 +21,12 @@ def window_diff(
 
     Returns ``{signal_name: (value_before, value_after)}`` — the orange
     "discrepancies between snapshots" of the paper's Figure 1.
+
+    Served from the trace's per-window view, so the boundary diff shares
+    the event slice (and its cost) with every other consumer of the same
+    speculative window.
     """
-    raw = trace.diff(window.start - 1, window.end)
+    raw = trace.window_view(window.start, window.end).diff()
     return {
         trace.signal_names[index]: values
         for index, values in raw.items()

@@ -72,7 +72,12 @@ def extract_windows(
     open_windows: dict[int, tuple[int, int, int]] = {}  # tag -> (start, pc, word)
     windows: list[DetectedWindow] = []
 
-    for event in trace.events:
+    # Replay only the five indicator signals' events (via the trace's
+    # per-signal index) instead of the full change stream.
+    rob_events = trace.events_for_signals({
+        ix_disp_tag, ix_disp_pc, ix_disp_word, ix_res_tag, ix_res_mispredict,
+    })
+    for event in rob_events:
         if event.signal == ix_disp_pc:
             disp_pc = event.new
         elif event.signal == ix_disp_word:

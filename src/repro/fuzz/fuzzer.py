@@ -48,6 +48,10 @@ class CampaignResult:
     findings: list[FuzzFinding] = field(default_factory=list)
     corpus_size: int = 0
     executed_programs: int = 0
+    #: Each coverage item with the iteration that first discovered it,
+    #: in discovery order.  ``coverage_curve`` is derivable from this
+    #: log; sharded runs merge logs to compute exact union curves.
+    discovery_log: list[tuple[int, object]] = field(default_factory=list)
 
     def final_coverage(self) -> int:
         return self.coverage_curve[-1] if self.coverage_curve else 0
@@ -138,6 +142,7 @@ class Fuzzer:
         for item in items:
             if item not in self.coverage:
                 self.coverage.add(item)
+                result.discovery_log.append((index, item))
                 new_items += 1
         if new_items > 0:
             self.corpus.add(program, new_items)

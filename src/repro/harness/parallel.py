@@ -1,0 +1,271 @@
+"""Sharded parallel campaign execution and shard-artifact merging.
+
+The paper's evaluation rests on repeated, long (24-hour) fuzzing
+campaigns.  This module fans that work out across worker processes —
+coverage-campaign *repeats* (Figure 2), detection-campaign *kinds*
+(Table 2), and timed-campaign *shards* (the 24-hour runs) — and merges
+the shard artifacts back into exactly the report types a serial run
+produces.
+
+Determinism contract
+--------------------
+Every shard derives its seed as ``base_seed + shard_stride * shard``
+(the same spacing the serial runners use), and each worker executes the
+*same* per-shard code path the serial loop would.  A sharded run is
+therefore byte-identical to its serial counterpart per shard; only
+wall-clock concurrency differs.  ``jobs=None``/``jobs<=1`` runs the
+shards inline in-process, which is also the fallback for environments
+where ``multiprocessing`` is unavailable.
+
+Merge semantics
+---------------
+* :meth:`~repro.detection.mst.MisspeculationTable.merge` and
+  :meth:`~repro.core.online.OnlineStats.merge` are associative and
+  shard-order independent (canonical row order / additive counters).
+* :func:`merge_campaign_results` concatenates the shards' iteration
+  timelines: shard *k*'s findings and discovery log are re-stamped by
+  the total iteration count of shards ``0..k-1`` (stable, deterministic
+  stamping), and the merged coverage curve is the exact cumulative
+  count of *distinct* items discovered by any shard along that
+  concatenated timeline (computed from the discovery logs, not by
+  summing per-shard counts, so overlapping discoveries are not double
+  counted).
+* :func:`merge_reports` combines full :class:`CampaignReport` shards
+  using all of the above; the offline artifacts are taken from the
+  first shard (they are a pure function of the configuration).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, replace
+
+from repro.boom.config import BoomConfig
+from repro.core.report import CampaignReport
+from repro.core.specure import Specure
+from repro.detection.vulnerability import LeakReport
+from repro.fuzz.fuzzer import CampaignResult
+
+#: Seed spacing between shards; matches the serial runners' repeat
+#: spacing so shard k of a sharded run replays repeat k of a serial run.
+DEFAULT_SHARD_STRIDE = 1000
+
+
+def shard_seed(base_seed: int, shard: int,
+               shard_stride: int = DEFAULT_SHARD_STRIDE) -> int:
+    """The deterministic seed of one shard."""
+    return base_seed + shard_stride * shard
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's full, picklable work description."""
+
+    shard: int
+    config: BoomConfig
+    seed: int
+    coverage: str = "lp"
+    iterations: int = 0
+    seconds: float | None = None
+    monitor_dcache: bool = False
+    use_special_seeds: bool = True
+    random_seed_count: int = 4
+    stop_kind: str | None = None
+
+
+def _run_shard(spec: ShardSpec) -> CampaignReport:
+    """Execute one shard (runs inside a worker process)."""
+    import time
+
+    specure = Specure(
+        spec.config,
+        seed=spec.seed,
+        coverage=spec.coverage,
+        monitor_dcache=spec.monitor_dcache,
+        use_special_seeds=spec.use_special_seeds,
+        random_seed_count=spec.random_seed_count,
+    )
+    deadline = (
+        None if spec.seconds is None else time.monotonic() + spec.seconds
+    )
+
+    def stop(findings) -> bool:
+        if deadline is not None and time.monotonic() >= deadline:
+            return True
+        if spec.stop_kind is not None:
+            return any(f.kind == spec.stop_kind for f in findings)
+        return False
+
+    iterations = spec.iterations if spec.seconds is None else 10_000_000
+    return specure.campaign(iterations, stop_when=stop)
+
+
+def map_shards(worker, specs, jobs: int | None):
+    """Run ``worker`` over ``specs``, optionally across processes.
+
+    Results always come back in spec order (``Pool.map`` preserves
+    input order), so downstream merges are deterministic regardless of
+    which worker finishes first.  ``worker`` and every spec must be
+    picklable (module-level function, plain-data spec).
+    """
+    jobs = 1 if jobs is None else min(jobs, len(specs))
+    if jobs <= 1 or len(specs) <= 1:
+        return [worker(spec) for spec in specs]
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork
+        context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=jobs) as pool:
+        return pool.map(worker, specs)
+
+
+# ----------------------------------------------------------------------
+# Merge operations
+# ----------------------------------------------------------------------
+
+def merge_campaign_results(results: list[CampaignResult]) -> CampaignResult:
+    """Merge shard fuzzing results onto one concatenated timeline.
+
+    Shard ``k``'s iterations are re-stamped with the offset
+    ``sum(iterations of shards < k)``; the merged coverage curve counts
+    distinct items discovered by *any* shard up to each global
+    iteration.  The merge is associative: merging pre-merged prefixes
+    yields the same result as merging all shards at once.
+    """
+    merged = CampaignResult(iterations=0)
+    offset = 0
+    for result in results:
+        for finding in result.findings:
+            merged.findings.append(
+                replace(finding, iteration=finding.iteration + offset)
+            )
+        for iteration, item in result.discovery_log:
+            merged.discovery_log.append((iteration + offset, item))
+        offset += result.iterations
+        merged.corpus_size += result.corpus_size
+        merged.executed_programs += result.executed_programs
+    merged.iterations = offset
+
+    seen: set = set()
+    curve = []
+    log = sorted(merged.discovery_log, key=lambda entry: entry[0])
+    position = 0
+    count = 0
+    for iteration in range(offset):
+        while position < len(log) and log[position][0] <= iteration:
+            item = log[position][1]
+            if item not in seen:
+                seen.add(item)
+                count += 1
+            position += 1
+        curve.append(count)
+    merged.coverage_curve = curve
+    return merged
+
+
+def merge_reports(reports: list[CampaignReport]) -> CampaignReport:
+    """Merge shard :class:`CampaignReport` objects into one.
+
+    The result has the same type and shape as a serial campaign's
+    report: merged stats (additive), a canonically ordered MST, leak
+    reports concatenated in shard order, and a fuzz result on the
+    concatenated iteration timeline.  A single report merges to itself
+    (identity), so a one-shard run is indistinguishable from serial —
+    including the MST's discovery order, which a multi-shard merge
+    replaces with the canonical (start, end, tag) order.
+    """
+    if not reports:
+        raise ValueError("no shard reports to merge")
+    if len(reports) == 1:
+        return reports[0]
+    stats = reports[0].stats.merge(*(r.stats for r in reports[1:]))
+    mst = reports[0].mst.merge(*(r.mst for r in reports[1:]))
+    leak_reports: list[LeakReport] = []
+    for report in reports:
+        leak_reports.extend(report.reports)
+    fuzz = merge_campaign_results([report.fuzz for report in reports])
+    return CampaignReport(
+        offline=reports[0].offline,
+        fuzz=fuzz,
+        stats=stats,
+        mst=mst,
+        reports=leak_reports,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sharded runners
+# ----------------------------------------------------------------------
+
+def run_sharded_campaign(
+    config: BoomConfig,
+    iterations_per_shard: int,
+    shards: int = 2,
+    jobs: int | None = None,
+    base_seed: int = 0,
+    shard_stride: int = DEFAULT_SHARD_STRIDE,
+    coverage: str = "lp",
+    monitor_dcache: bool = False,
+    use_special_seeds: bool = True,
+    random_seed_count: int = 4,
+    stop_kind: str | None = None,
+) -> CampaignReport:
+    """Run ``shards`` independent campaigns and merge their reports.
+
+    Each shard is a full serial campaign at seed ``base_seed +
+    shard_stride * shard``; ``jobs`` bounds the number of concurrent
+    worker processes (``None``/1 = inline).
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    specs = [
+        ShardSpec(
+            shard=shard,
+            config=config,
+            seed=shard_seed(base_seed, shard, shard_stride),
+            coverage=coverage,
+            iterations=iterations_per_shard,
+            monitor_dcache=monitor_dcache,
+            use_special_seeds=use_special_seeds,
+            random_seed_count=random_seed_count,
+            stop_kind=stop_kind,
+        )
+        for shard in range(shards)
+    ]
+    return merge_reports(map_shards(_run_shard, specs, jobs))
+
+
+def run_sharded_timed_campaign(
+    config: BoomConfig,
+    seconds: float,
+    shards: int = 2,
+    jobs: int | None = None,
+    base_seed: int = 0,
+    shard_stride: int = DEFAULT_SHARD_STRIDE,
+    coverage: str = "lp",
+    monitor_dcache: bool = True,
+) -> CampaignReport:
+    """Sharded version of the paper's time-budgeted (24-hour) runs.
+
+    Every shard fuzzes a distinct seed stream for the *same* wall-clock
+    budget; with ``jobs >= shards`` the whole sharded campaign takes the
+    budget of one.
+    """
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    specs = [
+        ShardSpec(
+            shard=shard,
+            config=config,
+            seed=shard_seed(base_seed, shard, shard_stride),
+            coverage=coverage,
+            seconds=seconds,
+            monitor_dcache=monitor_dcache,
+        )
+        for shard in range(shards)
+    ]
+    return merge_reports(map_shards(_run_shard, specs, jobs))

@@ -1,12 +1,31 @@
-"""Change-event signal traces ("waveforms") and snapshot reconstruction.
+"""Change-event signal traces ("waveforms") with indexed queries.
 
 The paper's Microarchitecture Visualizer dumps waveforms and slices them
 into per-cycle snapshots of the whole processor state.  Materialising a
 full snapshot per cycle is VCD-scale data, so — like a waveform file — we
 store the *initial state plus change events* and reconstruct snapshots on
-demand.  The Leakage Detector only ever needs snapshots at speculative
-window boundaries, and toggle/LP coverage are computed directly from the
-event stream, which makes thousands of fuzzing iterations tractable.
+demand.
+
+Reconstruction is served by three indexes, all derived from the fact
+that events are appended in cycle order:
+
+* a **global cycle index** (``_event_cycles``) so ``snapshot()``,
+  ``events_in()`` and friends bisect to the relevant event range instead
+  of scanning the whole stream;
+* a **per-signal index** (event positions and cycles per signal) so
+  ``value_of()`` is a single bisect and window toggle counts can be
+  answered per signal, and so consumers like the window extractor can
+  walk only the events of the signals they care about
+  (:meth:`events_for_signals`);
+* a **per-window view cache** (:meth:`window_view`): the Leakage
+  Detector, the Vulnerability Detector and the LP Coverage Calculator
+  all interrogate the *same* speculative windows, so each window's event
+  slice — and the toggled-signal set / toggle counts / boundary diff
+  derived from it — is computed once per trace and shared.
+
+``events_examined`` counts how many events each query path actually
+touched; the E9 benchmark uses it to pin the indexed fast path against
+the naive full-scan cost.
 """
 
 from __future__ import annotations
@@ -23,6 +42,85 @@ class ChangeEvent:
     signal: int  # index into the trace's signal-name table
     old: int
     new: int
+
+
+class WindowView:
+    """Cached per-window query results over one ``[start, end]`` slice.
+
+    All derived values are computed lazily from the slice and memoised,
+    so however many consumers ask (leakage diff, LP coverage, root-cause
+    analysis), the window's events are examined once per derivation.
+    """
+
+    __slots__ = ("_trace", "start", "end", "_lo", "_hi",
+                 "_toggled", "_counts", "_diff")
+
+    def __init__(self, trace: "SignalTrace", start: int, end: int,
+                 lo: int, hi: int):
+        self._trace = trace
+        self.start = start
+        self.end = end
+        self._lo = lo
+        self._hi = hi
+        self._toggled: set[int] | None = None
+        self._counts: dict[int, int] | None = None
+        self._diff: dict[int, tuple[int, int]] | None = None
+
+    @property
+    def events(self) -> list[ChangeEvent]:
+        """The window's change events (cycle-ordered slice)."""
+        return self._trace.events[self._lo:self._hi]
+
+    def __len__(self) -> int:
+        return self._hi - self._lo
+
+    def _derive(self) -> None:
+        """One pass over the slice fills every memoised derivation.
+
+        The window's consumers between them need all three views, so
+        the slice is walked exactly once per window per trace.
+        """
+        self._trace.events_examined += len(self)
+        counts: dict[int, int] = {}
+        first_old: dict[int, int] = {}
+        last_new: dict[int, int] = {}
+        for event in self.events:
+            counts[event.signal] = counts.get(event.signal, 0) + 1
+            if event.signal not in first_old:
+                first_old[event.signal] = event.old
+            last_new[event.signal] = event.new
+        self._counts = counts
+        self._toggled = set(counts)
+        self._diff = {
+            signal: (first_old[signal], last_new[signal])
+            for signal in first_old
+            if first_old[signal] != last_new[signal]
+        }
+
+    def toggled(self) -> set[int]:
+        """Indices of signals that changed value inside the window."""
+        if self._toggled is None:
+            self._derive()
+        return self._toggled
+
+    def counts(self) -> dict[int, int]:
+        """Per-signal change counts inside the window."""
+        if self._counts is None:
+            self._derive()
+        return self._counts
+
+    def diff(self) -> dict[int, tuple[int, int]]:
+        """Signals whose value differs across the window boundary.
+
+        Maps signal index to ``(value_before_start, value_at_end)``.
+        Because events carry their pre-change value, the boundary diff
+        falls out of the slice alone: a signal's first in-window event
+        holds the before-window value, its last the end-of-window value
+        — no snapshot reconstruction needed.
+        """
+        if self._diff is None:
+            self._derive()
+        return self._diff
 
 
 class SignalTrace:
@@ -43,6 +141,18 @@ class SignalTrace:
         self.events: list[ChangeEvent] = []
         self._index_of = {name: i for i, name in enumerate(signal_names)}
         self._event_cycles: list[int] = []  # parallel to events, for bisect
+        #: Per-signal index: event positions and cycles, parallel lists.
+        #: Built lazily (recording is the simulator's hot path; queries
+        #: happen after a run ends) and extended incrementally.
+        self._signal_positions: dict[int, list[int]] = {}
+        self._signal_cycles: dict[int, list[int]] = {}
+        self._signal_indexed = 0  # events already in the per-signal index
+        self._window_views: dict[tuple[int, int], WindowView] = {}
+        #: Memoised snapshot: state after the first ``_snap_hi`` events.
+        self._snap_hi = 0
+        self._snap_state: list[int] | None = None
+        #: Telemetry: total events examined by reconstruction queries.
+        self.events_examined = 0
         self.final_cycle = -1
 
     def index_of(self, name: str) -> int:
@@ -57,7 +167,21 @@ class SignalTrace:
             )
         self.events.append(ChangeEvent(cycle, signal, old, new))
         self._event_cycles.append(cycle)
+        if self._window_views:
+            self._window_views.clear()
         self.final_cycle = cycle
+
+    def _ensure_signal_index(self) -> None:
+        """Bring the per-signal index up to date with the event list."""
+        if self._signal_indexed == len(self.events):
+            return
+        positions = self._signal_positions
+        cycles = self._signal_cycles
+        for position in range(self._signal_indexed, len(self.events)):
+            event = self.events[position]
+            positions.setdefault(event.signal, []).append(position)
+            cycles.setdefault(event.signal, []).append(event.cycle)
+        self._signal_indexed = len(self.events)
 
     def close(self, last_cycle: int) -> None:
         """Mark the end of the simulation (even if the tail was quiet)."""
@@ -68,24 +192,40 @@ class SignalTrace:
     # ------------------------------------------------------------------
 
     def snapshot(self, cycle: int) -> list[int]:
-        """Full state at the *end* of ``cycle`` (``-1`` = initial state)."""
-        state = list(self.initial)
-        for event in self.events:
-            if event.cycle > cycle:
-                break
+        """Full state at the *end* of ``cycle`` (``-1`` = initial state).
+
+        Bisects to the event range instead of scanning the stream, and
+        resumes from the previously reconstructed snapshot when that one
+        lies at or before ``cycle`` — so a cycle-ordered sequence of
+        snapshot queries (the common case: window boundaries in cycle
+        order) replays each event at most once overall.
+        """
+        hi = bisect_right(self._event_cycles, cycle)
+        if self._snap_state is not None and self._snap_hi <= hi:
+            state = list(self._snap_state)
+            lo = self._snap_hi
+        else:
+            state = list(self.initial)
+            lo = 0
+        for event in self.events[lo:hi]:
             state[event.signal] = event.new
+        self.events_examined += hi - lo
+        self._snap_state = list(state)
+        self._snap_hi = hi
         return state
 
     def value_of(self, name: str, cycle: int) -> int:
-        """Value of one signal at the end of ``cycle``."""
+        """Value of one signal at the end of ``cycle`` (one bisect)."""
         index = self._index_of[name]
-        value = self.initial[index]
-        for event in self.events:
-            if event.cycle > cycle:
-                break
-            if event.signal == index:
-                value = event.new
-        return value
+        self._ensure_signal_index()
+        cycles = self._signal_cycles.get(index)
+        if not cycles:
+            return self.initial[index]
+        pos = bisect_right(cycles, cycle)
+        self.events_examined += 1
+        if pos == 0:
+            return self.initial[index]
+        return self.events[self._signal_positions[index][pos - 1]].new
 
     def events_in(self, start: int, end: int) -> list[ChangeEvent]:
         """Events with ``start <= cycle <= end`` (cycle-ordered)."""
@@ -93,16 +233,43 @@ class SignalTrace:
         hi = bisect_right(self._event_cycles, end)
         return self.events[lo:hi]
 
+    def events_for_signals(self, indices: set[int]) -> list[ChangeEvent]:
+        """All events of the given signals, in original stream order.
+
+        Serves consumers that replay a small signal subset (e.g. the
+        speculative-window extractor walking the five ROB indicator
+        signals) without touching the rest of the stream.
+        """
+        self._ensure_signal_index()
+        positions: list[int] = []
+        for index in indices:
+            positions.extend(self._signal_positions.get(index, ()))
+        positions.sort()
+        self.events_examined += len(positions)
+        return [self.events[position] for position in positions]
+
+    def window_view(self, start: int, end: int) -> WindowView:
+        """The (cached) per-window query view for ``[start, end]``."""
+        key = (start, end)
+        view = self._window_views.get(key)
+        if view is None:
+            lo = bisect_right(self._event_cycles, start - 1)
+            hi = bisect_right(self._event_cycles, end)
+            view = WindowView(self, start, end, lo, hi)
+            self._window_views[key] = view
+        return view
+
     def toggled_signals(self, start: int, end: int) -> set[int]:
-        """Indices of signals that changed value in [start, end]."""
-        return {event.signal for event in self.events_in(start, end)}
+        """Indices of signals that changed value in [start, end].
+
+        Returns a fresh set (the cached window view keeps the memo), so
+        callers may mutate the result freely.
+        """
+        return set(self.window_view(start, end).toggled())
 
     def toggle_counts(self, start: int, end: int) -> dict[int, int]:
-        """Per-signal change counts in [start, end]."""
-        counts: dict[int, int] = {}
-        for event in self.events_in(start, end):
-            counts[event.signal] = counts.get(event.signal, 0) + 1
-        return counts
+        """Per-signal change counts in [start, end] (fresh dict)."""
+        return dict(self.window_view(start, end).counts())
 
     def diff(self, start: int, end: int) -> dict[int, tuple[int, int]]:
         """Signals whose value differs between the end of ``start`` and
@@ -110,15 +277,20 @@ class SignalTrace:
         value_at_end).
 
         This is the paper's snapshot discrepancy: the Δ between the
-        before-speculative and after-speculative snapshots.
+        before-speculative and after-speculative snapshots.  Computed
+        from the ``(start, end]`` event slice alone (first ``old``, last
+        ``new`` per signal) — equivalent to comparing reconstructed
+        snapshots, but proportional to the window's event count.
         """
-        before = self.snapshot(start)
-        after = self.snapshot(end)
-        return {
-            index: (before[index], after[index])
-            for index in range(len(before))
-            if before[index] != after[index]
-        }
+        if end < start:  # degenerate reversed range: compare snapshots
+            before = self.snapshot(start)
+            after = self.snapshot(end)
+            return {
+                index: (before[index], after[index])
+                for index in range(len(before))
+                if before[index] != after[index]
+            }
+        return dict(self.window_view(start + 1, end).diff())
 
     def __len__(self) -> int:
         return len(self.events)

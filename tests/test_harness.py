@@ -41,12 +41,14 @@ class TestCoverageCurve:
         with pytest.raises(ValueError):
             mean_curve([], "x")
 
-    def test_mean_curve_truncates_to_shortest(self):
+    def test_mean_curve_pads_shorter_with_final_value(self):
         merged = mean_curve(
-            [CoverageCurve("a", [1, 2, 3]), CoverageCurve("b", [1, 2])],
+            [CoverageCurve("a", [1, 2, 4]), CoverageCurve("b", [1, 2])],
             "m",
         )
-        assert len(merged.values) == 2
+        # The short curve holds its final count (2) at the third point.
+        assert len(merged.values) == 3
+        assert merged.values == [1, 2, 3]
 
 
 class TestCampaignRunners:

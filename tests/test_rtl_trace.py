@@ -70,6 +70,119 @@ class TestEvents:
         assert make_trace().index_of("c") == 2
 
 
+def naive_snapshot(trace, cycle):
+    """The seed's O(events) reference implementation."""
+    state = list(trace.initial)
+    for event in trace.events:
+        if event.cycle > cycle:
+            break
+        state[event.signal] = event.new
+    return state
+
+
+def naive_value_of(trace, name, cycle):
+    index = trace.index_of(name)
+    value = trace.initial[index]
+    for event in trace.events:
+        if event.cycle > cycle:
+            break
+        if event.signal == index:
+            value = event.new
+    return value
+
+
+def random_trace(seed, signals=5, events=200, max_cycle=60):
+    import random
+
+    rng = random.Random(seed)
+    names = [f"s{i}" for i in range(signals)]
+    initial = [rng.randrange(100) for _ in range(signals)]
+    trace = SignalTrace(names, initial)
+    state = list(initial)
+    cycle = 0
+    for _ in range(events):
+        cycle += rng.randrange(3)
+        if cycle > max_cycle:
+            break
+        signal = rng.randrange(signals)
+        new = rng.randrange(100)
+        if new != state[signal]:
+            trace.record(cycle, signal, state[signal], new)
+            state[signal] = new
+    trace.close(max_cycle)
+    return trace
+
+
+class TestIndexedQueriesMatchNaiveScan:
+    """Regression: the bisect/index fast paths must agree with the
+    seed's linear scans on randomized traces, at every cycle."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_snapshot_matches_naive(self, seed):
+        trace = random_trace(seed)
+        cycles = list(range(-1, trace.final_cycle + 2))
+        # Query out of cycle order to exercise the resume memo both ways.
+        for cycle in cycles + cycles[::-1] + cycles[::3]:
+            assert trace.snapshot(cycle) == naive_snapshot(trace, cycle)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_value_of_matches_naive(self, seed):
+        trace = random_trace(seed)
+        for name in trace.signal_names:
+            for cycle in range(-1, trace.final_cycle + 2):
+                assert trace.value_of(name, cycle) == \
+                    naive_value_of(trace, name, cycle)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_window_view_matches_eventwise_derivations(self, seed):
+        trace = random_trace(seed)
+        for start in range(0, trace.final_cycle, 5):
+            for end in range(start, min(start + 15, trace.final_cycle + 1), 5):
+                view = trace.window_view(start, end)
+                events = [e for e in trace.events if start <= e.cycle <= end]
+                assert view.events == events
+                assert view.toggled() == {e.signal for e in events}
+                counts = {}
+                for e in events:
+                    counts[e.signal] = counts.get(e.signal, 0) + 1
+                assert view.counts() == counts
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_slice_diff_matches_snapshot_diff(self, seed):
+        trace = random_trace(seed)
+        for start in range(-1, trace.final_cycle, 4):
+            for end in range(start, trace.final_cycle + 1, 4):
+                before = naive_snapshot(trace, start)
+                after = naive_snapshot(trace, end)
+                expected = {
+                    i: (before[i], after[i])
+                    for i in range(len(before)) if before[i] != after[i]
+                }
+                assert trace.diff(start, end) == expected
+
+    def test_events_for_signals_preserves_stream_order(self):
+        trace = random_trace(7)
+        subset = {0, 2, 4}
+        merged = trace.events_for_signals(subset)
+        expected = [e for e in trace.events if e.signal in subset]
+        assert merged == expected
+
+    def test_indexed_snapshot_examines_fewer_events(self):
+        """The operation-count contract the E9 benchmark relies on:
+        cycle-ordered snapshot queries replay each event at most once
+        in total, not once per query."""
+        trace = random_trace(11)
+        queries = list(range(0, trace.final_cycle + 1, 2))
+        trace.events_examined = 0
+        for cycle in queries:
+            trace.snapshot(cycle)
+        naive_cost = sum(
+            sum(1 for e in trace.events if e.cycle <= c) for c in queries
+        )
+        assert trace.events_examined <= len(trace.events)
+        assert trace.events_examined < naive_cost
+
+
 class TestSnapshotConsistency:
     @given(st.lists(
         st.tuples(st.integers(0, 20), st.integers(0, 2), st.integers(0, 99)),

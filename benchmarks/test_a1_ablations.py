@@ -1,6 +1,7 @@
 """A1 — ablations of the reproduction's two load-bearing design choices.
 
-Not a paper artifact; these quantify decisions DESIGN.md §4 documents:
+Not a paper artifact; these quantify two implementation decisions the
+repro.detection and repro.coverage docstrings document:
 
 * **Commit-aware filtering.**  The paper's Vulnerability Detector
   definition ("changes in the architectural state due to the execution

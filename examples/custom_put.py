@@ -14,12 +14,21 @@ and shows how the PDLC list immediately exposes the accelerator's
 microarchitecture-to-architecture channels, including a deliberately
 planted debug bypass.
 
+For the built-in BOOM-style core the same offline analysis is the
+``offline-analysis`` registry scenario (``python -m repro run
+offline-analysis``); a custom netlist sits below the scenario layer, so
+this example calls :func:`run_offline` directly and finishes by writing
+the nearest scenario as a TOML file you can edit into your own workload
+(see docs/scenarios.md for the authoring guide).
+
 Run:  python examples/custom_put.py
 """
 
 from repro import build_ifg_from_netlist, label_architectural
+from repro.core.offline import run_offline
 from repro.ifg.pdlc import extract_pdlc_reverse
 from repro.rtl.netlist import Netlist
+from repro.scenarios import get_scenario
 
 
 def build_accelerator_netlist() -> Netlist:
@@ -68,6 +77,22 @@ def main() -> None:
     for item in bypass:
         print(f"  {item}")
     assert bypass, "the bypass must be visible in the PDLC list"
+
+    # The full offline phase (build + label + extract in one call) is
+    # what the scenario layer wraps for the built-in core:
+    offline = run_offline(net)
+    print()
+    print(offline.summary())
+
+    # Starting point for your own scenario file (edit, then run it with
+    # `python -m repro run my_scenario.toml`):
+    template = get_scenario("offline-analysis").override(
+        name="my-accelerator-campaign",
+        description="edit me: knobs are documented in docs/scenarios.md",
+    )
+    print()
+    print("a scenario-file template for your own campaign:")
+    print(template.to_toml())
 
 
 if __name__ == "__main__":

@@ -1,5 +1,9 @@
 """Deep dive into the Offline Phase (paper §3.1 / §4.1).
 
+Built on the ``offline-analysis`` registry scenario (the same analysis
+as ``python -m repro run offline-analysis``), swept across the design
+presets with :meth:`ScenarioSpec.override`:
+
 * IFG and PDLC sizes across core configurations (the paper reports
   162,631 signals / 428,245 connections / 9,048 PDLCs for BOOM);
 * forward (naive, O(V^2)-style) vs skew-aware reverse (O(V)) PDLC
@@ -12,23 +16,21 @@ Run:  python examples/offline_ifg_analysis.py
 
 import time
 
-from repro import BoomConfig, BoomCore, VulnConfig
 from repro.core.offline import run_offline
+from repro.scenarios import get_scenario
 from repro.utils.text import ascii_table
+
+DESIGN_SWEEP = ("small", "medium", "large")
 
 
 def size_sweep() -> None:
     print("== IFG / PDLC size across configurations ==")
+    scenario = get_scenario("offline-analysis")
     rows = []
-    for name, config in (
-        ("small", BoomConfig.small(VulnConfig.all())),
-        ("medium", BoomConfig.medium(VulnConfig.all())),
-        ("large", BoomConfig.large(VulnConfig.all())),
-    ):
-        core = BoomCore(config)
-        offline = run_offline(core.netlist)
+    for design in DESIGN_SWEEP:
+        offline = scenario.override(design=design).build_specure().offline()
         rows.append([
-            name,
+            design,
             offline.ifg.vertex_count,
             offline.ifg.edge_count,
             offline.arch_count,
@@ -47,22 +49,20 @@ def size_sweep() -> None:
 
 def algorithm_comparison() -> None:
     print("== PDLC extraction: forward DFS vs skew-aware reverse ==")
+    scenario = get_scenario("offline-analysis").override(vulns=())
     rows = []
-    for name, config in (
-        ("small", BoomConfig.small()),
-        ("medium", BoomConfig.medium()),
-    ):
-        core = BoomCore(config)
+    for design in ("small", "medium"):
+        netlist = scenario.override(design=design).build_specure().core.netlist
         started = time.perf_counter()
-        forward = run_offline(core.netlist, algorithm="forward")
+        forward = run_offline(netlist, algorithm="forward")
         forward_s = time.perf_counter() - started
         started = time.perf_counter()
-        reverse = run_offline(core.netlist, algorithm="reverse")
+        reverse = run_offline(netlist, algorithm="reverse")
         reverse_s = time.perf_counter() - started
         assert len(forward.pdlc) == len(reverse.pdlc)
         rows.append([
-            name, len(reverse.pdlc), f"{forward_s:.3f}s", f"{reverse_s:.3f}s",
-            f"{forward_s / reverse_s:.1f}x",
+            design, len(reverse.pdlc), f"{forward_s:.3f}s",
+            f"{reverse_s:.3f}s", f"{forward_s / reverse_s:.1f}x",
         ])
     print(ascii_table(
         ["config", "PDLC", "forward", "reverse", "speedup"], rows,
@@ -72,8 +72,7 @@ def algorithm_comparison() -> None:
 
 def witness_paths() -> None:
     print("== Example witness paths (root-cause material) ==")
-    core = BoomCore(BoomConfig.small(VulnConfig.all()))
-    offline = run_offline(core.netlist)
+    offline = get_scenario("offline-analysis").build_specure().offline()
 
     by_unit: dict[str, int] = {}
     for item in offline.pdlc:

@@ -3,14 +3,16 @@
 Walks the paper's Figure 1 left to right:
 
 1. the Offline Phase on the paper's own Listing 1 Verilog (IFG = (R, F)),
-2. the Offline Phase on the out-of-order core (IFG + PDLC extraction),
-3. a short Online Phase fuzzing campaign with Leakage Path coverage,
-4. the campaign report with the Misspeculation Table.
+2. the ``quickstart`` scenario — the offline phase on the out-of-order
+   core plus a short Online Phase fuzzing campaign with Leakage Path
+   coverage — straight from the scenario registry, exactly what
+   ``python -m repro run quickstart`` executes.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import BoomConfig, Specure, VulnConfig, build_ifg_from_design, elaborate, parse
+from repro import build_ifg_from_design, elaborate, parse
+from repro.scenarios import get_scenario, run_scenario
 
 LISTING_1 = """
 module D_FF(input d, input clk, output q);
@@ -40,21 +42,16 @@ def listing1_walkthrough() -> None:
     print()
 
 
-def specure_campaign() -> None:
+def quickstart_scenario() -> None:
     """Offline + online phases on the out-of-order core."""
-    print("== Specure on the out-of-order core ==")
-    config = BoomConfig.small(VulnConfig.all())
-    specure = Specure(config, seed=7, coverage="lp", monitor_dcache=True)
-
-    offline = specure.offline()
-    print(offline.summary())
+    scenario = get_scenario("quickstart")
+    print(f"== Scenario {scenario.name!r}: {scenario.description} ==")
+    outcome = run_scenario(scenario)  # in-memory; pass run_dir= to persist
+    print(outcome.offline.summary())
     print()
-
-    print("Running a 60-iteration fuzzing campaign ...")
-    report = specure.campaign(iterations=60)
-    print(report.render(mst_limit=8))
+    print(outcome.report.render(mst_limit=8))
 
 
 if __name__ == "__main__":
     listing1_walkthrough()
-    specure_campaign()
+    quickstart_scenario()

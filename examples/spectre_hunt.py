@@ -5,32 +5,29 @@ list to be monitored by the Vulnerability Detector*; with the cache as
 an observable, transient line fills left behind by squashed wrong-path
 loads become detectable direct state changes.
 
-This example runs two short fuzzing campaigns — one seeded with the
-special speculative seeds, one with random seeds only — and reports the
-iterations-to-first-detection for each, reproducing the paper's
-with/without-seeds comparison (49 minutes vs 1.5 hours) in shape.
+The two campaigns are the registry scenarios ``spectre-v1`` (special
+speculative seeds) and ``spectre-v1-no-seeds`` (random seeds only); both
+stop at their first Spectre v1 finding and together reproduce the
+paper's with/without-seeds comparison (49 minutes vs 1.5 hours) in
+shape.  The same hunts run from the command line with
+``python -m repro run spectre-v1``.
 
 Run:  python examples/spectre_hunt.py
 """
 
-from repro import BoomConfig, Specure, VulnConfig
-from repro.core.specure import stop_on_kind
+from repro.scenarios import get_scenario, run_scenario
 
 
-def hunt(use_special_seeds: bool, budget: int = 400) -> None:
-    label = "with special seeds" if use_special_seeds else "random seeds only"
-    print(f"== Campaign {label} (budget {budget} iterations) ==")
-    specure = Specure(
-        BoomConfig.small(VulnConfig.all()),
-        seed=3,
-        coverage="lp",
-        monitor_dcache=True,
-        use_special_seeds=use_special_seeds,
-    )
-    report = specure.campaign(budget, stop_when=stop_on_kind("spectre_v1"))
+def hunt(scenario_name: str) -> None:
+    scenario = get_scenario(scenario_name)
+    label = "with special seeds" if scenario.use_special_seeds \
+        else "random seeds only"
+    print(f"== Scenario {scenario.name!r} ({label}, budget "
+          f"{scenario.iterations} iterations) ==")
+    report = run_scenario(scenario).report
     iteration = report.first_detection_iteration("spectre_v1")
     if iteration is None:
-        print(f"not detected within {budget} iterations")
+        print(f"not detected within {scenario.iterations} iterations")
     else:
         print(f"Spectre v1 first detected at iteration {iteration + 1}")
         first = next(r for r in report.reports if r.kind == "spectre_v1")
@@ -42,5 +39,5 @@ def hunt(use_special_seeds: bool, budget: int = 400) -> None:
 
 
 if __name__ == "__main__":
-    hunt(use_special_seeds=True)
-    hunt(use_special_seeds=False)
+    hunt("spectre-v1")
+    hunt("spectre-v1-no-seeds")

@@ -1,6 +1,8 @@
 """The paper's emulated vulnerabilities: (M)WAIT and Zenbleed (§4.2).
 
-Demonstrates, on a core with both emulation hooks armed:
+Built on the ``zenbleed-mwait`` registry scenario (the same campaign as
+``python -m repro run zenbleed-mwait``), this demonstrates on its armed
+core:
 
 * the (M)WAIT direct channel — a *squashed* speculative load touches the
   monitored cache line and the ``mwait_timer`` CSR (architectural state!)
@@ -9,16 +11,23 @@ Demonstrates, on a core with both emulation hooks armed:
 * the Zenbleed direct channel — with ``zenbleed_en`` set, wrong-path
   register writes survive the misprediction squash into the
   architectural register file, root-caused through the rename stage;
-* that neither leak exists on an unarmed core (the hooks, not the
-  detector, are the vulnerability).
+* that neither leak exists on an *unarmed* core — the same scenario with
+  the vulnerability hooks disarmed (``override(vulns=())``) — the hooks,
+  not the detector, are the vulnerability.
 
 Run:  python examples/zenbleed_mwait.py
 """
 
-from repro import BoomConfig, BoomCore, Specure, VulnConfig
 from repro.core.online import OnlinePhase
-from repro.core.offline import run_offline
 from repro.fuzz.triggers import mwait_trigger, zenbleed_trigger
+from repro.scenarios import get_scenario
+
+
+def online_for(scenario) -> OnlinePhase:
+    """The scenario's online pipeline, for single-program runs."""
+    specure = scenario.build_specure()
+    return OnlinePhase(specure.core, specure.offline(),
+                       monitor_dcache=scenario.monitor_dcache)
 
 
 def demonstrate(online: OnlinePhase, name: str, program) -> None:
@@ -35,18 +44,17 @@ def demonstrate(online: OnlinePhase, name: str, program) -> None:
 
 
 def main() -> None:
-    print("== Armed core: both emulated vulnerabilities wired in ==")
-    armed = Specure(BoomConfig.small(VulnConfig.all()), seed=1)
-    online = OnlinePhase(armed.core, armed.offline(), monitor_dcache=False)
-    demonstrate(online, "(M)WAIT emulation", mwait_trigger())
-    demonstrate(online, "Zenbleed emulation", zenbleed_trigger())
+    scenario = get_scenario("zenbleed-mwait")
+    print(f"== Armed core (scenario {scenario.name!r}): both emulated "
+          f"vulnerabilities wired in ==")
+    armed = online_for(scenario)
+    demonstrate(armed, "(M)WAIT emulation", mwait_trigger())
+    demonstrate(armed, "Zenbleed emulation", zenbleed_trigger())
 
     print("== Unarmed core: same programs, no hooks ==")
-    plain_core = BoomCore(BoomConfig.small())
-    plain_offline = run_offline(plain_core.netlist)
-    online = OnlinePhase(plain_core, plain_offline, monitor_dcache=False)
-    demonstrate(online, "(M)WAIT emulation (unarmed)", mwait_trigger())
-    demonstrate(online, "Zenbleed emulation (unarmed)", zenbleed_trigger())
+    unarmed = online_for(scenario.override(vulns=()))
+    demonstrate(unarmed, "(M)WAIT emulation (unarmed)", mwait_trigger())
+    demonstrate(unarmed, "Zenbleed emulation (unarmed)", zenbleed_trigger())
 
 
 if __name__ == "__main__":

@@ -12,8 +12,14 @@ Quick start::
     report = specure.campaign(iterations=200)   # fuzz + detect (online phase)
     print(report.render())
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+Campaigns are also available as declarative, persisted *scenarios*::
+
+    from repro.scenarios import get_scenario, run_scenario
+
+    outcome = run_scenario(get_scenario("spectre-v1"), run_dir="runs/s1")
+
+See docs/architecture.md for the module map and docs/paper_mapping.md
+for the paper-artifact-to-benchmark index.
 """
 
 from repro.boom import BoomConfig, BoomCore, VulnConfig
@@ -44,8 +50,16 @@ from repro.ifg import (
     label_architectural,
 )
 from repro.rtl import RtlSimulator, elaborate, parse
+from repro.scenarios import (
+    ScenarioSpec,
+    get_scenario,
+    replay_findings,
+    resume_scenario,
+    run_scenario,
+    scenario_names,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BoomConfig",
@@ -78,5 +92,11 @@ __all__ = [
     "RtlSimulator",
     "elaborate",
     "parse",
+    "ScenarioSpec",
+    "get_scenario",
+    "scenario_names",
+    "run_scenario",
+    "resume_scenario",
+    "replay_findings",
     "__version__",
 ]

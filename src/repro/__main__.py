@@ -1,13 +1,24 @@
-"""``python -m repro`` — self-check and sharded campaign entry point.
+"""``python -m repro`` — scenario campaigns, self-check, and replay.
 
-Without arguments: prints the library version, runs the offline phase on
-the default processor-under-test, verifies all four studied
-vulnerabilities through the detection pipeline, and prints the
-experiment registry.
+Subcommands:
 
-With ``--iterations N``: runs a fuzzing campaign instead — optionally
-sharded (``--shards``) across worker processes (``--jobs``) — and prints
-the merged campaign report.
+``run <scenario>``
+    Run a registered scenario (or a ``.toml``/``.json`` scenario file)
+    and persist its artifacts under a run directory (``--out``, default
+    ``runs/<name>``).  ``--iterations``/``--shards``/``--seed``/``--jobs``
+    override the spec's knobs for quick experiments.
+``list-scenarios``
+    Print the scenario registry.
+``resume <dir>``
+    Continue an interrupted campaign; completed shards load from the
+    store, so the final report is byte-identical to an uninterrupted run.
+``replay <dir>``
+    Re-confirm every stored finding by running its (minimized) trigger
+    program once — a regression check with no fuzzing.
+``selfcheck``
+    The original one-command smoke test (also the default with no
+    arguments): offline phase + all four studied vulnerabilities +
+    the experiment registry.
 """
 
 from __future__ import annotations
@@ -20,9 +31,19 @@ from repro import BoomConfig, Specure, VulnConfig, __version__
 from repro.core.online import OnlinePhase
 from repro.fuzz.triggers import all_triggers
 from repro.harness.experiments import render_registry
+from repro.scenarios import (
+    ScenarioError,
+    ScenarioSpec,
+    StoreError,
+    get_scenario,
+    render_scenarios,
+    replay_findings,
+    resume_scenario,
+    run_scenario,
+)
 
 
-def selfcheck() -> int:
+def selfcheck(_args=None) -> int:
     """The original one-command self-check (default mode)."""
     print(f"repro {__version__} — Specure (DAC'24) reproduction")
     print()
@@ -44,62 +65,165 @@ def selfcheck() -> int:
     return 1 if failures else 0
 
 
-def run_campaign(args: argparse.Namespace) -> int:
-    """Run a (possibly sharded) campaign and print the merged report."""
-    from repro.harness.parallel import run_sharded_campaign
+def _load_spec(reference: str) -> ScenarioSpec:
+    """A scenario by registry name, or from a .toml/.json file path."""
+    if reference.endswith((".toml", ".json")):
+        return ScenarioSpec.load(reference)
+    return get_scenario(reference)
+
+
+def _default_run_dir(name: str) -> str:
+    """First free directory under runs/: <name>, <name>-2, <name>-3 ..."""
+    from pathlib import Path
+
+    base = Path("runs") / name
+    if not base.exists():
+        return str(base)
+    suffix = 2
+    while (candidate := base.with_name(f"{name}-{suffix}")).exists():
+        suffix += 1
+    return str(candidate)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.scenario)
+    overrides = {
+        key: value
+        for key, value in (
+            ("iterations", args.iterations),
+            ("shards", args.shards),
+            ("seed", args.seed),
+        )
+        if value is not None
+    }
+    if overrides:
+        spec = spec.override(**overrides)
+    out = args.out or _default_run_dir(spec.name)
 
     started = time.perf_counter()
-    report = run_sharded_campaign(
-        BoomConfig.small(VulnConfig.all()),
-        args.iterations,
-        shards=args.shards,
-        jobs=args.jobs,
-        base_seed=args.seed,
-        coverage=args.coverage,
-        monitor_dcache=True,
-    )
+    try:
+        outcome = run_scenario(
+            spec,
+            run_dir=out,
+            jobs=args.jobs,
+            minimize=not args.no_minimize,
+            on_shard=lambda shard, report: print(
+                f"shard {shard}: {report.fuzz.iterations} iterations, "
+                f"coverage {report.fuzz.final_coverage()}, "
+                f"{len(report.fuzz.findings)} finding(s)"
+            ),
+        )
+    except KeyboardInterrupt:
+        print(f"\ninterrupted — resume with: python -m repro resume {out}")
+        return 130
     elapsed = time.perf_counter() - started
-    print(report.render())
+
+    if outcome.report is None:
+        print(outcome.offline.summary())
+    else:
+        print()
+        print(outcome.report.render())
     print()
-    print(
-        f"({args.shards} shard(s) x {args.iterations} iterations, "
-        f"jobs={args.jobs or 1}, {elapsed:.2f}s wall clock)"
-    )
+    print(f"(scenario {spec.name!r}, {elapsed:.2f}s wall clock, "
+          f"artifacts in {out})")
     return 0
+
+
+def cmd_list_scenarios(_args: argparse.Namespace) -> int:
+    print(render_scenarios())
+    return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    try:
+        outcome = resume_scenario(args.directory, jobs=args.jobs,
+                                  minimize=not args.no_minimize)
+    except KeyboardInterrupt:
+        print(f"\ninterrupted again — resume with: "
+              f"python -m repro resume {args.directory}")
+        return 130
+    skipped = len(outcome.resumed_shards)
+    print(f"resumed {outcome.spec.name!r}: {skipped} shard(s) loaded from "
+          f"the store, {len(outcome.executed_shards)} executed")
+    print()
+    if outcome.report is not None:
+        print(outcome.report.render())
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    results = replay_findings(args.directory)
+    if not results:
+        print(f"no stored findings in {args.directory}")
+        return 0
+    failures = 0
+    for result in results:
+        status = "ok  " if result.confirmed else "FAIL"
+        source = "minimized" if result.used_minimized else "original"
+        print(f"  {status} shard {result.shard} finding {result.index}: "
+              f"{result.kind} ({source} program)")
+        failures += 0 if result.confirmed else 1
+    print(f"{len(results) - failures}/{len(results)} findings re-confirmed")
+    return 1 if failures else 0
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Specure (DAC'24) reproduction: self-check or campaign.",
+        description="Specure (DAC'24) reproduction: scenario campaigns, "
+                    "self-check, resume, replay.",
     )
-    parser.add_argument(
-        "--iterations", type=int, default=None, metavar="N",
-        help="run a fuzzing campaign of N iterations per shard "
-             "(default: run the self-check instead)",
+    commands = parser.add_subparsers(dest="command")
+
+    run = commands.add_parser(
+        "run", help="run a registered scenario or a .toml/.json scenario file"
     )
-    parser.add_argument(
-        "--shards", type=int, default=1, metavar="K",
-        help="number of independent campaign shards (default 1)",
+    run.add_argument("scenario", help="scenario name or scenario-file path")
+    run.add_argument("--out", metavar="DIR", default=None,
+                     help="run directory (default: runs/<scenario>)")
+    run.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="worker processes for multi-shard scenarios")
+    run.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="override the spec's per-shard iteration budget")
+    run.add_argument("--shards", type=int, default=None, metavar="K",
+                     help="override the spec's shard count")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the spec's base seed")
+    run.add_argument("--no-minimize", action="store_true",
+                     help="skip trimming finding programs before storing")
+    run.set_defaults(handler=cmd_run)
+
+    listing = commands.add_parser(
+        "list-scenarios", help="print the scenario registry"
     )
-    parser.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
-        help="worker processes for sharded runs (default: inline)",
+    listing.set_defaults(handler=cmd_list_scenarios)
+
+    resume = commands.add_parser(
+        "resume", help="continue an interrupted campaign from its run dir"
     )
-    parser.add_argument(
-        "--coverage", choices=("lp", "code"), default="lp",
-        help="coverage feedback metric (default lp)",
+    resume.add_argument("directory", help="the campaign's run directory")
+    resume.add_argument("--jobs", type=int, default=None, metavar="N")
+    resume.add_argument("--no-minimize", action="store_true")
+    resume.set_defaults(handler=cmd_resume)
+
+    replay = commands.add_parser(
+        "replay", help="re-confirm the stored findings of a run dir"
     )
-    parser.add_argument(
-        "--seed", type=int, default=1,
-        help="base campaign seed (default 1)",
+    replay.add_argument("directory", help="the campaign's run directory")
+    replay.set_defaults(handler=cmd_replay)
+
+    check = commands.add_parser(
+        "selfcheck", help="offline phase + all four vulns (the default)"
     )
+    check.set_defaults(handler=selfcheck)
+
     args = parser.parse_args(argv)
-    if args.shards < 1:
-        parser.error("--shards must be >= 1")
-    if args.iterations is not None:
-        return run_campaign(args)
-    return selfcheck()
+    handler = getattr(args, "handler", selfcheck)
+    try:
+        return handler(args)
+    except (ScenarioError, StoreError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

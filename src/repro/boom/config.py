@@ -4,7 +4,7 @@ The paper evaluates on BOOM's default configuration; our model is
 parameterized the same way Chipyard parameterizes BOOM (SmallBoom /
 MediumBoom / LargeBoom), and the experiments use the *small* preset so
 campaigns of thousands of fuzzing iterations stay tractable in Python.
-DESIGN.md records this scale substitution.
+docs/architecture.md records this scale substitution.
 """
 
 from __future__ import annotations

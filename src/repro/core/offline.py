@@ -36,15 +36,23 @@ class OfflineArtifacts:
     extract_seconds: float
     algorithm: str
 
-    def summary(self) -> str:
-        """The paper's §4.1 numbers for this PUT."""
+    def summary(self, include_timings: bool = True) -> str:
+        """The paper's §4.1 numbers for this PUT.
+
+        ``include_timings=False`` drops the wall-clock figures, giving a
+        byte-stable line for persisted reports (the campaign store's
+        resume-determinism contract).
+        """
+        built = f" (built in {self.build_seconds:.3f}s)" \
+            if include_timings else ""
+        extraction = f"{self.algorithm} search, {self.extract_seconds:.3f}s" \
+            if include_timings else f"{self.algorithm} search"
         return (
             f"IFG: {self.ifg.vertex_count} signals, {self.ifg.edge_count} "
-            f"connections (built in {self.build_seconds:.3f}s); "
+            f"connections{built}; "
             f"{self.arch_count} architectural registers, "
             f"{self.micro_count} microarchitectural registers; "
-            f"PDLC: {len(self.pdlc)} channels "
-            f"({self.algorithm} search, {self.extract_seconds:.3f}s)"
+            f"PDLC: {len(self.pdlc)} channels ({extraction})"
         )
 
 

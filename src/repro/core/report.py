@@ -61,10 +61,14 @@ class CampaignReport:
             "mst_rows": len(self.mst),
         }
 
-    def render(self, mst_limit: int = 10) -> str:
+    def render(self, mst_limit: int = 10,
+               include_timings: bool = True) -> str:
+        """Human-readable report.  ``include_timings=False`` drops the
+        wall-clock offline-phase figures so the output is byte-stable
+        across runs (what the campaign store persists)."""
         lines = [
             "== Specure campaign report ==",
-            self.offline.summary(),
+            self.offline.summary(include_timings=include_timings),
             f"iterations: {self.fuzz.iterations}, "
             f"coverage: {self.fuzz.final_coverage()}, "
             f"corpus: {self.fuzz.corpus_size}",

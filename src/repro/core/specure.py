@@ -10,8 +10,15 @@ campaigns:
 Configuration knobs map one-to-one onto the paper's experiments:
 ``coverage`` selects LP vs traditional code coverage (Figure 2),
 ``monitor_dcache`` adds the data cache to the monitored observables
-(the Spectre experiments), and ``use_special_seeds`` toggles the
-speculative seed corpus (the with/without-seeds detection-time numbers).
+(the Spectre experiments), ``use_special_seeds`` toggles the speculative
+seed corpus (the with/without-seeds detection-time numbers), and
+``splice_probability``/``mutation_rounds`` tune the mutation engine.
+
+The same knobs travel three ways: directly through this constructor,
+sharded across worker processes via :meth:`Specure.sharded_campaign`
+(:mod:`repro.harness.parallel`), and declaratively as
+:class:`~repro.scenarios.spec.ScenarioSpec` bundles that the scenario
+runner persists and resumes (:mod:`repro.scenarios`).
 """
 
 from __future__ import annotations
@@ -66,6 +73,8 @@ class Specure:
         monitor_dcache: bool = False,
         use_special_seeds: bool = True,
         random_seed_count: int = 4,
+        splice_probability: float = 0.15,
+        mutation_rounds: int = 3,
     ):
         self.config = config or BoomConfig.small()
         self.seed = seed
@@ -73,6 +82,8 @@ class Specure:
         self.monitor_dcache = monitor_dcache
         self.use_special_seeds = use_special_seeds
         self.random_seed_count = random_seed_count
+        self.splice_probability = splice_probability
+        self.mutation_rounds = mutation_rounds
         self.core = BoomCore(self.config)
         self._offline: OfflineArtifacts | None = None
 
@@ -97,7 +108,13 @@ class Specure:
             seeds.extend(special_seeds())
         for index in range(self.random_seed_count):
             seeds.append(random_seed(rng.fork(0x5EED + index)))
-        fuzzer = Fuzzer(online.evaluate, seeds=seeds, rng=rng.fork(0xF0))
+        fuzzer = Fuzzer(
+            online.evaluate,
+            seeds=seeds,
+            rng=rng.fork(0xF0),
+            splice_probability=self.splice_probability,
+            mutation_rounds=self.mutation_rounds,
+        )
         return SpecureCampaign(online, fuzzer, offline)
 
     def campaign(
@@ -135,6 +152,8 @@ class Specure:
             monitor_dcache=self.monitor_dcache,
             use_special_seeds=self.use_special_seeds,
             random_seed_count=self.random_seed_count,
+            splice_probability=self.splice_probability,
+            mutation_rounds=self.mutation_rounds,
             stop_kind=stop_kind,
         )
 

@@ -74,6 +74,8 @@ class ShardSpec:
     monitor_dcache: bool = False
     use_special_seeds: bool = True
     random_seed_count: int = 4
+    splice_probability: float = 0.15
+    mutation_rounds: int = 3
     stop_kind: str | None = None
 
 
@@ -88,6 +90,8 @@ def _run_shard(spec: ShardSpec) -> CampaignReport:
         monitor_dcache=spec.monitor_dcache,
         use_special_seeds=spec.use_special_seeds,
         random_seed_count=spec.random_seed_count,
+        splice_probability=spec.splice_probability,
+        mutation_rounds=spec.mutation_rounds,
     )
     deadline = (
         None if spec.seconds is None else time.monotonic() + spec.seconds
@@ -104,23 +108,42 @@ def _run_shard(spec: ShardSpec) -> CampaignReport:
     return specure.campaign(iterations, stop_when=stop)
 
 
-def map_shards(worker, specs, jobs: int | None):
-    """Run ``worker`` over ``specs``, optionally across processes.
+def _pool_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork
+        return multiprocessing.get_context("spawn")
 
-    Results always come back in spec order (``Pool.map`` preserves
-    input order), so downstream merges are deterministic regardless of
-    which worker finishes first.  ``worker`` and every spec must be
-    picklable (module-level function, plain-data spec).
+
+def imap_shards(worker, specs, jobs: int | None):
+    """Yield ``(spec, worker(spec))`` pairs in spec order, incrementally.
+
+    The streaming counterpart of :func:`map_shards`, for store-aware
+    callers (:mod:`repro.scenarios.runner`) that persist each shard's
+    artifacts as soon as it finishes instead of waiting for the whole
+    batch: with ``jobs >= 2`` results stream back via ``Pool.imap`` —
+    still in spec order, so downstream merges stay deterministic — and a
+    consumer that stops early (interrupt) has every yielded shard
+    already persisted.  ``worker`` and every spec must be picklable.
     """
     jobs = 1 if jobs is None else min(jobs, len(specs))
     if jobs <= 1 or len(specs) <= 1:
-        return [worker(spec) for spec in specs]
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # platforms without fork
-        context = multiprocessing.get_context("spawn")
-    with context.Pool(processes=jobs) as pool:
-        return pool.map(worker, specs)
+        for spec in specs:
+            yield spec, worker(spec)
+        return
+    with _pool_context().Pool(processes=jobs) as pool:
+        yield from zip(specs, pool.imap(worker, specs))
+
+
+def map_shards(worker, specs, jobs: int | None):
+    """Run ``worker`` over ``specs``, optionally across processes.
+
+    Results always come back in spec order, so downstream merges are
+    deterministic regardless of which worker finishes first.  ``worker``
+    and every spec must be picklable (module-level function, plain-data
+    spec).
+    """
+    return [result for _, result in imap_shards(worker, specs, jobs)]
 
 
 # ----------------------------------------------------------------------
@@ -212,6 +235,8 @@ def run_sharded_campaign(
     monitor_dcache: bool = False,
     use_special_seeds: bool = True,
     random_seed_count: int = 4,
+    splice_probability: float = 0.15,
+    mutation_rounds: int = 3,
     stop_kind: str | None = None,
 ) -> CampaignReport:
     """Run ``shards`` independent campaigns and merge their reports.
@@ -232,6 +257,8 @@ def run_sharded_campaign(
             monitor_dcache=monitor_dcache,
             use_special_seeds=use_special_seeds,
             random_seed_count=random_seed_count,
+            splice_probability=splice_probability,
+            mutation_rounds=mutation_rounds,
             stop_kind=stop_kind,
         )
         for shard in range(shards)

@@ -1,0 +1,49 @@
+"""Declarative scenarios + the persistent campaign store.
+
+The paper's experiments — and any new workload — are *scenarios*: one
+validated bundle of design / vulnerability / coverage / seed / mutation /
+stop-condition / shard knobs (:mod:`repro.scenarios.spec`), shipped as a
+named registry entry (:mod:`repro.scenarios.registry`) or a TOML/JSON
+file.  Running a scenario persists its corpus, findings (with minimized
+trigger programs), coverage curves, and per-shard artifacts into a run
+directory (:mod:`repro.scenarios.store`) that supports resuming an
+interrupted campaign and replaying any stored finding as a regression
+check (:mod:`repro.scenarios.runner`).
+
+    from repro.scenarios import get_scenario, run_scenario
+
+    outcome = run_scenario(get_scenario("spectre-v1"), run_dir="runs/s1")
+    print(outcome.report.render())
+"""
+
+from repro.scenarios.registry import (
+    get_scenario,
+    register_scenario,
+    render_scenarios,
+    scenario_names,
+)
+from repro.scenarios.runner import (
+    ReplayResult,
+    ScenarioOutcome,
+    replay_findings,
+    resume_scenario,
+    run_scenario,
+)
+from repro.scenarios.spec import ScenarioError, ScenarioSpec
+from repro.scenarios.store import CampaignStore, StoreError
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioError",
+    "get_scenario",
+    "register_scenario",
+    "render_scenarios",
+    "scenario_names",
+    "run_scenario",
+    "resume_scenario",
+    "replay_findings",
+    "ScenarioOutcome",
+    "ReplayResult",
+    "CampaignStore",
+    "StoreError",
+]

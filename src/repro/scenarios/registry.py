@@ -1,0 +1,157 @@
+"""The built-in scenario registry: the paper's experiments, named.
+
+Each entry bundles one experiment of the paper's evaluation (or a new
+workload built from the same pieces) as a :class:`ScenarioSpec` runnable
+with ``python -m repro run <name>``.  ``register_scenario`` adds
+user-defined specs at runtime; scenario *files* (TOML/JSON) load through
+:meth:`ScenarioSpec.load` without touching the registry.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.spec import ScenarioError, ScenarioSpec, _suggest
+from repro.utils.text import ascii_table
+
+_BUILTIN_SCENARIOS: tuple[ScenarioSpec, ...] = (
+    ScenarioSpec(
+        name="quickstart",
+        description="The full pipeline in one minute: offline phase + a "
+                    "short LP-guided campaign on the armed core",
+        vulns=("mwait", "zenbleed"),
+        monitor_dcache=True,
+        seed=7,
+        iterations=60,
+    ),
+    ScenarioSpec(
+        name="spectre-v1",
+        description="Spectre hunt with the special speculative seeds; the "
+                    "data cache joins the monitored observables (§4.2)",
+        monitor_dcache=True,
+        seed=3,
+        iterations=400,
+        stop_kind="spectre_v1",
+    ),
+    ScenarioSpec(
+        name="spectre-v1-no-seeds",
+        description="The with/without-seeds ablation arm: same hunt on "
+                    "random seeds only (paper: 49 min vs 1.5 h)",
+        monitor_dcache=True,
+        seed=3,
+        use_special_seeds=False,
+        random_seed_count=6,
+        iterations=400,
+        stop_kind="spectre_v1",
+    ),
+    ScenarioSpec(
+        name="zenbleed-mwait",
+        description="The emulated direct channels (§4.2): fuzz the armed "
+                    "core until the Zenbleed leak is root-caused",
+        vulns=("mwait", "zenbleed"),
+        seed=1,
+        iterations=200,
+        stop_kind="zenbleed",
+    ),
+    ScenarioSpec(
+        name="lp-coverage-race",
+        description="Figure 2, LP arm: three seed streams of LP-guided "
+                    "fuzzing, merged onto one coverage curve",
+        vulns=(),
+        seed=0,
+        iterations=150,
+        shards=3,
+    ),
+    ScenarioSpec(
+        name="code-coverage-race",
+        description="Figure 2, baseline arm: identical campaign guided by "
+                    "traditional code coverage",
+        vulns=(),
+        coverage="code",
+        seed=0,
+        iterations=150,
+        shards=3,
+    ),
+    ScenarioSpec(
+        name="nested-speculation-stress",
+        description="New workload: aggressive mutation (5 rounds, heavy "
+                    "splicing) to pile up nested misspeculated windows",
+        monitor_dcache=True,
+        seed=13,
+        splice_probability=0.35,
+        mutation_rounds=5,
+        iterations=250,
+    ),
+    ScenarioSpec(
+        name="dcache-monitor-sweep",
+        description="New workload: four shards sweeping seed streams with "
+                    "the data cache monitored, merged into one report",
+        monitor_dcache=True,
+        seed=5,
+        iterations=100,
+        shards=4,
+    ),
+    ScenarioSpec(
+        name="offline-analysis",
+        description="Offline phase only (§4.1): IFG build + PDLC "
+                    "extraction numbers for the small design",
+        vulns=("mwait", "zenbleed"),
+        iterations=0,
+    ),
+)
+
+_REGISTRY: dict[str, ScenarioSpec] = {
+    spec.name: spec for spec in _BUILTIN_SCENARIOS
+}
+
+
+def scenario_names() -> list[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario; unknown names get a suggestion."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r}{_suggest(name, scenario_names())}; "
+            f"`python -m repro list-scenarios` prints the registry"
+        ) from None
+
+
+def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add a scenario to the registry (``replace=True`` to overwrite)."""
+    if spec.name in _REGISTRY and not replace:
+        raise ScenarioError(
+            f"scenario {spec.name!r} is already registered; pass "
+            f"replace=True to overwrite it"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def render_scenarios() -> str:
+    """The registry as a table (the ``list-scenarios`` CLI output)."""
+    rows = []
+    for name in scenario_names():
+        spec = _REGISTRY[name]
+        if spec.iterations == 0:
+            shape = "offline only"
+        else:
+            shape = f"{spec.shards} x {spec.iterations} iters"
+        rows.append([
+            name,
+            spec.design,
+            spec.coverage,
+            "+".join(spec.vulns) or "-",
+            "yes" if spec.monitor_dcache else "no",
+            shape,
+            spec.stop_kind or "-",
+            spec.description,
+        ])
+    return ascii_table(
+        ["scenario", "design", "coverage", "armed vulns", "dcache",
+         "shape", "stops at", "description"],
+        rows,
+        title="Registered scenarios (python -m repro run <scenario>)",
+    )

@@ -1,0 +1,276 @@
+"""Scenario execution: specs in, persisted + merged campaign reports out.
+
+``run_scenario`` is the one entry point behind ``python -m repro run``:
+it fans the scenario's shards out (inline or across worker processes),
+persists each finished shard into the :class:`CampaignStore` as it
+lands, and merges the shard reports into the same
+:class:`~repro.core.report.CampaignReport` a serial run produces.
+
+Resume contract
+---------------
+Shards are the unit of persistence and the unit of determinism: shard
+``k`` always runs at seed ``shard_seed(spec.seed, k, spec.shard_stride)``
+and its artifacts are written atomically when it completes.  A resumed
+campaign therefore loads the completed shards' artifacts byte-for-byte,
+re-runs only the missing shards (which are pure functions of their
+seeds), and merges in shard order — producing a final ``report.txt``
+byte-identical to an uninterrupted run of the same scenario.
+
+Replay contract
+---------------
+``replay_findings`` re-confirms every persisted finding by running its
+stored (preferably minimized) program once through a fresh online
+pipeline built from the stored scenario — a regression check that needs
+no fuzzing at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.offline import OfflineArtifacts
+from repro.core.online import OnlinePhase
+from repro.core.report import CampaignReport
+from repro.fuzz.fuzzer import FuzzFinding
+from repro.fuzz.input import TestProgram
+from repro.fuzz.trim import trim_program
+from repro.harness.parallel import imap_shards, merge_reports, shard_seed
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.store import (
+    STATUS_INTERRUPTED,
+    CampaignStore,
+    program_from_dict,
+)
+
+
+@dataclass
+class ScenarioOutcome:
+    """What one ``run_scenario``/``resume_scenario`` call produced."""
+
+    spec: ScenarioSpec
+    offline: OfflineArtifacts
+    report: CampaignReport | None
+    store: CampaignStore | None = None
+    executed_shards: list[int] = field(default_factory=list)
+    resumed_shards: list[int] = field(default_factory=list)
+
+
+@dataclass
+class ReplayResult:
+    """One stored finding re-checked against a fresh pipeline."""
+
+    shard: int
+    index: int
+    kind: str
+    confirmed: bool
+    used_minimized: bool
+
+
+def _execute_shard(task) -> tuple[CampaignReport, list[tuple[TestProgram, int]]]:
+    """One shard's full campaign (picklable pool worker).
+
+    Returns the shard report plus the fuzzer's retained corpus entries,
+    which only exist inside the campaign object and must surface here to
+    be persisted.
+    """
+    spec, _shard, seed = task
+    specure = spec.build_specure(seed=seed)
+    campaign = specure.build_campaign()
+    report = campaign.run(spec.iterations, stop_when=spec.stop_predicate())
+    corpus = [
+        (entry.program, entry.new_items)
+        for entry in campaign.fuzzer.corpus.entries
+    ]
+    return report, corpus
+
+
+class _Minimizer:
+    """Trims finding programs against a lazily-built online pipeline."""
+
+    def __init__(self, spec: ScenarioSpec, specure):
+        self._spec = spec
+        self._specure = specure
+        self._online: OnlinePhase | None = None
+
+    def _pipeline(self, offline: OfflineArtifacts) -> OnlinePhase:
+        if self._online is None:
+            self._online = OnlinePhase(
+                self._specure.core,
+                offline,
+                coverage=self._spec.coverage,
+                monitor_dcache=self._spec.monitor_dcache,
+            )
+        return self._online
+
+    def minimize(self, findings: list[FuzzFinding],
+                 offline: OfflineArtifacts) -> dict[int, TestProgram]:
+        """``offline`` is the shard report's own artifacts — a pure
+        function of the configuration, so reusing them avoids paying the
+        offline phase again in the parent."""
+        minimized: dict[int, TestProgram] = {}
+        for index, finding in enumerate(findings):
+            online = self._pipeline(offline)
+
+            def still_leaks(program, kind=finding.kind):
+                _, reports = online.run_once(program)
+                return kind in {report.kind for report in reports}
+
+            # trim_program itself asserts the predicate on the input
+            # first; a finding that does not reproduce in isolation
+            # raises there and is simply not minimized.
+            try:
+                minimized[index] = trim_program(finding.program, still_leaks)
+            except ValueError:
+                continue
+        return minimized
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    run_dir: str | Path | None = None,
+    jobs: int | None = None,
+    minimize: bool = True,
+    on_shard=None,
+) -> ScenarioOutcome:
+    """Run a scenario, persisting into ``run_dir`` when given.
+
+    With ``run_dir=None`` the campaign runs purely in memory (what the
+    example scripts use).  ``on_shard(shard, report)`` is called after
+    each shard is finished and persisted.
+    """
+    store = None
+    if run_dir is not None:
+        store = CampaignStore.create(run_dir, spec)
+    return _drive(spec, store, jobs, minimize, on_shard, resumed=[])
+
+
+def resume_scenario(
+    run_dir: str | Path,
+    jobs: int | None = None,
+    minimize: bool = True,
+    on_shard=None,
+) -> ScenarioOutcome:
+    """Resume an interrupted campaign from its run directory.
+
+    Completed shards are loaded from the store; only missing shards
+    execute.  The final report is byte-identical to an uninterrupted
+    run's (see the resume contract above).
+    """
+    store = CampaignStore.open(run_dir)
+    store.prune_incomplete()
+    resumed = store.completed_shards()
+    return _drive(store.spec, store, jobs, minimize, on_shard,
+                  resumed=resumed)
+
+
+def _drive(
+    spec: ScenarioSpec,
+    store: CampaignStore | None,
+    jobs: int | None,
+    minimize: bool,
+    on_shard,
+    resumed: list[int],
+) -> ScenarioOutcome:
+    # The parent's Specure computes offline artifacts only when actually
+    # needed (offline-only scenarios, resume, minimization): every shard
+    # worker builds its own, and the merged report takes shard 0's, so
+    # the common fresh-run path never pays the offline phase twice.
+    specure = spec.build_specure()
+
+    if spec.iterations == 0:
+        # Offline-only scenario: no shards, no fuzzing, no merged report.
+        offline = specure.offline()
+        if store is not None:
+            store.finalize(offline.summary(include_timings=False) + "\n")
+        return ScenarioOutcome(spec=spec, offline=offline, report=None,
+                               store=store)
+
+    seeds = {
+        shard: shard_seed(spec.seed, shard, spec.shard_stride)
+        for shard in range(spec.shards)
+    }
+    tasks = [
+        (spec, shard, seeds[shard])
+        for shard in range(spec.shards)
+        if shard not in resumed
+    ]
+    minimizer = _Minimizer(spec, specure)
+    fresh: dict[int, CampaignReport] = {}
+    executed: list[int] = []
+    try:
+        for task, (report, corpus) in imap_shards(_execute_shard, tasks, jobs):
+            shard = task[1]
+            if store is not None:
+                minimized = (
+                    minimizer.minimize(report.fuzz.findings, report.offline)
+                    if minimize and report.fuzz.findings else {}
+                )
+                store.record_shard(shard, seeds[shard], report,
+                                   corpus_entries=corpus,
+                                   minimized=minimized)
+            fresh[shard] = report
+            executed.append(shard)
+            if on_shard is not None:
+                on_shard(shard, report)
+    except KeyboardInterrupt:
+        if store is not None:
+            store.set_status(STATUS_INTERRUPTED)
+        raise
+
+    # Offline artifacts for store-loaded shards: reuse a fresh shard's
+    # (they are a pure function of the configuration) before paying for
+    # a recomputation.
+    if fresh:
+        offline = fresh[min(fresh)].offline
+    else:
+        offline = specure.offline()
+    ordered = []
+    for shard in range(spec.shards):
+        if shard in fresh:
+            ordered.append(fresh[shard])
+        else:
+            ordered.append(store.load_shard_report(shard, offline))
+    merged = merge_reports(ordered)
+    if store is not None:
+        store.finalize(merged.render(include_timings=False) + "\n")
+    return ScenarioOutcome(
+        spec=spec,
+        offline=offline,
+        report=merged,
+        store=store,
+        executed_shards=executed,
+        resumed_shards=list(resumed),
+    )
+
+
+def replay_findings(run_dir: str | Path) -> list[ReplayResult]:
+    """Re-confirm every stored finding without fuzzing.
+
+    Each finding's persisted program (the minimized form when one was
+    stored) runs once through a fresh online pipeline built from the
+    stored scenario; the finding is confirmed when the same vulnerability
+    kind is reported again.
+    """
+    store = CampaignStore.open(run_dir)
+    spec = store.spec
+    specure = spec.build_specure()
+    online = OnlinePhase(
+        specure.core,
+        specure.offline(),
+        coverage=spec.coverage,
+        monitor_dcache=spec.monitor_dcache,
+    )
+    results = []
+    for record in store.findings():
+        payload = record["minimized"] or record["program"]
+        program = program_from_dict(payload)
+        _, reports = online.run_once(program)
+        results.append(ReplayResult(
+            shard=record["shard"],
+            index=record["index"],
+            kind=record["kind"],
+            confirmed=record["kind"] in {r.kind for r in reports},
+            used_minimized=record["minimized"] is not None,
+        ))
+    return results

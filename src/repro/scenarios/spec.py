@@ -1,0 +1,353 @@
+"""Declarative scenario specifications: one validated bundle per campaign.
+
+A :class:`ScenarioSpec` captures everything that distinguishes one of the
+paper's experiments (or a new workload) from another — the core design
+preset, the armed vulnerability emulations, the coverage feedback, the
+seed policy, the mutation knobs, the campaign shape, and the stop
+condition — as a frozen, validated dataclass.  Specs load from TOML or
+JSON files and round-trip losslessly (``spec == from_toml(to_toml(spec))``),
+so a campaign is reproducible from a single small text file, the same
+shape Revizor-style fuzzers ship their detection scenarios in.
+
+The spec is deliberately *data only*: :meth:`ScenarioSpec.build_config`
+and :meth:`ScenarioSpec.build_specure` are the bridges into the live
+pipeline, and :mod:`repro.scenarios.runner` executes specs against the
+persistent campaign store.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from pathlib import Path
+
+from repro.boom.config import BoomConfig
+from repro.boom.vulns import VulnConfig
+
+#: Core design presets (``BoomConfig.small/medium/large``).
+DESIGNS = ("small", "medium", "large")
+#: Coverage feedback metrics (the two Figure 2 arms).
+COVERAGES = ("lp", "code")
+#: Armable vulnerability emulation hooks (paper §4.2).
+VULN_HOOKS = ("mwait", "zenbleed")
+#: Vulnerability kinds a stop condition may wait for.
+STOP_KINDS = ("mwait", "zenbleed", "spectre_v1", "spectre_v2", "direct")
+
+
+class ScenarioError(ValueError):
+    """A scenario spec failed validation; the message says how to fix it."""
+
+
+def _suggest(unknown: str, options: tuple[str, ...] | list[str]) -> str:
+    matches = difflib.get_close_matches(unknown, list(options), n=1)
+    return f" (did you mean {matches[0]!r}?)" if matches else ""
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One campaign scenario, fully described and validated.
+
+    Field groups mirror the knobs the paper's experiments vary:
+
+    * **design** — ``design`` preset, armed ``vulns`` hooks, and whether
+      the data cache joins the monitored observables
+      (``monitor_dcache``, the Spectre experiments);
+    * **coverage** — ``coverage`` feedback metric (``lp``/``code``);
+    * **seed policy** — base ``seed``, ``use_special_seeds``, and the
+      ``random_seed_count`` of extra random seed programs;
+    * **mutation** — ``splice_probability`` and ``mutation_rounds`` of
+      the mutation engine;
+    * **campaign shape** — ``iterations`` per shard, ``shards``, and the
+      ``shard_stride`` seed spacing (``iterations = 0`` runs the offline
+      phase only);
+    * **stop condition** — ``stop_kind`` ends every shard at its first
+      finding of that vulnerability kind.
+    """
+
+    name: str
+    description: str = ""
+    # Design.
+    design: str = "small"
+    vulns: tuple[str, ...] = ("mwait", "zenbleed")
+    monitor_dcache: bool = False
+    # Coverage feedback.
+    coverage: str = "lp"
+    # Seed policy.
+    seed: int = 1
+    use_special_seeds: bool = True
+    random_seed_count: int = 4
+    # Mutation knobs.
+    splice_probability: float = 0.15
+    mutation_rounds: int = 3
+    # Campaign shape.
+    iterations: int = 100
+    shards: int = 1
+    shard_stride: int = 1000
+    # Stop condition.
+    stop_kind: str | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "vulns", tuple(self.vulns))
+        self._validate()
+
+    # -- validation ---------------------------------------------------------
+
+    def _fail(self, message: str):
+        name = self.name if isinstance(self.name, str) else repr(self.name)
+        raise ScenarioError(f"scenario {name!r}: {message}")
+
+    def _expect_type(self, field_name: str, expected: type | tuple):
+        value = getattr(self, field_name)
+        # bool is an int subclass; reject it wherever a number is
+        # expected so `seed = true` (or `splice_probability = true`) in
+        # a TOML file fails loudly instead of becoming 1.
+        accepts_bool = expected is bool or (
+            isinstance(expected, tuple) and bool in expected
+        )
+        if isinstance(value, bool) and not accepts_bool:
+            self._fail(f"{field_name} must be a number, got a boolean")
+        if not isinstance(value, expected):
+            kind = getattr(expected, "__name__", str(expected))
+            self._fail(
+                f"{field_name} must be of type {kind}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+
+    def _validate(self):
+        if not isinstance(self.name, str) or not self.name:
+            self._fail("name must be a non-empty string")
+        self._expect_type("description", str)
+        self._expect_type("design", str)
+        if self.design not in DESIGNS:
+            self._fail(
+                f"design must be one of {', '.join(DESIGNS)}; "
+                f"got {self.design!r}{_suggest(self.design, DESIGNS)}"
+            )
+        for hook in self.vulns:
+            if hook not in VULN_HOOKS:
+                self._fail(
+                    f"unknown vulnerability hook {hook!r}; armable hooks "
+                    f"are {', '.join(VULN_HOOKS)}{_suggest(str(hook), VULN_HOOKS)}"
+                )
+        if len(set(self.vulns)) != len(self.vulns):
+            self._fail(f"vulns lists a hook twice: {list(self.vulns)}")
+        self._expect_type("monitor_dcache", bool)
+        if self.coverage not in COVERAGES:
+            self._fail(
+                f"coverage must be one of {', '.join(COVERAGES)}; "
+                f"got {self.coverage!r}{_suggest(str(self.coverage), COVERAGES)}"
+            )
+        self._expect_type("seed", int)
+        self._expect_type("use_special_seeds", bool)
+        self._expect_type("random_seed_count", int)
+        if self.random_seed_count < 0:
+            self._fail("random_seed_count must be >= 0")
+        if not self.use_special_seeds and self.random_seed_count == 0:
+            self._fail(
+                "the fuzzer needs at least one seed: set "
+                "use_special_seeds = true or random_seed_count >= 1"
+            )
+        self._expect_type("splice_probability", (int, float))
+        if not 0.0 <= self.splice_probability <= 1.0:
+            self._fail(
+                f"splice_probability must be within [0.0, 1.0], "
+                f"got {self.splice_probability}"
+            )
+        self._expect_type("mutation_rounds", int)
+        if self.mutation_rounds < 1:
+            self._fail("mutation_rounds must be >= 1")
+        self._expect_type("iterations", int)
+        if self.iterations < 0:
+            self._fail(
+                "iterations must be >= 0 (0 runs the offline phase only)"
+            )
+        self._expect_type("shards", int)
+        if self.shards < 1:
+            self._fail("shards must be >= 1")
+        self._expect_type("shard_stride", int)
+        if self.shard_stride < 1:
+            self._fail("shard_stride must be >= 1")
+        if self.stop_kind is not None and self.stop_kind not in STOP_KINDS:
+            self._fail(
+                f"stop_kind must be one of {', '.join(STOP_KINDS)} or "
+                f"omitted; got {self.stop_kind!r}"
+                f"{_suggest(str(self.stop_kind), STOP_KINDS)}"
+            )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: dict, source: str = "") -> "ScenarioSpec":
+        """Build a validated spec from a plain mapping.
+
+        Unknown keys are rejected with a close-match suggestion, so a
+        typo in a scenario file fails with an actionable message rather
+        than silently running the default.
+        """
+        where = f" in {source}" if source else ""
+        if not isinstance(data, dict):
+            raise ScenarioError(
+                f"scenario definition{where} must be a table/object, "
+                f"got {type(data).__name__}"
+            )
+        known = tuple(f.name for f in fields(cls))
+        unknown = [key for key in data if key not in known]
+        if unknown:
+            hints = "".join(
+                f"\n  unknown key {key!r}{_suggest(key, known)}"
+                for key in sorted(unknown)
+            )
+            raise ScenarioError(
+                f"scenario definition{where} has unknown keys:{hints}"
+            )
+        if "name" not in data:
+            raise ScenarioError(
+                f"scenario definition{where} is missing the required "
+                f"'name' key"
+            )
+        payload = dict(data)
+        if "vulns" in payload:
+            if not isinstance(payload["vulns"], (list, tuple)):
+                raise ScenarioError(
+                    f"scenario {payload.get('name')!r}: vulns must be an "
+                    f"array of hook names, got {payload['vulns']!r}"
+                )
+            payload["vulns"] = tuple(payload["vulns"])
+        try:
+            return cls(**payload)
+        except ScenarioError as error:
+            if source:
+                raise ScenarioError(f"{error} (from {source})") from None
+            raise
+
+    @classmethod
+    def from_toml(cls, text: str, source: str = "") -> "ScenarioSpec":
+        """Parse a TOML scenario (top-level keys or a ``[scenario]`` table)."""
+        import tomllib
+
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as error:
+            raise ScenarioError(
+                f"invalid TOML{' in ' + source if source else ''}: {error}"
+            ) from None
+        if set(data) == {"scenario"} and isinstance(data["scenario"], dict):
+            data = data["scenario"]
+        return cls.from_dict(data, source=source)
+
+    @classmethod
+    def from_json(cls, text: str, source: str = "") -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ScenarioError(
+                f"invalid JSON{' in ' + source if source else ''}: {error}"
+            ) from None
+        if isinstance(data, dict) and set(data) == {"scenario"} \
+                and isinstance(data["scenario"], dict):
+            data = data["scenario"]
+        return cls.from_dict(data, source=source)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ScenarioSpec":
+        """Load a scenario file; the format follows the extension."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as error:
+            raise ScenarioError(
+                f"cannot read scenario file {path}: {error}"
+            ) from None
+        if path.suffix == ".toml":
+            return cls.from_toml(text, source=str(path))
+        if path.suffix == ".json":
+            return cls.from_json(text, source=str(path))
+        raise ScenarioError(
+            f"cannot tell the format of {path}: expected a .toml or "
+            f".json scenario file"
+        )
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Field-order dict; a ``None`` stop condition is omitted (TOML
+        has no null, and absence already means 'run the full budget')."""
+        data = asdict(self)
+        data["vulns"] = list(self.vulns)
+        if data["stop_kind"] is None:
+            del data["stop_kind"]
+        return data
+
+    def to_toml(self) -> str:
+        """Render as a ``[scenario]`` TOML table (round-trips exactly)."""
+        lines = ["[scenario]"]
+        for key, value in self.to_dict().items():
+            lines.append(f"{key} = {_toml_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> str:
+        return json.dumps({"scenario": self.to_dict()}, indent=2) + "\n"
+
+    def dump(self, path: str | Path) -> None:
+        path = Path(path)
+        if path.suffix == ".json":
+            path.write_text(self.to_json())
+        else:
+            path.write_text(self.to_toml())
+
+    # -- bridges into the pipeline ------------------------------------------
+
+    def override(self, **changes) -> "ScenarioSpec":
+        """A copy with fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+    def vuln_config(self) -> VulnConfig:
+        return VulnConfig(
+            mwait="mwait" in self.vulns,
+            zenbleed="zenbleed" in self.vulns,
+        )
+
+    def build_config(self) -> BoomConfig:
+        """The :class:`BoomConfig` this scenario fuzzes."""
+        preset = getattr(BoomConfig, self.design)
+        return preset(self.vuln_config())
+
+    def build_specure(self, seed: int | None = None):
+        """A :class:`~repro.core.specure.Specure` wired per this spec.
+
+        ``seed`` overrides the spec's base seed (shard workers pass the
+        derived per-shard seed).
+        """
+        from repro.core.specure import Specure
+
+        return Specure(
+            self.build_config(),
+            seed=self.seed if seed is None else seed,
+            coverage=self.coverage,
+            monitor_dcache=self.monitor_dcache,
+            use_special_seeds=self.use_special_seeds,
+            random_seed_count=self.random_seed_count,
+            splice_probability=self.splice_probability,
+            mutation_rounds=self.mutation_rounds,
+        )
+
+    def stop_predicate(self):
+        """The stop condition as a findings predicate (or ``None``)."""
+        if self.stop_kind is None:
+            return None
+        from repro.core.specure import stop_on_kind
+
+        return stop_on_kind(self.stop_kind)
+
+
+def _toml_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_value(item) for item in value) + "]"
+    raise TypeError(f"cannot render {value!r} as TOML")

@@ -1,0 +1,486 @@
+"""The persistent campaign store: resumable, replayable run directories.
+
+A campaign executed through :mod:`repro.scenarios.runner` persists its
+artifacts under one run directory as it goes:
+
+``scenario.json``
+    The exact :class:`~repro.scenarios.spec.ScenarioSpec` that ran.
+``meta.json``
+    Schema version, campaign status (``running`` / ``interrupted`` /
+    ``complete``), base seed and shard count.
+``shards/shard-NNNN.json``
+    One complete shard's campaign artifacts (fuzz result with discovery
+    log, online stats, MST rows, leak reports) — written atomically when
+    the shard finishes, so an interrupt never leaves a half shard that
+    counts as done.
+``findings.jsonl``
+    One line per detector finding: the triggering program, its trimmed
+    (minimized) form when available, and the full leak report — enough
+    to re-confirm the finding later without re-fuzzing (``replay``).
+``corpus.jsonl``
+    The retained corpus entries of each shard (program + the coverage
+    items it discovered on entry), for seeding follow-up campaigns.
+``coverage.jsonl``
+    One line per shard: its seed and covered-items-per-iteration curve.
+``report.txt``
+    The merged campaign report, rendered *without* wall-clock timings so
+    an interrupted-then-resumed campaign is byte-identical to an
+    uninterrupted one at the same seed.
+
+Everything round-trips: :meth:`CampaignStore.load_shard_report` rebuilds
+exactly the :class:`~repro.core.report.CampaignReport` the shard worker
+produced (offline artifacts are recomputed from the spec — they are a
+pure function of the configuration and are never stored).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.online import OnlineStats
+from repro.core.report import CampaignReport
+from repro.detection.mst import MisspeculationTable
+from repro.detection.vulnerability import LeakReport, RootCause
+from repro.detection.windows import DetectedWindow
+from repro.fuzz.fuzzer import CampaignResult, FuzzFinding
+from repro.fuzz.input import TestProgram
+from repro.scenarios.spec import ScenarioError, ScenarioSpec
+
+SCHEMA_VERSION = 1
+
+STATUS_RUNNING = "running"
+STATUS_INTERRUPTED = "interrupted"
+STATUS_COMPLETE = "complete"
+
+
+class StoreError(RuntimeError):
+    """A run directory is missing, malformed, or would be clobbered."""
+
+
+# ----------------------------------------------------------------------
+# JSON codecs for the campaign artifact types
+# ----------------------------------------------------------------------
+
+def _encode_item(item):
+    """Coverage items are flat tuples of str/int; JSON turns tuples into
+    arrays, so decoding maps arrays back to tuples (recursively)."""
+    if isinstance(item, (list, tuple)):
+        return [_encode_item(part) for part in item]
+    return item
+
+
+def _decode_item(item):
+    if isinstance(item, list):
+        return tuple(_decode_item(part) for part in item)
+    return item
+
+
+def program_to_dict(program: TestProgram) -> dict:
+    return {
+        "words": list(program.words),
+        "reg_init": list(program.reg_init),
+        "data_seed": program.data_seed,
+        "max_cycles": program.max_cycles,
+        "label": program.label,
+        "memory_overlay": {
+            str(address): value
+            for address, value in sorted(program.memory_overlay.items())
+        },
+    }
+
+
+def program_from_dict(data: dict) -> TestProgram:
+    return TestProgram(
+        words=list(data["words"]),
+        reg_init=list(data["reg_init"]),
+        data_seed=data["data_seed"],
+        max_cycles=data["max_cycles"],
+        label=data["label"],
+        memory_overlay={
+            int(address): value
+            for address, value in data["memory_overlay"].items()
+        },
+    )
+
+
+def leak_report_to_dict(report: LeakReport) -> dict:
+    return {
+        "kind": report.kind,
+        "window_start": report.window_start,
+        "window_end": report.window_end,
+        "window_pc": report.window_pc,
+        "window_word": report.window_word,
+        "leaked_signals": list(report.leaked_signals),
+        "root_causes": [
+            {"source": cause.source, "dest": cause.dest,
+             "path": list(cause.path)}
+            for cause in report.root_causes
+        ],
+    }
+
+
+def leak_report_from_dict(data: dict) -> LeakReport:
+    return LeakReport(
+        kind=data["kind"],
+        window_start=data["window_start"],
+        window_end=data["window_end"],
+        window_pc=data["window_pc"],
+        window_word=data["window_word"],
+        leaked_signals=tuple(data["leaked_signals"]),
+        root_causes=tuple(
+            RootCause(source=cause["source"], dest=cause["dest"],
+                      path=tuple(cause["path"]))
+            for cause in data["root_causes"]
+        ),
+    )
+
+
+def _finding_to_dict(finding: FuzzFinding) -> dict:
+    detail = finding.detail
+    return {
+        "iteration": finding.iteration,
+        "kind": finding.kind,
+        "program": program_to_dict(finding.program),
+        "detail": (
+            leak_report_to_dict(detail)
+            if isinstance(detail, LeakReport) else None
+        ),
+    }
+
+
+def _finding_from_dict(data: dict) -> FuzzFinding:
+    detail = data.get("detail")
+    return FuzzFinding(
+        iteration=data["iteration"],
+        kind=data["kind"],
+        detail=None if detail is None else leak_report_from_dict(detail),
+        program=program_from_dict(data["program"]),
+    )
+
+
+def campaign_result_to_dict(result: CampaignResult) -> dict:
+    return {
+        "iterations": result.iterations,
+        "coverage_curve": list(result.coverage_curve),
+        "corpus_size": result.corpus_size,
+        "executed_programs": result.executed_programs,
+        "discovery_log": [
+            [iteration, _encode_item(item)]
+            for iteration, item in result.discovery_log
+        ],
+        "findings": [_finding_to_dict(f) for f in result.findings],
+    }
+
+
+def campaign_result_from_dict(data: dict) -> CampaignResult:
+    result = CampaignResult(iterations=data["iterations"])
+    result.coverage_curve = list(data["coverage_curve"])
+    result.corpus_size = data["corpus_size"]
+    result.executed_programs = data["executed_programs"]
+    result.discovery_log = [
+        (iteration, _decode_item(item))
+        for iteration, item in data["discovery_log"]
+    ]
+    result.findings = [_finding_from_dict(f) for f in data["findings"]]
+    return result
+
+
+def _stats_to_dict(stats: OnlineStats) -> dict:
+    return dict(vars(stats))
+
+
+def _window_to_dict(window: DetectedWindow) -> dict:
+    return {
+        "tag": window.tag, "start": window.start, "end": window.end,
+        "pc": window.pc, "word": window.word,
+        "mispredicted": window.mispredicted, "resolved": window.resolved,
+    }
+
+
+def shard_report_to_dict(shard: int, seed: int,
+                         report: CampaignReport) -> dict:
+    """Serialise one shard's report (offline artifacts excluded: they
+    are recomputed from the scenario on load)."""
+    return {
+        "shard": shard,
+        "seed": seed,
+        "fuzz": campaign_result_to_dict(report.fuzz),
+        "stats": _stats_to_dict(report.stats),
+        "mst": [_window_to_dict(w) for w in report.mst.rows],
+        "reports": [leak_report_to_dict(r) for r in report.reports],
+    }
+
+
+def shard_report_from_dict(data: dict, offline) -> CampaignReport:
+    return CampaignReport(
+        offline=offline,
+        fuzz=campaign_result_from_dict(data["fuzz"]),
+        stats=OnlineStats(**data["stats"]),
+        mst=MisspeculationTable(
+            rows=[DetectedWindow(**w) for w in data["mst"]]
+        ),
+        reports=[leak_report_from_dict(r) for r in data["reports"]],
+    )
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write-then-rename so readers never observe a partial file."""
+    temporary = path.with_suffix(path.suffix + ".tmp")
+    temporary.write_text(text)
+    os.replace(temporary, path)
+
+
+class CampaignStore:
+    """One campaign's run directory (create, append, resume, replay)."""
+
+    SCENARIO_FILE = "scenario.json"
+    META_FILE = "meta.json"
+    SHARD_DIR = "shards"
+    FINDINGS_FILE = "findings.jsonl"
+    CORPUS_FILE = "corpus.jsonl"
+    COVERAGE_FILE = "coverage.jsonl"
+    REPORT_FILE = "report.txt"
+
+    def __init__(self, root: str | Path, spec: ScenarioSpec, meta: dict):
+        self.root = Path(root)
+        self.spec = spec
+        self.meta = meta
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @classmethod
+    def create(cls, root: str | Path, spec: ScenarioSpec) -> "CampaignStore":
+        """Start a fresh campaign directory (refuses to clobber one)."""
+        root = Path(root)
+        if (root / cls.SCENARIO_FILE).exists():
+            raise StoreError(
+                f"{root} already holds a campaign; resume it with "
+                f"`python -m repro resume {root}` or pick another --out"
+            )
+        (root / cls.SHARD_DIR).mkdir(parents=True, exist_ok=True)
+        meta = {
+            "schema": SCHEMA_VERSION,
+            "status": STATUS_RUNNING,
+            "scenario": spec.name,
+            "base_seed": spec.seed,
+            "shards": spec.shards,
+        }
+        store = cls(root, spec, meta)
+        _atomic_write(root / cls.SCENARIO_FILE, spec.to_json())
+        store._write_meta()
+        return store
+
+    @classmethod
+    def open(cls, root: str | Path) -> "CampaignStore":
+        """Open an existing campaign directory."""
+        root = Path(root)
+        scenario_path = root / cls.SCENARIO_FILE
+        if not scenario_path.exists():
+            raise StoreError(
+                f"{root} is not a campaign directory "
+                f"(missing {cls.SCENARIO_FILE})"
+            )
+        try:
+            spec = ScenarioSpec.from_json(
+                scenario_path.read_text(), source=str(scenario_path)
+            )
+        except ScenarioError as error:
+            raise StoreError(f"cannot load {scenario_path}: {error}") from None
+        try:
+            meta = json.loads((root / cls.META_FILE).read_text())
+        except FileNotFoundError:
+            raise StoreError(
+                f"{root} has a scenario but no {cls.META_FILE} — the "
+                f"campaign was interrupted during creation; delete the "
+                f"directory and run the scenario again"
+            ) from None
+        except json.JSONDecodeError as error:
+            raise StoreError(
+                f"{root / cls.META_FILE} is not valid JSON ({error}); "
+                f"the store is corrupt"
+            ) from None
+        if meta.get("schema") != SCHEMA_VERSION:
+            raise StoreError(
+                f"{root} uses store schema {meta.get('schema')!r}; this "
+                f"build reads schema {SCHEMA_VERSION}"
+            )
+        return cls(root, spec, meta)
+
+    @staticmethod
+    def is_store(root: str | Path) -> bool:
+        return (Path(root) / CampaignStore.SCENARIO_FILE).exists()
+
+    def _write_meta(self) -> None:
+        _atomic_write(
+            self.root / self.META_FILE,
+            json.dumps(self.meta, indent=2) + "\n",
+        )
+
+    @property
+    def status(self) -> str:
+        return self.meta["status"]
+
+    def set_status(self, status: str) -> None:
+        self.meta["status"] = status
+        self._write_meta()
+
+    # -- shard artifacts ----------------------------------------------------
+
+    def _shard_path(self, shard: int) -> Path:
+        return self.root / self.SHARD_DIR / f"shard-{shard:04d}.json"
+
+    def completed_shards(self) -> list[int]:
+        """Indices of shards whose artifacts are fully persisted."""
+        directory = self.root / self.SHARD_DIR
+        if not directory.is_dir():
+            return []
+        indices = []
+        for path in directory.glob("shard-*.json"):
+            indices.append(int(path.stem.split("-")[1]))
+        return sorted(indices)
+
+    def record_shard(
+        self,
+        shard: int,
+        seed: int,
+        report: CampaignReport,
+        corpus_entries: list[tuple[TestProgram, int]] = (),
+        minimized: dict[int, TestProgram] | None = None,
+    ) -> None:
+        """Persist one finished shard: report, findings, corpus, curve.
+
+        ``minimized`` maps a finding's index within ``report.fuzz.findings``
+        to its trimmed program.  The shard file is written last and
+        atomically — only then does the shard count as completed, so the
+        append-only JSONL files may hold partial data for a crashed
+        shard but ``completed_shards`` never lies.
+        """
+        minimized = minimized or {}
+        with (self.root / self.FINDINGS_FILE).open("a") as stream:
+            for index, finding in enumerate(report.fuzz.findings):
+                record = {
+                    "shard": shard,
+                    "seed": seed,
+                    "index": index,
+                    "iteration": finding.iteration,
+                    "kind": finding.kind,
+                    "program": program_to_dict(finding.program),
+                    "minimized": (
+                        program_to_dict(minimized[index])
+                        if index in minimized else None
+                    ),
+                    "report": (
+                        leak_report_to_dict(finding.detail)
+                        if isinstance(finding.detail, LeakReport) else None
+                    ),
+                }
+                stream.write(json.dumps(record) + "\n")
+        with (self.root / self.CORPUS_FILE).open("a") as stream:
+            for program, new_items in corpus_entries:
+                stream.write(json.dumps({
+                    "shard": shard,
+                    "new_items": new_items,
+                    "program": program_to_dict(program),
+                }) + "\n")
+        with (self.root / self.COVERAGE_FILE).open("a") as stream:
+            stream.write(json.dumps({
+                "shard": shard,
+                "seed": seed,
+                "curve": list(report.fuzz.coverage_curve),
+            }) + "\n")
+        _atomic_write(
+            self._shard_path(shard),
+            json.dumps(shard_report_to_dict(shard, seed, report)) + "\n",
+        )
+
+    def load_shard_report(self, shard: int, offline) -> CampaignReport:
+        """Rebuild a persisted shard's :class:`CampaignReport`."""
+        path = self._shard_path(shard)
+        if not path.exists():
+            raise StoreError(f"shard {shard} has no artifacts in {self.root}")
+        return shard_report_from_dict(json.loads(path.read_text()), offline)
+
+    # -- findings / corpus readback -----------------------------------------
+
+    def _read_jsonl(self, name: str) -> list[dict]:
+        """Decode one append-only JSONL file.
+
+        A process killed mid-append can leave a torn *final* line; that
+        is expected crash debris (the line's shard never completed and
+        resume re-runs it), so it is dropped.  An undecodable line
+        anywhere else means real corruption and raises.
+        """
+        path = self.root / name
+        if not path.exists():
+            return []
+        lines = [line for line in path.read_text().splitlines()
+                 if line.strip()]
+        records = []
+        for index, line in enumerate(lines):
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    break
+                raise StoreError(
+                    f"{path} line {index + 1} is not valid JSON; the "
+                    f"store is corrupt beyond a torn trailing write"
+                ) from None
+        return records
+
+    def findings(self) -> list[dict]:
+        """All persisted finding records (decoded JSONL lines)."""
+        return self._read_jsonl(self.FINDINGS_FILE)
+
+    def corpus_entries(self) -> list[tuple[int, TestProgram, int]]:
+        """All persisted corpus entries as (shard, program, new_items)."""
+        return [
+            (record["shard"], program_from_dict(record["program"]),
+             record["new_items"])
+            for record in self._read_jsonl(self.CORPUS_FILE)
+        ]
+
+    def coverage_curves(self) -> list[dict]:
+        return self._read_jsonl(self.COVERAGE_FILE)
+
+    def prune_incomplete(self) -> None:
+        """Drop JSONL records of shards that never completed.
+
+        The append-only files may hold partial data for a shard that was
+        interrupted mid-run; a resume re-executes that shard from
+        scratch, so its stale records are filtered out first to keep the
+        findings/corpus/coverage files exactly one record set per shard.
+        """
+        completed = set(self.completed_shards())
+        for name in (self.FINDINGS_FILE, self.CORPUS_FILE,
+                     self.COVERAGE_FILE):
+            if not (self.root / name).exists():
+                continue
+            kept = [r for r in self._read_jsonl(name)
+                    if r["shard"] in completed]
+            # Rewrite unconditionally: _read_jsonl already dropped any
+            # torn trailing fragment, and leaving one in place would let
+            # the re-run shard's first append concatenate onto it.
+            _atomic_write(
+                self.root / name,
+                "".join(json.dumps(r) + "\n" for r in kept),
+            )
+
+    # -- final report -------------------------------------------------------
+
+    def finalize(self, report_text: str) -> None:
+        """Write the merged report and mark the campaign complete."""
+        _atomic_write(self.root / self.REPORT_FILE, report_text)
+        self.set_status(STATUS_COMPLETE)
+
+    def report_text(self) -> str:
+        path = self.root / self.REPORT_FILE
+        if not path.exists():
+            raise StoreError(f"{self.root} has no final report yet")
+        return path.read_text()

@@ -15,6 +15,12 @@ Subcommands:
 ``replay <dir>``
     Re-confirm every stored finding by running its (minimized) trigger
     program once — a regression check with no fuzzing.
+``bench``
+    Measure the per-iteration hot path of one or more scenarios
+    (default: quickstart) under a fixed iteration or wall-clock budget;
+    emits ``BENCH_pr3.json`` (fresh numbers next to the committed
+    pre-PR baseline) and, with ``--check``, gates against the artifact
+    committed in the repository.
 ``selfcheck``
     The original one-command smoke test (also the default with no
     arguments): offline phase + all four studied vulnerabilities +
@@ -35,9 +41,9 @@ from repro.scenarios import (
     ScenarioError,
     ScenarioSpec,
     StoreError,
-    get_scenario,
     render_scenarios,
     replay_findings,
+    resolve_scenario,
     resume_scenario,
     run_scenario,
 )
@@ -67,9 +73,7 @@ def selfcheck(_args=None) -> int:
 
 def _load_spec(reference: str) -> ScenarioSpec:
     """A scenario by registry name, or from a .toml/.json file path."""
-    if reference.endswith((".toml", ".json")):
-        return ScenarioSpec.load(reference)
-    return get_scenario(reference)
+    return resolve_scenario(reference)
 
 
 def _default_run_dir(name: str) -> str:
@@ -131,6 +135,62 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_list_scenarios(_args: argparse.Namespace) -> int:
     print(render_scenarios())
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.perf import (
+        BenchError,
+        check_regression,
+        emit_bench,
+        load_bench,
+        render_bench,
+        run_bench,
+    )
+
+    # Read the committed gate numbers *before* --out overwrites them.
+    committed = None
+    if args.check:
+        gate_path = args.gate or args.out
+        if not Path(gate_path).exists():
+            print(f"error: no committed bench artifact at {gate_path} "
+                  f"to gate against", file=sys.stderr)
+            return 2
+        try:
+            committed = load_bench(gate_path)
+        except BenchError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if str(gate_path) == str(args.out):
+            print(f"note: --out will overwrite the gate file {gate_path} "
+                  f"with this run's numbers (git checkout restores the "
+                  f"committed baseline)")
+
+    try:
+        results = [
+            run_bench(scenario, budget_s=args.budget_s,
+                      iterations=args.iterations)
+            for scenario in (args.scenario or ["quickstart"])
+        ]
+    except BenchError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(render_bench(results))
+    emit_bench(results, path=args.out)
+    print(f"(bench artifact written to {args.out})")
+
+    if committed is not None:
+        failures = check_regression(results, committed,
+                                    max_regression=args.max_regression)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(f"regression gate passed (max allowed "
+              f"{args.max_regression:.0%} below committed numbers)")
     return 0
 
 
@@ -197,6 +257,32 @@ def main(argv: list[str] | None = None) -> int:
         "list-scenarios", help="print the scenario registry"
     )
     listing.set_defaults(handler=cmd_list_scenarios)
+
+    bench = commands.add_parser(
+        "bench", help="measure the per-iteration hot path of scenarios"
+    )
+    bench.add_argument("--scenario", action="append", metavar="NAME",
+                       help="scenario name or file (repeatable; "
+                            "default: quickstart)")
+    budget = bench.add_mutually_exclusive_group()
+    budget.add_argument("--budget-s", type=float, default=None, metavar="S",
+                        help="wall-clock budget per scenario (seconds)")
+    budget.add_argument("--iterations", type=int, default=None, metavar="N",
+                        help="fixed iteration budget per scenario "
+                             "(default: the scenario's own)")
+    bench.add_argument("--out", default="BENCH_pr3.json", metavar="FILE",
+                       help="bench artifact path (default: BENCH_pr3.json)")
+    bench.add_argument("--check", action="store_true",
+                       help="gate against the committed artifact "
+                            "(read from --gate before writing --out)")
+    bench.add_argument("--gate", default=None, metavar="FILE",
+                       help="committed artifact to gate against "
+                            "(default: the --out path)")
+    bench.add_argument("--max-regression", type=float, default=0.25,
+                       metavar="R",
+                       help="iters/sec may drop at most this fraction "
+                            "below the committed number (default 0.25)")
+    bench.set_defaults(handler=cmd_bench)
 
     resume = commands.add_parser(
         "resume", help="continue an interrupted campaign from its run dir"

@@ -24,16 +24,6 @@ class BranchPredictor:
 
     def __init__(self, config: BoomConfig, tracer: TraceWriter):
         self.config = config
-        self.tracer = tracer
-        self.ghist = 0
-        # 2-bit saturating counters, initialised weakly-not-taken.
-        self.counters = [1] * config.gshare_entries
-        self.btb_tag = [0] * config.btb_entries
-        self.btb_target = [0] * config.btb_entries
-        self.btb_valid = [False] * config.btb_entries
-        self.ras = [0] * config.ras_entries
-        self.ras_top = 0  # number of valid entries (0..ras_entries)
-
         self._ix_ghist = tracer.idx(nl.sig_ghist())
         self._ix_counters = [tracer.idx(nl.sig_gshare(i))
                              for i in range(config.gshare_entries)]
@@ -44,6 +34,24 @@ class BranchPredictor:
         self._ix_ras = [tracer.idx(nl.sig_ras(i))
                         for i in range(config.ras_entries)]
         self._ix_ras_top = tracer.idx(nl.sig_ras_top())
+        self.reset(tracer)
+
+    def reset(self, tracer: TraceWriter) -> None:
+        """Restore power-on predictor state onto a fresh trace writer.
+
+        Publishes the same initial-state events construction does, so a
+        reused predictor is indistinguishable from a new one.
+        """
+        config = self.config
+        self.tracer = tracer
+        self.ghist = 0
+        # 2-bit saturating counters, initialised weakly-not-taken.
+        self.counters = [1] * config.gshare_entries
+        self.btb_tag = [0] * config.btb_entries
+        self.btb_target = [0] * config.btb_entries
+        self.btb_valid = [False] * config.btb_entries
+        self.ras = [0] * config.ras_entries
+        self.ras_top = 0  # number of valid entries (0..ras_entries)
         self._publish_all()
 
     def _publish_all(self) -> None:

@@ -20,7 +20,7 @@ coverage points (the "traditional code coverage" baseline feedback).
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
 from repro.boom import netlist as nl
@@ -38,6 +38,7 @@ from repro.golden.memory import SparseMemory
 from repro.isa.instructions import DecodedInstruction, ExecClass, decode
 from repro.rtl.trace import SignalTrace
 from repro.utils.bitvec import mask, to_signed
+from repro.utils.rng import stable_hash
 
 _M64 = mask(64)
 
@@ -51,11 +52,8 @@ _ACCESS_SIZE = {
 _LINK_REGS = (1, 5)
 
 
-def _stable_hash(value) -> int:
-    """Process-independent hash (``hash()`` is salted per interpreter)."""
-    import zlib
-
-    return zlib.crc32(repr(value).encode())
+#: Process-independent hash (``hash()`` is salted per interpreter).
+_stable_hash = stable_hash
 
 
 @dataclass(frozen=True)
@@ -123,68 +121,148 @@ class _Fetched:
     ras_snapshot: int = 0
 
 
+#: Most-recently-used pre-decoded programs kept per core (see
+#: :meth:`BoomCore._predecoded`).
+_PREDECODE_LRU_ENTRIES = 512
+
+
 class BoomCore:
-    """The processor-under-test.  One instance may run many programs."""
+    """The processor-under-test.  One instance may run many programs.
+
+    The core owns one reusable simulation engine: running a program
+    *resets* the engine (units restore power-on state in place, a fresh
+    trace is attached) instead of reconstructing every pipeline unit and
+    signal-index table per program.  Resets are exact — a reused engine
+    produces byte-identical results to a freshly built one — which the
+    equivalence tests pin.
+    """
 
     def __init__(self, config: BoomConfig | None = None):
         self.config = config or BoomConfig.small()
         self.netlist = nl.build_boom_netlist(self.config)
+        names = list(self.netlist.signals)
+        #: Shared (names, name->slot) pair for every per-run trace.
+        self._trace_statics = (names, {n: i for i, n in enumerate(names)})
+        self._engine: _Engine | None = None
+        #: LRU of pre-decoded programs keyed on their instruction bytes:
+        #: corpus entries are re-executed and re-mutated many times, so
+        #: most programs a campaign runs have been decoded before.
+        self._predecode: OrderedDict[bytes, tuple[DecodedInstruction, ...]] = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
 
+    def _predecoded(self, program: TestProgram) -> tuple[DecodedInstruction, ...]:
+        """The program's words decoded once, LRU-cached on the bytes."""
+        key = program.to_bytes()
+        cache = self._predecode
+        hit = cache.get(key)
+        if hit is not None:
+            cache.move_to_end(key)
+            return hit
+        decoded = tuple(decode(word) for word in program.words)
+        cache[key] = decoded
+        if len(cache) > _PREDECODE_LRU_ENTRIES:
+            cache.popitem(last=False)
+        return decoded
+
     def run(self, program: TestProgram) -> CoreResult:
         """Simulate one test program from reset; returns the run result."""
-        runner = _Run(self.config, self.netlist, program)
-        return runner.execute()
+        engine = self._engine
+        if engine is None:
+            engine = self._engine = _Engine(
+                self.config, self.netlist, self._trace_statics
+            )
+        engine.reset(program, self._predecoded(program))
+        return engine.execute()
 
 
-class _Run:
-    """Mutable state of one simulation (fresh per program)."""
+class _Engine:
+    """The reusable simulation engine (one per :class:`BoomCore`).
 
-    def __init__(self, config: BoomConfig, netlist, program: TestProgram):
+    Construction wires the pipeline units and resolves every traced
+    signal index once; :meth:`reset` then prepares the engine for one
+    program: fresh trace writer and memory, units restored to power-on
+    state in place, per-run scalars cleared.  Everything that escapes
+    into the :class:`CoreResult` (trace, commits, windows, coverage
+    dict) is freshly allocated per reset.
+    """
+
+    def __init__(self, config: BoomConfig, netlist, trace_statics: tuple):
         self.config = config
+        self.netlist = netlist
+        self._trace_statics = trace_statics
+
+        # A throwaway writer wires the units' signal indexes; reset()
+        # rebinds them all to the per-run writer.
+        tracer = TraceWriter(netlist, trace_statics)
+        self.bpu = BranchPredictor(config, tracer)
+        self.tlb = Tlb(config, tracer)
+        self.csr = CsrFile(tracer)
+        self.rename = RenameTable(tracer)
+        self.rob = Rob(config, tracer)
+        self.dcache = DCache(
+            config, tracer, SparseMemory(),
+            on_line_change=self._on_cache_line_change,
+        )
+
+        self._ix_arch = [tracer.idx(nl.sig_arch_x(i)) for i in range(32)]
+        self._ix_arch_pc = tracer.idx(nl.sig_arch_pc())
+        self._ix_pc_f = tracer.idx(nl.sig_pc_f())
+        self._ix_disp_tag = tracer.idx(nl.sig_disp_tag())
+        self._ix_disp_pc = tracer.idx(nl.sig_disp_pc())
+        self._ix_disp_word = tracer.idx(nl.sig_disp_word())
+        self._ix_res_tag = tracer.idx(nl.sig_res_tag())
+        self._ix_res_mispredict = tracer.idx(nl.sig_res_mispredict())
+        self._ix_wb = tracer.idx(nl.sig_wb_data())
+        self._ix_req = tracer.idx(nl.sig_req_addr())
+        self._ix_resp = tracer.idx(nl.sig_resp_data())
+        stq_n = nl.stq_size(config)
+        self._ix_stq_valid = [tracer.idx(nl.sig_stq_valid(i)) for i in range(stq_n)]
+        self._ix_stq_addr = [tracer.idx(nl.sig_stq_addr(i)) for i in range(stq_n)]
+        self._ix_stq_data = [tracer.idx(nl.sig_stq_data(i)) for i in range(stq_n)]
+        self.fetch_queue: deque[_Fetched] = deque()
+
+    def reset(self, program: TestProgram,
+              predecoded: tuple[DecodedInstruction, ...]) -> None:
+        config = self.config
         self.program = program
-        self.tracer = TraceWriter(netlist)
+        self.tracer = TraceWriter(self.netlist, self._trace_statics)
         self.memory = SparseMemory(fill_seed=program.data_seed)
         self.memory.load_words(config.base_address, program.words)
         for address, value in program.memory_overlay.items():
             self.memory.write_byte(address, value)
         self.program_end = config.base_address + 4 * len(program.words)
 
-        self.bpu = BranchPredictor(config, self.tracer)
-        self.tlb = Tlb(config, self.tracer)
-        self.csr = CsrFile(self.tracer)
-        self.rename = RenameTable(self.tracer)
-        self.rob = Rob(config, self.tracer)
-        self.dcache = DCache(
-            config, self.tracer, self.memory,
+        #: Fetch fast path: serve instructions from the pre-decoded
+        #: program image while nothing has overwritten the code region
+        #: (an overlay byte or a committed store there falls back to
+        #: decoding the live memory word).
+        self._predecoded = predecoded
+        self._code_clean = not any(
+            config.base_address <= address < self.program_end
+            for address in program.memory_overlay
+        )
+
+        self.bpu.reset(self.tracer)
+        self.tlb.reset(self.tracer)
+        self.csr.reset(self.tracer)
+        self.rename.reset(self.tracer)
+        self.rob.reset(self.tracer)
+        self.dcache.reset(
+            self.tracer, self.memory,
             on_line_change=self._on_cache_line_change,
         )
 
         self.arch_regs = list(program.reg_init)
-        self._ix_arch = [self.tracer.idx(nl.sig_arch_x(i)) for i in range(32)]
-        self._ix_arch_pc = self.tracer.idx(nl.sig_arch_pc())
-        self._ix_pc_f = self.tracer.idx(nl.sig_pc_f())
-        self._ix_disp_tag = self.tracer.idx(nl.sig_disp_tag())
-        self._ix_disp_pc = self.tracer.idx(nl.sig_disp_pc())
-        self._ix_disp_word = self.tracer.idx(nl.sig_disp_word())
-        self._ix_res_tag = self.tracer.idx(nl.sig_res_tag())
-        self._ix_res_mispredict = self.tracer.idx(nl.sig_res_mispredict())
-        self._ix_wb = self.tracer.idx(nl.sig_wb_data())
-        self._ix_req = self.tracer.idx(nl.sig_req_addr())
-        self._ix_resp = self.tracer.idx(nl.sig_resp_data())
-        stq_n = nl.stq_size(config)
-        self._ix_stq_valid = [self.tracer.idx(nl.sig_stq_valid(i)) for i in range(stq_n)]
-        self._ix_stq_addr = [self.tracer.idx(nl.sig_stq_addr(i)) for i in range(stq_n)]
-        self._ix_stq_data = [self.tracer.idx(nl.sig_stq_data(i)) for i in range(stq_n)]
-
         for i in range(32):
             self.tracer.init(self._ix_arch[i], self.arch_regs[i])
         self.tracer.init(self._ix_arch_pc, config.base_address)
         self.tracer.init(self._ix_pc_f, config.base_address)
 
         self.pc_f = config.base_address
-        self.fetch_queue: deque[_Fetched] = deque()
+        self.fetch_queue.clear()
         self.cycle = -1
         self.instret = 0
         self.commits: list[Commit] = []
@@ -305,6 +383,10 @@ class _Run:
             store_addr = entry.store_addr
             store_value = entry.store_data
             store_size = entry.store_size
+            if (store_addr < self.program_end
+                    and store_addr + store_size > self.config.base_address):
+                # Self-modifying store: the pre-decoded image is stale.
+                self._code_clean = False
             self.dcache.write(store_addr, store_value, store_size)
             if entry.stq_slot is not None:
                 self.tracer.set(self._ix_stq_valid[entry.stq_slot], 0)
@@ -370,11 +452,14 @@ class _Run:
     def _broadcast(self, producer: RobEntry) -> None:
         if producer.result is None:
             return
-        for entry in self.rob.in_age_order():
+        producer_index = producer.index
+        producer_age = producer.age
+        value = producer.result & _M64
+        for entry in self.rob.live_order():
             for slot, tag in enumerate(entry.src_tags):
-                if tag == producer.index and entry.age > producer.age:
+                if tag == producer_index and entry.age > producer_age:
                     entry.src_tags[slot] = None
-                    entry.src_vals[slot] = producer.result & _M64
+                    entry.src_vals[slot] = value
 
     def _resolve(self, entry: RobEntry) -> None:
         """Branch/indirect resolution — the brupdate event."""
@@ -459,7 +544,9 @@ class _Run:
 
     def _stage_issue(self) -> None:
         issued = 0
-        for entry in self.rob.in_age_order():
+        # _start_execution mutates entries but never the buffer itself,
+        # so walking the live deque is safe here.
+        for entry in self.rob.live_order():
             if issued >= self.config.issue_width:
                 return
             if entry.state != DISPATCHED:
@@ -672,9 +759,19 @@ class _Run:
     def _stage_fetch(self) -> None:
         capacity = 2 * self.config.fetch_width
         fetched_now = 0
+        base = self.config.base_address
         while len(self.fetch_queue) < capacity and fetched_now < self.config.fetch_width:
-            word = self.memory.read(self.pc_f, 4)
-            inst = decode(word)
+            offset = self.pc_f - base
+            if (self._code_clean and 0 <= offset
+                    and self.pc_f < self.program_end and not offset & 3):
+                # Pre-decoded fast path: the code region is pristine, so
+                # the memory word at an aligned in-range pc is exactly
+                # the program word decoded up front.
+                inst = self._predecoded[offset >> 2]
+                word = inst.word
+            else:
+                word = self.memory.read(self.pc_f, 4)
+                inst = decode(word)
             item = _Fetched(pc=self.pc_f, word=word, inst=inst)
             next_pc = (self.pc_f + 4) & _M64
             stop_group = False

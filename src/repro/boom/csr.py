@@ -26,10 +26,14 @@ class CsrFile:
     """CSR storage with traced per-register signals."""
 
     def __init__(self, tracer: TraceWriter):
-        self.tracer = tracer
-        self.values: dict[int, int] = {spec.address: 0 for spec in ALL_CSRS}
         self._ix = {spec.address: tracer.idx(nl.sig_csr(spec.name))
                     for spec in ALL_CSRS}
+        self.reset(tracer)
+
+    def reset(self, tracer: TraceWriter) -> None:
+        """Zero every CSR onto a fresh trace writer."""
+        self.tracer = tracer
+        self.values: dict[int, int] = {spec.address: 0 for spec in ALL_CSRS}
 
     def read(self, address: int) -> int:
         """Read a CSR (unimplemented addresses read zero)."""

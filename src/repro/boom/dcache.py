@@ -41,24 +41,31 @@ class DCache:
         on_line_change: Callable[[int], None] | None = None,
     ):
         self.config = config
-        self.tracer = tracer
-        self.memory = memory
-        #: Called with the base address of any line whose content/presence
-        #: changed (fill, eviction, store write) — the (M)WAIT monitor.
-        self.on_line_change = on_line_change
-
         sets, ways = config.dcache_sets, config.dcache_ways
-        self.tags = [[0] * ways for _ in range(sets)]
-        self.valid = [[False] * ways for _ in range(sets)]
-        self.lru = [list(range(ways)) for _ in range(sets)]  # [0] = LRU victim
-
         self._ix_tag = [[tracer.idx(nl.sig_dc_tag(s, w)) for w in range(ways)]
                         for s in range(sets)]
         self._ix_valid = [[tracer.idx(nl.sig_dc_valid(s, w)) for w in range(ways)]
                           for s in range(sets)]
         self._ix_data = [[tracer.idx(nl.sig_dc_data(s, w)) for w in range(ways)]
                          for s in range(sets)]
+        self.reset(tracer, memory, on_line_change=on_line_change)
 
+    def reset(
+        self,
+        tracer: TraceWriter,
+        memory: SparseMemory,
+        on_line_change: Callable[[int], None] | None = None,
+    ) -> None:
+        """Cold cache onto a fresh trace writer and backing memory."""
+        self.tracer = tracer
+        self.memory = memory
+        #: Called with the base address of any line whose content/presence
+        #: changed (fill, eviction, store write) — the (M)WAIT monitor.
+        self.on_line_change = on_line_change
+        sets, ways = self.config.dcache_sets, self.config.dcache_ways
+        self.tags = [[0] * ways for _ in range(sets)]
+        self.valid = [[False] * ways for _ in range(sets)]
+        self.lru = [list(range(ways)) for _ in range(sets)]  # [0] = LRU victim
         self.hits = 0
         self.misses = 0
         self.evictions = 0

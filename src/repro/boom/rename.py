@@ -27,9 +27,13 @@ class RenameTable:
     """
 
     def __init__(self, tracer: TraceWriter):
+        self._ix = [tracer.idx(nl.sig_map(i)) for i in range(32)]
+        self.reset(tracer)
+
+    def reset(self, tracer: TraceWriter) -> None:
+        """Clear every mapping and snapshot onto a fresh trace writer."""
         self.tracer = tracer
         self.map: list[int | None] = [None] * 32
-        self._ix = [tracer.idx(nl.sig_map(i)) for i in range(32)]
         self._snapshots: dict[int, list[int | None]] = {}
 
     def _publish(self, index: int) -> None:
@@ -76,6 +80,8 @@ class RenameTable:
         Without this, restoring an old snapshot could resurrect a tag
         whose ROB slot has been recycled.
         """
+        if not self._snapshots:
+            return
         for saved in self._snapshots.values():
             for index in range(32):
                 if saved[index] == rob_index:

@@ -10,6 +10,7 @@ snapshots to delimit speculative windows (§3.2 Step 1).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.boom import netlist as nl
@@ -79,12 +80,6 @@ class Rob:
 
     def __init__(self, config: BoomConfig, tracer: TraceWriter):
         self.config = config
-        self.tracer = tracer
-        self.entries: list[RobEntry | None] = [None] * config.rob_entries
-        self.head = 0
-        self.tail = 0
-        self.count = 0
-        self._next_age = 0
         self._ix_head = tracer.idx(nl.sig_rob_head())
         self._ix_tail = tracer.idx(nl.sig_rob_tail())
         self._ix_count = tracer.idx(nl.sig_rob_count())
@@ -94,6 +89,20 @@ class Rob:
                            for i in range(config.rob_entries)]
         self._ix_pc = [tracer.idx(nl.sig_rob_pc(i))
                        for i in range(config.rob_entries)]
+        self.reset(tracer)
+
+    def reset(self, tracer: TraceWriter) -> None:
+        """Empty the buffer onto a fresh trace writer."""
+        self.tracer = tracer
+        self.entries: list[RobEntry | None] = [None] * self.config.rob_entries
+        self.head = 0
+        self.tail = 0
+        self.count = 0
+        self._next_age = 0
+        #: Live entries oldest-to-youngest, maintained incrementally
+        #: (allocate appends, commit pops the left end, squash pops the
+        #: youngest suffix) so age-order walks need no per-call rebuild.
+        self._order: deque[RobEntry] = deque()
 
     def full(self) -> bool:
         return self.count == self.config.rob_entries
@@ -109,6 +118,7 @@ class Rob:
         entry = RobEntry(index=index, age=self._next_age, pc=pc, inst=inst)
         self._next_age += 1
         self.entries[index] = entry
+        self._order.append(entry)
         self.tail = (index + 1) % self.config.rob_entries
         self.count += 1
         self.tracer.set(self._ix_valid[index], 1)
@@ -130,6 +140,7 @@ class Rob:
         """Commit: remove and return the head entry."""
         entry = self.entries[self.head]
         assert entry is not None
+        self._order.popleft()
         self.entries[self.head] = None
         self.tracer.set(self._ix_valid[self.head], 0)
         self.tracer.set(self._ix_unsafe[self.head], 0)
@@ -140,35 +151,37 @@ class Rob:
         return entry
 
     def in_age_order(self) -> list[RobEntry]:
-        """Live entries from oldest to youngest."""
-        ordered = []
-        index = self.head
-        for _ in range(self.count):
-            entry = self.entries[index]
-            assert entry is not None
-            ordered.append(entry)
-            index = (index + 1) % self.config.rob_entries
-        return ordered
+        """Live entries from oldest to youngest (a fresh list; safe to
+        iterate across structural changes)."""
+        return list(self._order)
+
+    def live_order(self) -> deque[RobEntry]:
+        """The internal age-ordered deque — read-only iteration for hot
+        paths that do not allocate, commit, or squash while walking."""
+        return self._order
 
     def squash_after(self, pivot: RobEntry) -> list[RobEntry]:
         """Remove every entry younger than ``pivot``; returns them
         (oldest first)."""
-        ordered = self.in_age_order()
-        keep = [e for e in ordered if e.age <= pivot.age]
-        squashed = [e for e in ordered if e.age > pivot.age]
+        order = self._order
+        squashed: list[RobEntry] = []
+        while order and order[-1].age > pivot.age:
+            squashed.append(order.pop())
+        squashed.reverse()
         for entry in squashed:
             self.entries[entry.index] = None
             self.tracer.set(self._ix_valid[entry.index], 0)
             self.tracer.set(self._ix_unsafe[entry.index], 0)
         self.tail = (pivot.index + 1) % self.config.rob_entries
-        self.count = len(keep)
+        self.count = len(order)
         self.tracer.set(self._ix_tail, self.tail)
         self.tracer.set(self._ix_count, self.count)
         return squashed
 
     def older_stores(self, entry: RobEntry) -> list[RobEntry]:
         """Store entries older than ``entry`` (oldest first)."""
+        age = entry.age
         return [
-            e for e in self.in_age_order()
-            if e.age < entry.age and e.store_size > 0
+            e for e in self._order
+            if e.age < age and e.store_size > 0
         ]

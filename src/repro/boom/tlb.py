@@ -19,14 +19,18 @@ class Tlb:
 
     def __init__(self, config: BoomConfig, tracer: TraceWriter):
         self.config = config
-        self.tracer = tracer
-        self.vpn = [0] * config.tlb_entries
-        self.valid = [False] * config.tlb_entries
-        self._next_victim = 0
         self._ix_vpn = [tracer.idx(nl.sig_tlb_vpn(i))
                         for i in range(config.tlb_entries)]
         self._ix_valid = [tracer.idx(nl.sig_tlb_valid(i))
                           for i in range(config.tlb_entries)]
+        self.reset(tracer)
+
+    def reset(self, tracer: TraceWriter) -> None:
+        """Restore power-on TLB state onto a fresh trace writer."""
+        self.tracer = tracer
+        self.vpn = [0] * self.config.tlb_entries
+        self.valid = [False] * self.config.tlb_entries
+        self._next_victim = 0
         self.hits = 0
         self.misses = 0
 

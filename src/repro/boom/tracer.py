@@ -14,12 +14,26 @@ from repro.rtl.trace import SignalTrace
 class TraceWriter:
     """Mutable current-state view over a :class:`SignalTrace`."""
 
-    def __init__(self, netlist: Netlist):
-        names = list(netlist.signals)
-        self.trace = SignalTrace(names, [0] * len(names))
+    def __init__(self, netlist: Netlist, statics: tuple | None = None):
+        """``statics`` is an optional prebuilt ``(names, index)`` pair.
+
+        The names and the name->slot map are pure functions of the
+        netlist; a caller that runs many programs against one netlist
+        (the reusable core engine) builds them once and shares them with
+        every per-run writer instead of rebuilding them per program.
+        """
+        if statics is None:
+            names = list(netlist.signals)
+            index = {name: i for i, name in enumerate(names)}
+        else:
+            names, index = statics
+        self.trace = SignalTrace(names, [0] * len(names), _index_of=index)
         self.values = [0] * len(names)
         self.cycle = 0
-        self._index = {name: i for i, name in enumerate(names)}
+        self._index = index
+        # Bound once: the writer's cycle counter is monotonic by
+        # construction, so set() may use the trace's unchecked append.
+        self._record = self.trace.record_unchecked
 
     def idx(self, name: str) -> int:
         """Resolve a signal name to its slot (units cache these)."""
@@ -38,11 +52,15 @@ class TraceWriter:
         self.cycle = cycle
 
     def set(self, index: int, value: int) -> None:
-        """Write a signal; records an event only when the value changes."""
+        """Write a signal; records an event only when the value changes.
+
+        The simulator's single hottest call: one per actual signal
+        change, hundreds of thousands per campaign.
+        """
         old = self.values[index]
         if value != old:
             self.values[index] = value
-            self.trace.record(self.cycle, index, old, value)
+            self._record(self.cycle, index, old, value)
 
     def set_by_name(self, name: str, value: int) -> None:
         self.set(self._index[name], value)

@@ -88,6 +88,11 @@ class OnlinePhase:
         self.mst = MisspeculationTable()
         self.stats = OnlineStats()
         self.reports: list[LeakReport] = []
+        #: Total trace events examined by this phase's analysis queries
+        #: (summed per-run telemetry; the bench harness reports it as
+        #: events-examined/iteration).  Kept outside :class:`OnlineStats`
+        #: so persisted shard artifacts keep their existing shape.
+        self.events_examined = 0
         #: Covered-PDLC progress, recorded for *both* coverage arms so
         #: Figure 2 can plot the code-coverage-guided fuzzer on the same
         #: y-axis (the LP calculator runs as a passive observer there).
@@ -121,6 +126,7 @@ class OnlinePhase:
             self.lp_covered.update(self.lp.covered(result))
         self.lp_curve.append(len(self.lp_covered))
         analysed = time.perf_counter()
+        self.events_examined += result.trace.events_examined
 
         self.stats.programs += 1
         self.stats.cycles += result.cycles

@@ -135,10 +135,11 @@ class Specure:
         """Run ``shards`` seeded campaigns (``jobs`` worker processes)
         and merge their artifacts into one :class:`CampaignReport`.
 
-        Shard ``k`` uses seed ``self.seed + 1000 * k``; merging is
-        deterministic regardless of worker scheduling (see
-        :mod:`repro.harness.parallel`).  ``stop_kind`` ends each shard
-        at its first finding of that vulnerability kind.
+        Shard 0 uses ``self.seed`` itself and shard ``k >= 1`` a
+        hash-derived independent stream (see
+        :func:`repro.harness.parallel.shard_seed`); merging is
+        deterministic regardless of worker scheduling.  ``stop_kind``
+        ends each shard at its first finding of that vulnerability kind.
         """
         from repro.harness.parallel import run_sharded_campaign
 

@@ -55,6 +55,11 @@ class LpCoverage:
         self._groups: list[tuple[tuple[int, ...], list[int]]] = sorted(
             groups.items()
         )
+        #: Deduplicated prefix-signal sets parallel to ``_groups`` (a
+        #: prefix may repeat a signal; the covered() AND needs it once).
+        self._group_sets: list[frozenset[int]] = [
+            frozenset(needed) for needed, _ in self._groups
+        ]
 
     @property
     def total(self) -> int:
@@ -62,20 +67,38 @@ class LpCoverage:
         return len(self.pdlc)
 
     def covered(self, result: CoreResult) -> set[int]:
-        """Indices of PDLCs covered by this run."""
-        covered: set[int] = set()
-        done_groups: set[int] = set()
+        """Indices of PDLCs covered by this run.
+
+        Implemented as window-membership bitmasks: each signal gets an
+        integer whose bit ``i`` says "this signal toggled inside window
+        ``i``"; a group is covered when the AND of its prefix signals'
+        masks is non-zero — some window saw the whole prefix toggle.
+        This replaces the per-window per-group subset scan with one
+        big-integer AND per group.
+        """
+        masks: dict[int, int] = {}
+        bit = 1
         for window in result.windows:
             view = result.trace.window_view(window.start, window.end)
             toggled = view.toggled()
-            if not toggled:
-                continue
-            for group_index, (needed, members) in enumerate(self._groups):
-                if group_index in done_groups:
-                    continue
-                if all(signal in toggled for signal in needed):
-                    covered.update(members)
-                    done_groups.add(group_index)
+            if toggled:
+                for signal in toggled:
+                    masks[signal] = masks.get(signal, 0) | bit
+                bit <<= 1
+        covered: set[int] = set()
+        if not masks:
+            return covered
+        masks_get = masks.get
+        full = bit - 1  # every window: the empty prefix matches anywhere
+        for (_needed, members), needed_set in zip(self._groups,
+                                                  self._group_sets):
+            hits = full
+            for signal in needed_set:
+                hits &= masks_get(signal, 0)
+                if not hits:
+                    break
+            if hits:
+                covered.update(members)
         return covered
 
     def items(self, result: CoreResult) -> list:

@@ -122,7 +122,10 @@ class Fuzzer:
 
     def _next_input(self, index: int) -> TestProgram:
         if index < len(self.seeds):
-            return self.seeds[index]
+            # Hand out a copy: the caller's program flows into findings
+            # and (potentially) external hands; aliasing the live seed
+            # list would let later mutation corrupt the seed schedule.
+            return self.seeds[index].copy()
         if len(self.corpus) == 0:
             # Nothing retained yet: keep mutating seeds.
             base = self.seeds[index % len(self.seeds)]
@@ -138,17 +141,25 @@ class Fuzzer:
     def _run_one(self, index: int, program: TestProgram,
                  result: CampaignResult) -> int:
         items, findings, _meta = self.evaluate(program)
-        new_items = 0
-        for item in items:
-            if item not in self.coverage:
-                self.coverage.add(item)
-                result.discovery_log.append((index, item))
-                new_items += 1
-        if new_items > 0:
+        coverage = self.coverage
+        # Batch update: collect this iteration's unseen items (first
+        # occurrence order preserved), then grow the coverage set in one
+        # C-level call; the delta count is the list length.
+        fresh = [item for item in items if item not in coverage]
+        if fresh:
+            deduped = list(dict.fromkeys(fresh))
+            coverage.update(deduped)
+            result.discovery_log.extend((index, item) for item in deduped)
+            new_items = len(deduped)
             self.corpus.add(program, new_items)
+        else:
+            new_items = 0
         for finding in findings:
+            # Findings retain their trigger program beyond the fuzzing
+            # loop (reports, stores, minimization) — copy at the
+            # retention boundary so no caller can mutate shared state.
             result.findings.append(FuzzFinding(
                 iteration=index, kind=finding[0], detail=finding[1],
-                program=program,
+                program=program.copy(),
             ))
         return new_items

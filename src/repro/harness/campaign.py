@@ -123,8 +123,9 @@ def run_coverage_campaign(
     as a passive observer on every iteration.
 
     With ``jobs >= 2`` the repeats run in parallel worker processes;
-    repeat ``k`` always uses seed ``base_seed + 1000 * k`` (the shard
-    stride), so the returned curves are byte-identical to a serial run.
+    repeat ``k`` always uses the deterministic
+    :func:`~repro.harness.parallel.shard_seed`, so the returned curves
+    are byte-identical to a serial run.
     """
     from repro.harness.parallel import (
         DEFAULT_SHARD_STRIDE, map_shards, shard_seed,
@@ -233,7 +234,8 @@ def run_timed_campaign(
     so the run overshoots by at most one evaluation.
 
     With ``shards >= 2`` the budget is fuzzed by that many independent
-    seed streams (seed ``seed + 1000 * shard``) concurrently — ``jobs``
+    hash-derived seed streams (see
+    :func:`~repro.harness.parallel.shard_seed`) concurrently — ``jobs``
     worker processes — and the shard reports are merged into one
     :class:`CampaignReport` (see :mod:`repro.harness.parallel`).
     """

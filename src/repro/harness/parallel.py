@@ -9,13 +9,21 @@ produces.
 
 Determinism contract
 --------------------
-Every shard derives its seed as ``base_seed + shard_stride * shard``
-(the same spacing the serial runners use), and each worker executes the
-*same* per-shard code path the serial loop would.  A sharded run is
-therefore byte-identical to its serial counterpart per shard; only
-wall-clock concurrency differs.  ``jobs=None``/``jobs<=1`` runs the
-shards inline in-process, which is also the fallback for environments
-where ``multiprocessing`` is unavailable.
+Every shard derives its seed via :func:`shard_seed` — shard 0 runs at
+``base_seed`` itself (so a one-shard campaign is indistinguishable from
+a serial one) and shard ``k >= 1`` at ``stable_hash((base_seed, k))`` —
+and each worker executes the *same* per-shard code path the serial loop
+would.  A sharded run is therefore byte-identical to its serial
+counterpart per shard; only wall-clock concurrency differs.
+``jobs=None``/``jobs<=1`` runs the shards inline in-process, which is
+also the fallback for environments where ``multiprocessing`` is
+unavailable.
+
+The hash derivation replaces the original ``base_seed + 1000 * k``
+spacing, which collided across campaigns whose base seeds differ by a
+multiple of 1000 (scenarios at seeds 0 and 1000 shared shard streams —
+shard ``k+1`` of one replayed shard ``k`` of the other).  See the
+compatibility note in ``docs/scenarios.md``.
 
 Merge semantics
 ---------------
@@ -45,16 +53,31 @@ from repro.core.report import CampaignReport
 from repro.core.specure import Specure
 from repro.detection.vulnerability import LeakReport
 from repro.fuzz.fuzzer import CampaignResult
+from repro.utils.rng import stable_hash
 
-#: Seed spacing between shards; matches the serial runners' repeat
-#: spacing so shard k of a sharded run replays repeat k of a serial run.
+#: Legacy seed spacing, kept only so existing call sites and scenario
+#: files (``shard_stride``) keep loading; the hash derivation below
+#: ignores it.
 DEFAULT_SHARD_STRIDE = 1000
 
 
 def shard_seed(base_seed: int, shard: int,
                shard_stride: int = DEFAULT_SHARD_STRIDE) -> int:
-    """The deterministic seed of one shard."""
-    return base_seed + shard_stride * shard
+    """The deterministic seed of one shard.
+
+    Shard 0 is the base seed itself — a one-shard campaign must be
+    byte-identical to a serial run — and every later shard draws an
+    independent stream from ``stable_hash((base_seed, shard))``, so two
+    campaigns share a shard stream only if their base seeds collide
+    outright (the old ``base_seed + stride * shard`` arithmetic aliased
+    whenever base seeds differed by a multiple of the stride).
+
+    ``shard_stride`` is accepted for backward compatibility and unused.
+    """
+    del shard_stride
+    if shard == 0:
+        return base_seed
+    return stable_hash((base_seed, shard))
 
 
 # ----------------------------------------------------------------------
@@ -241,9 +264,9 @@ def run_sharded_campaign(
 ) -> CampaignReport:
     """Run ``shards`` independent campaigns and merge their reports.
 
-    Each shard is a full serial campaign at seed ``base_seed +
-    shard_stride * shard``; ``jobs`` bounds the number of concurrent
-    worker processes (``None``/1 = inline).
+    Each shard is a full serial campaign at its :func:`shard_seed`;
+    ``jobs`` bounds the number of concurrent worker processes
+    (``None``/1 = inline).
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.isa.encoding import (
     InstructionFormat,
@@ -264,8 +265,15 @@ class DecodedInstruction:
         return self.exec_class in (ExecClass.BRANCH, ExecClass.JAL, ExecClass.JALR)
 
 
+@lru_cache(maxsize=65536)
 def decode(word: int) -> DecodedInstruction:
-    """Decode a 32-bit word; unknown encodings yield the ILLEGAL spec."""
+    """Decode a 32-bit word; unknown encodings yield the ILLEGAL spec.
+
+    Decoding is a pure function of the word and the result is immutable,
+    so results are memoised: fuzzing campaigns re-fetch the same handful
+    of distinct words millions of times (loops, re-mutated corpus
+    entries), and the cache turns those repeats into one dict hit.
+    """
     fields = decode_fields(word)
     spec = _match_spec(fields)
     if spec is None:

@@ -1,0 +1,37 @@
+"""Performance measurement for the reproduction's hot path.
+
+The ROADMAP's "as fast as the hardware allows" axis needs numbers
+before it needs opinions: this package benches named scenarios under
+fixed iteration or wall-clock budgets, emits the machine-readable
+``BENCH_pr3.json`` artifact (fresh results next to the committed pre-PR
+baseline), and provides the regression gate CI runs on every push.
+
+Entry points: ``python -m repro bench`` on the command line,
+:func:`run_bench`/:func:`emit_bench`/:func:`check_regression` from code.
+"""
+
+from repro.perf.baseline import PRE_PR_BASELINE
+from repro.perf.bench import (
+    BenchError,
+    BenchResult,
+    check_regression,
+    emit_bench,
+    load_bench,
+    peak_rss_kb,
+    render_bench,
+    run_bench,
+    speedup_vs_baseline,
+)
+
+__all__ = [
+    "PRE_PR_BASELINE",
+    "BenchError",
+    "BenchResult",
+    "check_regression",
+    "emit_bench",
+    "load_bench",
+    "peak_rss_kb",
+    "render_bench",
+    "run_bench",
+    "speedup_vs_baseline",
+]

@@ -1,0 +1,27 @@
+"""The committed pre-PR performance baseline.
+
+These numbers were measured at commit 88ef173 (the state of the tree
+*before* the PR 3 hot-path overhaul) on the reference CI container,
+with the exact protocol :func:`repro.perf.bench.run_bench` uses for the
+quickstart scenario: a fixed 60-iteration campaign, wall clock measured
+around the fuzzing loop only (the one-time offline phase is excluded),
+events-examined summed over every per-run trace, and peak RSS from
+``getrusage``.
+
+They are the denominator of the speedup figure the bench harness
+records into ``BENCH_pr3.json`` — the "before" of the before/after
+comparison — and stay fixed until a future PR re-baselines.
+"""
+
+from __future__ import annotations
+
+#: Pre-PR quickstart measurement (the bench harness's reference point).
+PRE_PR_BASELINE: dict = {
+    "scenario": "quickstart",
+    "protocol": {"mode": "iterations", "value": 60},
+    "iterations": 60,
+    "iters_per_sec": 11.38,
+    "events_examined_per_iter": 13626.2,
+    "peak_rss_kb": 51920,
+    "measured_at": "commit 88ef173 (pre-PR 3), reference CI container",
+}

@@ -1,0 +1,310 @@
+"""The campaign bench harness: named scenarios in, numbers out.
+
+One :func:`run_bench` call measures the per-iteration hot path of a
+scenario — :meth:`BoomCore.run <repro.boom.core.BoomCore.run>` → trace
+recording → coverage → detector — under a fixed iteration or wall-clock
+budget, and reports:
+
+* **iterations/sec** — wall clock around the fuzzing loop only (the
+  one-time offline phase is excluded: campaigns amortise it);
+* **events-examined/iteration** — the trace layer's query telemetry,
+  a machine-independent proxy for analysis work per iteration;
+* **peak RSS** — the process high-water mark from ``getrusage``.
+
+:func:`emit_bench` persists the results as ``BENCH_pr3.json`` together
+with the committed pre-PR baseline (:mod:`repro.perf.baseline`), so the
+before/after speedup travels with the artifact;
+:func:`check_regression` is the CI gate comparing a fresh run against
+the numbers committed in the repository.
+
+The bench always measures a *serial* campaign at the scenario's seed:
+shard fan-out moves work across processes but leaves the per-iteration
+path untouched, and that path is what this harness pins.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.perf.baseline import PRE_PR_BASELINE
+from repro.utils.text import ascii_table
+
+#: Iteration backstop for wall-clock budgets (the deadline does the work).
+_BUDGET_ITERATION_CAP = 10_000_000
+
+
+class BenchError(ValueError):
+    """A bench request that cannot be measured (or a failed gate)."""
+
+
+def peak_rss_kb() -> int:
+    """Process peak resident set size in KiB (normalised per platform).
+
+    ``ru_maxrss`` is a process-lifetime high-water mark: when several
+    scenarios bench in one process, every result after the first
+    reports at least the largest footprint seen so far.  Bench
+    scenarios in separate invocations when per-scenario RSS matters.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS
+        peak //= 1024
+    return int(peak)
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One scenario's measured numbers."""
+
+    scenario: str
+    mode: str                # "iterations" | "budget_s"
+    budget: float            # the iteration count or the seconds budget
+    iterations: int          # iterations actually completed
+    seconds: float
+    iters_per_sec: float
+    events_examined: int
+    events_examined_per_iter: float
+    cycles: int
+    instructions: int
+    coverage: int
+    findings: int
+    peak_rss_kb: int
+
+    @property
+    def key(self) -> str:
+        """Artifact/gate key: fully protocol-qualified so the gate and
+        the speedup figure only ever compare runs of the same shape —
+        longer campaigns drift into slower late-campaign iterations, so
+        a 600-iteration run must not be measured against a 60-iteration
+        figure any more than a wall-clock run against a fixed-count one.
+        """
+        if self.mode == "iterations":
+            return f"{self.scenario}@{self.budget:g}it"
+        return f"{self.scenario}@{self.budget:g}s"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _load_spec(scenario: str):
+    from repro.scenarios import resolve_scenario
+
+    return resolve_scenario(scenario)
+
+
+def run_bench(
+    scenario: str = "quickstart",
+    budget_s: float | None = None,
+    iterations: int | None = None,
+) -> BenchResult:
+    """Measure one scenario's per-iteration hot path.
+
+    Exactly one budget applies: ``budget_s`` runs for a wall-clock
+    budget (checked between iterations), otherwise ``iterations``
+    (default: the scenario's own iteration budget) runs a fixed count.
+    The scenario's stop condition stays active — an early stop simply
+    ends the measurement with fewer iterations.
+    """
+    if budget_s is not None and iterations is not None:
+        raise BenchError("pass either budget_s or iterations, not both")
+    if budget_s is not None and budget_s <= 0:
+        raise BenchError("budget_s must be positive")
+    if iterations is not None and iterations < 1:
+        raise BenchError("iterations must be >= 1")
+
+    spec = _load_spec(scenario)
+    if iterations is not None:
+        spec = spec.override(iterations=iterations)
+    if spec.iterations == 0 and budget_s is None:
+        raise BenchError(
+            f"scenario {spec.name!r} is offline-only (iterations = 0); "
+            f"bench it with a wall-clock budget (--budget-s)"
+        )
+
+    specure = spec.build_specure()
+    campaign = specure.build_campaign()  # offline phase paid here, untimed
+
+    scenario_stop = spec.stop_predicate()
+    if budget_s is None:
+        mode, budget = "iterations", float(spec.iterations)
+        budget_iterations = spec.iterations
+        stop = scenario_stop
+    else:
+        mode, budget = "budget_s", float(budget_s)
+        budget_iterations = _BUDGET_ITERATION_CAP
+        deadline = time.monotonic() + budget_s
+
+        def stop(findings) -> bool:
+            if time.monotonic() >= deadline:
+                return True
+            return scenario_stop is not None and scenario_stop(findings)
+
+    started = time.perf_counter()
+    report = campaign.run(budget_iterations, stop_when=stop)
+    seconds = time.perf_counter() - started
+
+    done = report.fuzz.iterations
+    if done == 0:
+        raise BenchError(
+            f"scenario {spec.name!r} completed no iterations within the "
+            f"budget; raise it"
+        )
+    events = campaign.online.events_examined
+    return BenchResult(
+        scenario=spec.name,
+        mode=mode,
+        budget=budget,
+        iterations=done,
+        seconds=seconds,
+        iters_per_sec=done / seconds,
+        events_examined=events,
+        events_examined_per_iter=events / done,
+        cycles=report.stats.cycles,
+        instructions=report.stats.instructions,
+        coverage=report.fuzz.final_coverage(),
+        findings=len(report.fuzz.findings),
+        peak_rss_kb=peak_rss_kb(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Artifact emission and the CI gate
+# ----------------------------------------------------------------------
+
+def speedup_vs_baseline(results: list[BenchResult],
+                        baseline: dict = PRE_PR_BASELINE) -> float | None:
+    """Iterations/sec speedup of the baseline scenario's fresh result.
+
+    Only a run replaying the baseline's own protocol (same scenario,
+    fixed-iteration mode, same iteration count) produces a speedup
+    figure — any other shape would compare different workloads.
+    """
+    protocol = baseline["protocol"]
+    for result in results:
+        if (result.scenario == baseline["scenario"]
+                and result.mode == protocol["mode"]
+                and result.budget == protocol["value"]):
+            return result.iters_per_sec / baseline["iters_per_sec"]
+    return None
+
+
+def emit_bench(
+    results: list[BenchResult],
+    path: str | Path = "BENCH_pr3.json",
+    baseline: dict = PRE_PR_BASELINE,
+) -> dict:
+    """Write the machine-readable bench artifact; returns its payload.
+
+    The payload carries both sides of the before/after story: the
+    committed pre-PR ``baseline`` and the fresh ``results``, plus the
+    derived ``speedup_vs_baseline`` when the baseline scenario was run.
+    """
+    payload = {
+        "bench": "pr3",
+        "generated_by": "python -m repro bench",
+        "baseline": dict(baseline),
+        "results": {result.key: result.to_dict() for result in results},
+    }
+    speedup = speedup_vs_baseline(results, baseline)
+    if speedup is not None:
+        payload["speedup_vs_baseline"] = round(speedup, 3)
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def load_bench(path: str | Path) -> dict:
+    """Load a previously emitted bench artifact."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except OSError as error:
+        raise BenchError(f"cannot read bench artifact {path}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise BenchError(f"invalid bench artifact {path}: {error}") from None
+    if not isinstance(payload, dict) or "results" not in payload:
+        raise BenchError(f"bench artifact {path} has no 'results' table")
+    return payload
+
+
+def check_regression(
+    results: list[BenchResult],
+    committed: dict,
+    max_regression: float = 0.25,
+) -> list[str]:
+    """Compare fresh results against a committed artifact's numbers.
+
+    Returns human-readable failure lines (empty = gate passed).  Two
+    checks per scenario, matched by protocol-qualified key (scenarios
+    absent from the committed artifact are skipped — new benches are
+    not gated):
+
+    * **iterations/sec** must not drop more than ``max_regression``
+      below the committed figure.  Wall clock varies across machines,
+      so the committed number should come from hardware comparable to
+      the gate's runner;
+    * **events-examined/iteration** — machine-independent analysis
+      work — must not *rise* more than ``max_regression`` above the
+      committed figure.  This catches algorithmic regressions (a
+      de-indexed query path, a lost memo) even when the gate runs on a
+      faster machine that would hide them from the wall-clock check.
+    """
+    failures = []
+    committed_results = committed.get("results", {})
+    for result in results:
+        reference = committed_results.get(result.key)
+        if reference is None:
+            continue
+        floor = reference["iters_per_sec"] * (1.0 - max_regression)
+        if result.iters_per_sec < floor:
+            failures.append(
+                f"{result.key}: {result.iters_per_sec:.2f} iters/sec "
+                f"is a >{max_regression:.0%} regression vs the committed "
+                f"{reference['iters_per_sec']:.2f} (floor {floor:.2f})"
+            )
+        reference_events = reference.get("events_examined_per_iter")
+        # Only fixed-iteration runs execute a machine-independent
+        # workload; in budget mode a faster runner completes more
+        # iterations, and events/iter legitimately grows as a campaign
+        # progresses, so the comparison would be spurious there.
+        if reference_events and result.mode == "iterations":
+            ceiling = reference_events * (1.0 + max_regression)
+            if result.events_examined_per_iter > ceiling:
+                failures.append(
+                    f"{result.key}: {result.events_examined_per_iter:.0f} "
+                    f"events-examined/iter is a >{max_regression:.0%} "
+                    f"regression vs the committed {reference_events:.0f} "
+                    f"(ceiling {ceiling:.0f})"
+                )
+    return failures
+
+
+def render_bench(results: list[BenchResult],
+                 baseline: dict = PRE_PR_BASELINE) -> str:
+    """Human-readable results table (with the baseline row for context)."""
+    rows = [[
+        f"{baseline['scenario']} (pre-PR baseline)",
+        baseline["iterations"],
+        f"{baseline['iters_per_sec']:.2f}",
+        f"{baseline['events_examined_per_iter']:.0f}",
+        f"{baseline['peak_rss_kb']:,}",
+    ]]
+    for result in results:
+        rows.append([
+            result.key,
+            result.iterations,
+            f"{result.iters_per_sec:.2f}",
+            f"{result.events_examined_per_iter:.0f}",
+            f"{result.peak_rss_kb:,}",
+        ])
+    table = ascii_table(
+        ["scenario", "iterations", "iters/sec", "events/iter", "peak RSS (KiB)"],
+        rows,
+        title="Campaign bench: per-iteration hot path",
+    )
+    speedup = speedup_vs_baseline(results, baseline)
+    if speedup is not None:
+        table += f"\nspeedup vs pre-PR baseline: {speedup:.2f}x"
+    return table

@@ -31,12 +31,17 @@ the naive full-scan cost.
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass
+from typing import NamedTuple
 
 
-@dataclass(frozen=True)
-class ChangeEvent:
-    """One signal change: at the end of ``cycle``, ``signal`` became ``new``."""
+class ChangeEvent(NamedTuple):
+    """One signal change: at the end of ``cycle``, ``signal`` became ``new``.
+
+    A :class:`~typing.NamedTuple` rather than a dataclass: the simulator
+    appends one per signal change (hundreds of thousands per campaign),
+    and tuple construction is several times cheaper than a frozen
+    dataclass ``__init__`` while keeping field access by name.
+    """
 
     cycle: int
     signal: int  # index into the trace's signal-name table
@@ -78,17 +83,22 @@ class WindowView:
         """One pass over the slice fills every memoised derivation.
 
         The window's consumers between them need all three views, so
-        the slice is walked exactly once per window per trace.
+        the slice is walked exactly once per window per trace.  The walk
+        indexes the shared event list directly — no per-window slice
+        copy — and unpacks each event tuple once.
         """
         self._trace.events_examined += len(self)
         counts: dict[int, int] = {}
         first_old: dict[int, int] = {}
         last_new: dict[int, int] = {}
-        for event in self.events:
-            counts[event.signal] = counts.get(event.signal, 0) + 1
-            if event.signal not in first_old:
-                first_old[event.signal] = event.old
-            last_new[event.signal] = event.new
+        events = self._trace.events
+        counts_get = counts.get
+        for position in range(self._lo, self._hi):
+            _cycle, signal, old, new = events[position]
+            counts[signal] = counts_get(signal, 0) + 1
+            if signal not in first_old:
+                first_old[signal] = old
+            last_new[signal] = new
         self._counts = counts
         self._toggled = set(counts)
         self._diff = {
@@ -133,13 +143,19 @@ class SignalTrace:
     returns the initial state.
     """
 
-    def __init__(self, signal_names: list[str], initial: list[int]):
+    def __init__(self, signal_names: list[str], initial: list[int],
+                 _index_of: dict[str, int] | None = None):
         if len(signal_names) != len(initial):
             raise ValueError("signal_names and initial must have equal length")
         self.signal_names = list(signal_names)
         self.initial = list(initial)
         self.events: list[ChangeEvent] = []
-        self._index_of = {name: i for i, name in enumerate(signal_names)}
+        # The name->index map is shareable across traces of one netlist
+        # (it is never mutated); rebuilt only when not supplied.
+        self._index_of = (
+            _index_of if _index_of is not None
+            else {name: i for i, name in enumerate(signal_names)}
+        )
         self._event_cycles: list[int] = []  # parallel to events, for bisect
         #: Per-signal index: event positions and cycles, parallel lists.
         #: Built lazily (recording is the simulator's hot path; queries
@@ -165,7 +181,23 @@ class SignalTrace:
             raise ValueError(
                 f"events must be appended in cycle order ({cycle} < {self.final_cycle})"
             )
-        self.events.append(ChangeEvent(cycle, signal, old, new))
+        self.record_unchecked(cycle, signal, old, new)
+
+    def record_unchecked(self, cycle: int, signal: int, old: int,
+                         new: int) -> None:
+        """:meth:`record` minus the cycle-ordering check — the recording
+        fast path for writers whose cycle counter is monotonic by
+        construction (:class:`repro.boom.tracer.TraceWriter`).  Keeping
+        it here means every append path shares one body, so the trace's
+        index/memo invariants cannot silently diverge between them.
+
+        ``tuple.__new__`` skips the generated NamedTuple ``__new__`` —
+        this runs once per actual signal change, hundreds of thousands
+        of times per campaign.
+        """
+        self.events.append(
+            tuple.__new__(ChangeEvent, (cycle, signal, old, new))
+        )
         self._event_cycles.append(cycle)
         if self._window_views:
             self._window_views.clear()
@@ -173,15 +205,23 @@ class SignalTrace:
 
     def _ensure_signal_index(self) -> None:
         """Bring the per-signal index up to date with the event list."""
-        if self._signal_indexed == len(self.events):
+        events = self.events
+        if self._signal_indexed == len(events):
             return
         positions = self._signal_positions
         cycles = self._signal_cycles
-        for position in range(self._signal_indexed, len(self.events)):
-            event = self.events[position]
-            positions.setdefault(event.signal, []).append(position)
-            cycles.setdefault(event.signal, []).append(event.cycle)
-        self._signal_indexed = len(self.events)
+        positions_get = positions.get
+        cycles_get = cycles.get
+        for position in range(self._signal_indexed, len(events)):
+            cycle, signal, _old, _new = events[position]
+            bucket = positions_get(signal)
+            if bucket is None:
+                positions[signal] = [position]
+                cycles[signal] = [cycle]
+            else:
+                bucket.append(position)
+                cycles_get(signal).append(cycle)
+        self._signal_indexed = len(events)
 
     def close(self, last_cycle: int) -> None:
         """Mark the end of the simulation (even if the tail was quiet)."""
@@ -238,15 +278,21 @@ class SignalTrace:
 
         Serves consumers that replay a small signal subset (e.g. the
         speculative-window extractor walking the five ROB indicator
-        signals) without touching the rest of the stream.
+        signals) without touching the rest of the stream.  When the
+        per-signal index is already built it is used; otherwise a single
+        filtered pass answers the query without paying to index every
+        signal (the common campaign case queries one fixed subset once).
         """
-        self._ensure_signal_index()
-        positions: list[int] = []
-        for index in indices:
-            positions.extend(self._signal_positions.get(index, ()))
-        positions.sort()
-        self.events_examined += len(positions)
-        return [self.events[position] for position in positions]
+        if self._signal_indexed == len(self.events):
+            positions: list[int] = []
+            for index in indices:
+                positions.extend(self._signal_positions.get(index, ()))
+            positions.sort()
+            self.events_examined += len(positions)
+            return [self.events[position] for position in positions]
+        matched = [event for event in self.events if event[1] in indices]
+        self.events_examined += len(matched)
+        return matched
 
     def window_view(self, start: int, end: int) -> WindowView:
         """The (cached) per-window query view for ``[start, end]``."""

@@ -20,6 +20,7 @@ from repro.scenarios.registry import (
     get_scenario,
     register_scenario,
     render_scenarios,
+    resolve_scenario,
     scenario_names,
 )
 from repro.scenarios.runner import (
@@ -38,6 +39,7 @@ __all__ = [
     "get_scenario",
     "register_scenario",
     "render_scenarios",
+    "resolve_scenario",
     "scenario_names",
     "run_scenario",
     "resume_scenario",

@@ -119,6 +119,18 @@ def get_scenario(name: str) -> ScenarioSpec:
         ) from None
 
 
+def resolve_scenario(reference: str) -> ScenarioSpec:
+    """A scenario by registry name, or from a ``.toml``/``.json`` path.
+
+    The one reference-resolution rule shared by every consumer that
+    accepts "a scenario" on a command line (``python -m repro run``,
+    ``python -m repro bench``, :func:`repro.perf.bench.run_bench`).
+    """
+    if reference.endswith((".toml", ".json")):
+        return ScenarioSpec.load(reference)
+    return get_scenario(reference)
+
+
 def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
     """Add a scenario to the registry (``replace=True`` to overwrite)."""
     if spec.name in _REGISTRY and not replace:

@@ -58,9 +58,11 @@ class ScenarioSpec:
       ``random_seed_count`` of extra random seed programs;
     * **mutation** — ``splice_probability`` and ``mutation_rounds`` of
       the mutation engine;
-    * **campaign shape** — ``iterations`` per shard, ``shards``, and the
-      ``shard_stride`` seed spacing (``iterations = 0`` runs the offline
-      phase only);
+    * **campaign shape** — ``iterations`` per shard and ``shards``
+      (``iterations = 0`` runs the offline phase only); ``shard_stride``
+      is a legacy knob kept so older scenario files load — per-shard
+      seeds are hash-derived (:func:`repro.harness.parallel.shard_seed`)
+      and ignore it;
     * **stop condition** — ``stop_kind`` ends every shard at its first
       finding of that vulnerability kind.
     """

@@ -9,6 +9,18 @@ campaign is a pure function of its configuration.
 from __future__ import annotations
 
 import random
+import zlib
+
+
+def stable_hash(value) -> int:
+    """Process-independent 32-bit hash of a reprable value.
+
+    ``hash()`` is salted per interpreter; campaigns need hashes that are
+    identical across worker processes and sessions (per-shard seed
+    derivation, instrumented-state fingerprints), so this hashes the
+    ``repr`` with CRC-32 instead.
+    """
+    return zlib.crc32(repr(value).encode())
 
 
 class DeterministicRng:

@@ -239,3 +239,47 @@ class TestFuzzerLoop:
         assert result.iterations_to_coverage(1) == 1
         assert result.iterations_to_coverage(4) == 2
         assert result.iterations_to_coverage(10**6) is None
+
+    # -- retention-boundary aliasing regressions ---------------------------
+
+    def test_finding_program_does_not_alias_seed_list(self):
+        # The first iterations evaluate the seeds themselves; a finding
+        # retained from one must not share state with the live seed,
+        # or a downstream consumer mutating its trigger (minimizers,
+        # tooling) silently corrupts the fuzzer's future schedule.
+        seeds = [TestProgram(words=[0xDEADBEEF, 7])]
+        fuzzer = Fuzzer(self.fake_evaluate, seeds, DeterministicRng(21))
+        result = fuzzer.run(iterations=1)
+        finding = result.first_finding("magic")
+        assert finding is not None
+        finding.program.words[0] = 0x0BAD
+        finding.program.memory_overlay[4] = 1
+        assert fuzzer.seeds[0].words == [0xDEADBEEF, 7]
+        assert not fuzzer.seeds[0].memory_overlay
+
+    def test_mutating_retained_programs_does_not_change_replay(self):
+        # Two identical campaigns, one of which clobbers every retained
+        # finding program mid-flight, must produce the same coverage
+        # curve and findings: retention boundaries hand out copies.
+        def run(vandalise):
+            seeds = [TestProgram(words=[0xDEADBEEF, 1, 2])]
+            fuzzer = Fuzzer(self.fake_evaluate, seeds, DeterministicRng(22))
+
+            def stop(findings):
+                if vandalise:
+                    for finding in findings:
+                        finding.program.words[:] = [0]
+                        finding.program.data_seed ^= 0xFFFF
+                return False
+
+            result = fuzzer.run(iterations=25, stop_when=stop)
+            return result.coverage_curve, [f.iteration for f in result.findings]
+
+        assert run(False) == run(True)
+
+    def test_corpus_add_stores_a_copy(self):
+        corpus = Corpus()
+        program = TestProgram(words=[1, 2, 3])
+        corpus.add(program, new_items=3)
+        program.words[0] = 99
+        assert corpus.entries[0].program.words == [1, 2, 3]

@@ -162,8 +162,29 @@ class TestShardedCampaigns:
     def config(self):
         return BoomConfig.small(VulnConfig.all())
 
-    def test_shard_seed_spacing_matches_serial_repeats(self):
-        assert [shard_seed(5, k) for k in range(3)] == [5, 1005, 2005]
+    def test_shard_zero_runs_at_the_base_seed(self):
+        # One-shard campaigns must be indistinguishable from serial runs.
+        assert shard_seed(5, 0) == 5
+        assert shard_seed(0, 0) == 0
+
+    def test_shard_seeds_are_deterministic_and_distinct(self):
+        from repro.utils.rng import stable_hash
+
+        seeds = [shard_seed(5, k) for k in range(8)]
+        assert seeds == [shard_seed(5, k) for k in range(8)]  # stable
+        assert len(set(seeds)) == len(seeds)
+        assert seeds[1:] == [stable_hash((5, k)) for k in range(1, 8)]
+
+    def test_shard_seeds_do_not_collide_across_nearby_base_seeds(self):
+        # The old `base + 1000 * k` spacing aliased campaigns whose base
+        # seeds differ by a multiple of 1000: seed 0 shard 1 replayed
+        # seed 1000 shard 0.  The hash derivation must not.
+        streams = {
+            (base, k): shard_seed(base, k)
+            for base in (0, 1000, 2000, 7)
+            for k in range(4)
+        }
+        assert len(set(streams.values())) == len(streams)
 
     def test_sharded_coverage_identical_to_serial(self, config):
         serial = run_coverage_campaign(

@@ -1,0 +1,189 @@
+"""Tests for the perf subsystem: bench harness, artifact, CI gate."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.perf import (
+    PRE_PR_BASELINE,
+    BenchError,
+    BenchResult,
+    check_regression,
+    emit_bench,
+    load_bench,
+    peak_rss_kb,
+    render_bench,
+    run_bench,
+    speedup_vs_baseline,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    """One tiny fixed-iteration bench (module-scoped: offline phase)."""
+    return run_bench("quickstart", iterations=4)
+
+
+class TestRunBench:
+    def test_measures_the_requested_iterations(self, quick_result):
+        assert quick_result.scenario == "quickstart"
+        assert quick_result.mode == "iterations"
+        assert quick_result.iterations == 4
+        assert quick_result.seconds > 0
+        assert quick_result.iters_per_sec == pytest.approx(
+            quick_result.iterations / quick_result.seconds
+        )
+
+    def test_reports_analysis_and_memory_telemetry(self, quick_result):
+        assert quick_result.events_examined > 0
+        assert quick_result.events_examined_per_iter == pytest.approx(
+            quick_result.events_examined / quick_result.iterations
+        )
+        assert quick_result.cycles > 0
+        assert quick_result.instructions > 0
+        assert quick_result.peak_rss_kb > 0
+
+    def test_key_is_protocol_qualified(self, quick_result):
+        assert quick_result.key == "quickstart@4it"
+        budget = BenchResult(**{**quick_result.to_dict(),
+                                "mode": "budget_s", "budget": 10.0})
+        assert budget.key == "quickstart@10s"
+
+    def test_budget_mode_respects_the_wall_clock(self):
+        result = run_bench("quickstart", budget_s=1.5)
+        assert result.mode == "budget_s"
+        assert result.iterations >= 1
+        # One in-flight evaluation may overshoot; bound it loosely.
+        assert result.seconds < 30
+
+    def test_rejects_contradictory_budgets(self):
+        with pytest.raises(BenchError):
+            run_bench("quickstart", budget_s=1, iterations=1)
+        with pytest.raises(BenchError):
+            run_bench("quickstart", iterations=0)
+        with pytest.raises(BenchError):
+            run_bench("quickstart", budget_s=0)
+
+    def test_offline_only_scenarios_need_a_wall_clock_budget(self):
+        with pytest.raises(BenchError):
+            run_bench("offline-analysis")
+
+    def test_peak_rss_is_positive(self):
+        assert peak_rss_kb() > 0
+
+
+class TestArtifact:
+    def test_emit_and_load_round_trip(self, quick_result, tmp_path):
+        path = tmp_path / "BENCH_pr3.json"
+        payload = emit_bench([quick_result], path=path)
+        loaded = load_bench(path)
+        assert loaded == json.loads(json.dumps(payload))
+        assert loaded["bench"] == "pr3"
+        assert loaded["baseline"] == PRE_PR_BASELINE
+        assert loaded["results"]["quickstart@4it"]["iterations"] == 4
+        # A 4-iteration run does not replay the 60-iteration baseline
+        # protocol, so no speedup figure is derived.
+        assert "speedup_vs_baseline" not in loaded
+
+    def test_speedup_only_for_the_baseline_protocol(self, quick_result):
+        # Not the baseline's protocol (4 iterations vs 60): no figure.
+        assert speedup_vs_baseline([quick_result]) is None
+        matching = BenchResult(**{**quick_result.to_dict(), "budget": 60.0})
+        assert speedup_vs_baseline([matching]) == pytest.approx(
+            matching.iters_per_sec / PRE_PR_BASELINE["iters_per_sec"]
+        )
+        budget = BenchResult(**{**quick_result.to_dict(),
+                                "mode": "budget_s", "budget": 10.0})
+        assert speedup_vs_baseline([budget]) is None
+
+    def test_load_rejects_missing_and_malformed(self, tmp_path):
+        with pytest.raises(BenchError):
+            load_bench(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(BenchError):
+            load_bench(bad)
+        shapeless = tmp_path / "shapeless.json"
+        shapeless.write_text("{\"hello\": 1}")
+        with pytest.raises(BenchError):
+            load_bench(shapeless)
+
+    def test_render_mentions_baseline_and_speedup(self, quick_result):
+        text = render_bench([quick_result])
+        assert "pre-PR baseline" in text
+        matching = BenchResult(**{**quick_result.to_dict(), "budget": 60.0})
+        assert "speedup vs pre-PR baseline" in render_bench([matching])
+
+
+class TestRegressionGate:
+    def _committed(self, result, iters_per_sec):
+        reference = dict(result.to_dict(), iters_per_sec=iters_per_sec)
+        return {"results": {result.key: reference}}
+
+    def test_passes_within_the_allowance(self, quick_result):
+        committed = self._committed(
+            quick_result, quick_result.iters_per_sec * 1.2
+        )
+        assert check_regression([quick_result], committed,
+                                max_regression=0.25) == []
+
+    def test_fails_beyond_the_allowance(self, quick_result):
+        committed = self._committed(
+            quick_result, quick_result.iters_per_sec * 2.0
+        )
+        failures = check_regression([quick_result], committed,
+                                    max_regression=0.25)
+        assert len(failures) == 1
+        assert "regression" in failures[0]
+
+    def test_skips_scenarios_absent_from_the_committed_artifact(
+            self, quick_result):
+        assert check_regression([quick_result], {"results": {}}) == []
+
+    def test_only_gates_matching_protocols(self, quick_result):
+        budget = BenchResult(**{**quick_result.to_dict(),
+                                "mode": "budget_s", "budget": 10.0})
+        committed = self._committed(
+            quick_result, quick_result.iters_per_sec * 10
+        )
+        # The committed entry is fixed-iteration; the budget run's key
+        # differs, so no comparison happens.
+        assert check_regression([budget], committed) == []
+
+
+class TestCommittedArtifact:
+    """The BENCH_pr3.json committed in the repository."""
+
+    REPO = Path(__file__).resolve().parent.parent
+
+    def test_exists_and_records_both_sides(self):
+        payload = load_bench(self.REPO / "BENCH_pr3.json")
+        assert payload["baseline"]["iters_per_sec"] > 0
+        quickstart = payload["results"]["quickstart@60it"]
+        assert quickstart["iters_per_sec"] > 0
+        assert payload["speedup_vs_baseline"] >= 2.0
+
+    def test_smoke_budget_entry_present_for_the_ci_gate(self):
+        payload = load_bench(self.REPO / "BENCH_pr3.json")
+        assert "quickstart@10s" in payload["results"]
+
+
+@pytest.mark.slow
+class TestBenchCli:
+    REPO = Path(__file__).resolve().parent.parent
+
+    def test_bench_command_emits_artifact(self, tmp_path):
+        out = tmp_path / "BENCH_pr3.json"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "bench",
+             "--iterations", "3", "--out", str(out)],
+            capture_output=True, text=True, cwd=self.REPO,
+            env={"PYTHONPATH": str(self.REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "pre-PR baseline" in proc.stdout
+        payload = json.loads(out.read_text())
+        assert payload["results"]["quickstart@3it"]["iterations"] == 3

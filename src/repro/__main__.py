@@ -6,7 +6,9 @@ Subcommands:
     Run a registered scenario (or a ``.toml``/``.json`` scenario file)
     and persist its artifacts under a run directory (``--out``, default
     ``runs/<name>``).  ``--iterations``/``--shards``/``--seed``/``--jobs``
-    override the spec's knobs for quick experiments.
+    /``--detector`` override the spec's knobs for quick experiments —
+    ``--detector both`` cross-validates the IFT detector against the
+    contract detector on any scenario.
 ``list-scenarios``
     Print the scenario registry.
 ``resume <dir>``
@@ -34,7 +36,7 @@ import sys
 import time
 
 from repro import BoomConfig, Specure, VulnConfig, __version__
-from repro.core.online import OnlinePhase
+from repro.core.online import DETECTORS
 from repro.fuzz.triggers import all_triggers
 from repro.harness.experiments import render_registry
 from repro.scenarios import (
@@ -59,7 +61,7 @@ def selfcheck(_args=None) -> int:
     print(specure.offline().summary())
     print()
 
-    online = OnlinePhase(specure.core, specure.offline(), monitor_dcache=True)
+    online = specure.build_online()
     failures = 0
     for kind, program in all_triggers().items():
         _, reports = online.run_once(program)
@@ -97,6 +99,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             ("iterations", args.iterations),
             ("shards", args.shards),
             ("seed", args.seed),
+            ("detector", args.detector),
         )
         if value is not None
     }
@@ -143,6 +146,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.perf import (
         BenchError,
+        baseline_for,
         check_regression,
         emit_bench,
         load_bench,
@@ -178,8 +182,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    print(render_bench(results))
-    emit_bench(results, path=args.out)
+    baseline = baseline_for(args.out)
+    print(render_bench(results, baseline=baseline))
+    emit_bench(results, path=args.out, baseline=baseline)
     print(f"(bench artifact written to {args.out})")
 
     if committed is not None:
@@ -249,6 +254,9 @@ def main(argv: list[str] | None = None) -> int:
                      help="override the spec's shard count")
     run.add_argument("--seed", type=int, default=None,
                      help="override the spec's base seed")
+    run.add_argument("--detector", choices=DETECTORS, default=None,
+                     help="override the spec's detection pathway "
+                          "(both = cross-validate IFT vs contract)")
     run.add_argument("--no-minimize", action="store_true",
                      help="skip trimming finding programs before storing")
     run.set_defaults(handler=cmd_run)

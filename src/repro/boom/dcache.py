@@ -148,8 +148,12 @@ class DCache:
         self.tags[set_index][victim] = self._tag_of(address)
         self.valid[set_index][victim] = True
         self._touch_lru(set_index, victim)
+        # Full tag, matching the signal's declared 64-bit width: the
+        # contract layer reconstructs line addresses from this value, so
+        # truncation would alias distinct high lines (a tag for any
+        # address fits in 57 bits anyway).
         self.tracer.set(self._ix_tag[set_index][victim],
-                        self.tags[set_index][victim] & ((1 << 32) - 1))
+                        self.tags[set_index][victim])
         self.tracer.set(self._ix_valid[set_index][victim], 1)
         self.tracer.set(self._ix_data[set_index][victim], self._line_hash(base))
         self._notify(base)

@@ -1,0 +1,40 @@
+"""Contract-backed differential leakage detection (model-based relational
+testing).
+
+The second detection pathway of the reproduction, orthogonal to the
+IFT/PDLC detector: leakage *contracts* evaluated on the golden ISS
+(:mod:`repro.contracts.clauses`) partition inputs into classes, an
+attacker-view hardware trace derived from the BOOM change-event trace
+(:mod:`repro.contracts.hwtrace`) is compared within each class, and any
+class the hardware can tell apart is a contract violation
+(:mod:`repro.contracts.detector`) — no information-flow graph required.
+
+Scenario specs select it with ``detector = "contract"`` (or ``"both"``
+for cross-validation against the IFT detector) plus a ``contract``
+observation clause; see ``docs/scenarios.md``.
+"""
+
+from repro.contracts.clauses import (
+    CLAUSES,
+    CONTRACT_KINDS,
+    ContractError,
+    ContractTrace,
+    contract_trace,
+)
+from repro.contracts.detector import (
+    ContractDetector,
+    ContractViolation,
+)
+from repro.contracts.hwtrace import HardwareTrace, HardwareTraceCollector
+
+__all__ = [
+    "CLAUSES",
+    "CONTRACT_KINDS",
+    "ContractError",
+    "ContractTrace",
+    "contract_trace",
+    "ContractDetector",
+    "ContractViolation",
+    "HardwareTrace",
+    "HardwareTraceCollector",
+]

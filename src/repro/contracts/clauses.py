@@ -1,0 +1,240 @@
+"""Observation clauses: leakage contracts evaluated on the golden ISS.
+
+Model-based relational testing (Revizor, "Hardware-Software Contracts
+for Secure Speculation") needs an *executable contract*: a model run
+that says which observations a side-channel attacker is **allowed** to
+make for a given program and input.  Two inputs with equal contract
+traces form an *input class*; the hardware must then be indistinguishable
+on them too, or the contract is violated.
+
+The contract model here is the repository's golden ISS — the same
+in-order architectural simulator co-simulation diffs against — extended
+with observation hooks (:attr:`repro.golden.iss.Iss.on_access`) and, for
+the speculative clause, a rollback-exact wrong-path simulator.  Three
+clauses are implemented:
+
+``ct-seq``
+    The constant-time sequential contract: the attacker observes the PC
+    of every architecturally executed instruction and the address of
+    every architectural load and store.  Speculation exposes nothing;
+    any speculative leak is a violation.
+``ct-cond``
+    CT-SEQ plus conditional-branch speculation (the CT-BPAS-style
+    execution clause): at every conditional branch the model also walks
+    the *not-taken-architecturally* path for a bounded window,
+    observing its PCs and memory addresses, then rolls every effect
+    back.  Spectre-v1-style leaks are contract-*allowed* here — which
+    is exactly what the ``contract-ablation`` scenario demonstrates.
+``arch-seq``
+    CT-SEQ plus the *values* returned by architectural loads — the most
+    permissive observation clause, useful as the ablation floor.
+
+Contract traces are plain tuples of observations, so equality is input
+classing and :func:`repro.utils.rng.stable_hash` gives process-stable
+class ids.  Squashed/misspeculated work never reaches the committed
+observation stream: wrong-path simulation runs on a shadow register
+file, CSR copy, and write-buffered memory, and the architectural state
+after a ``ct-cond`` run is bit-identical to a plain ISS run (pinned by
+``tests/test_contracts.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fuzz.input import TestProgram
+from repro.golden.iss import Iss, IssConfig
+from repro.golden.memory import SparseMemory
+from repro.isa.instructions import ExecClass, decode
+from repro.utils.bitvec import mask, to_signed
+from repro.utils.rng import stable_hash
+
+_M64 = mask(64)
+
+#: The implemented observation clauses, in documentation order.
+CLAUSES = ("ct-seq", "ct-cond", "arch-seq")
+
+#: Finding kind reported for a violation of each clause.
+CONTRACT_KINDS = {
+    clause: "contract_" + clause.replace("-", "_") for clause in CLAUSES
+}
+
+#: Default instruction budget for one simulated wrong path.
+DEFAULT_SPEC_WINDOW = 16
+
+
+class ContractError(ValueError):
+    """An unknown clause or an unusable contract configuration."""
+
+
+@dataclass(frozen=True)
+class ContractTrace:
+    """One input's contract-prescribed observation sequence.
+
+    ``observations`` is the attacker-visible trace under the clause:
+    ``("pc", pc)`` / ``("load", address)`` / ``("store", address)`` for
+    committed execution, ``("val", value)`` after loads under
+    ``arch-seq``, and ``("spec-pc", pc)`` / ``("spec-load", address)`` /
+    ``("spec-store", address)`` for the simulated wrong paths under
+    ``ct-cond``.  ``accessed_lines`` holds the cache-line base addresses
+    the *architectural* execution touched — the contract detector
+    subtracts them from the hardware-touched lines to find transient
+    residue worth planting secrets into.
+    """
+
+    clause: str
+    observations: tuple[tuple, ...]
+    accessed_lines: frozenset[int]
+
+    def key(self) -> int:
+        """Process-stable input-class id."""
+        return stable_hash((self.clause, self.observations))
+
+    def committed(self) -> tuple[tuple, ...]:
+        """The architectural (non-speculative) observation subsequence."""
+        return tuple(
+            obs for obs in self.observations if not obs[0].startswith("spec-")
+        )
+
+
+class _ShadowMemory(SparseMemory):
+    """A write-buffered view over a base memory for wrong-path runs.
+
+    Reads fall through to the base memory (including its deterministic
+    background fill); writes land in this object only, so a simulated
+    misspeculated path can store freely without the base memory — or
+    the architectural execution that continues from it — ever seeing
+    the effect.
+    """
+
+    def __init__(self, base: SparseMemory):
+        super().__init__()
+        self._base = base
+
+    def read_byte(self, address: int) -> int:
+        key = address & _M64
+        buffered = self._bytes.get(key)
+        if buffered is not None:
+            return buffered
+        return self._base.read_byte(address)
+
+
+def _build_iss(program: TestProgram, base_address: int) -> Iss:
+    """A fresh ISS loaded exactly the way the OoO core loads a program."""
+    memory = SparseMemory(fill_seed=program.data_seed)
+    memory.load_words(base_address, program.words)
+    for address, value in program.memory_overlay.items():
+        memory.write_byte(address, value)
+    iss = Iss(memory, IssConfig(base_address=base_address,
+                                max_steps=max(program.max_cycles, 1)))
+    iss.pc = base_address
+    iss._program_end = base_address + 4 * len(program.words)
+    iss.regs = list(program.reg_init)
+    return iss
+
+
+def _lines_of(address: int, size: int, line_bytes: int) -> tuple[int, ...]:
+    first = address & ~(line_bytes - 1)
+    last = (address + size - 1) & ~(line_bytes - 1)
+    return (first,) if first == last else (first, last)
+
+
+def _walk_spec_path(
+    iss: Iss,
+    start_pc: int,
+    regs: list[int],
+    csrs: dict[int, int],
+    budget: int,
+    observations: list[tuple],
+) -> None:
+    """Simulate one misspeculated path; everything rolls back.
+
+    The wrong path executes on copies of the register file and CSR
+    space and on a :class:`_ShadowMemory`, so it can load, store, and
+    even redirect control flow without leaving any architectural trace
+    — mirroring how the hardware squashes the same path.  Only the
+    ``spec-*`` observations escape.
+    """
+    shadow = Iss(_ShadowMemory(iss.memory),
+                 IssConfig(base_address=iss.config.base_address,
+                           max_steps=budget))
+    shadow.pc = start_pc
+    shadow._program_end = iss._program_end
+    shadow.regs = list(regs)
+    shadow.csrs = dict(csrs)
+
+    def observe(kind: str, address: int, value: int, size: int) -> None:
+        observations.append((f"spec-{kind}", address))
+
+    shadow.on_access = observe
+    for _ in range(budget):
+        if shadow.halted or not shadow._pc_in_program():
+            break
+        observations.append(("spec-pc", shadow.pc))
+        shadow.step()
+
+
+def contract_trace(
+    program: TestProgram,
+    clause: str = "ct-seq",
+    base_address: int = 0x8000_0000,
+    line_bytes: int = 16,
+    max_spec_window: int = DEFAULT_SPEC_WINDOW,
+) -> ContractTrace:
+    """Run ``program`` on the golden ISS under an observation clause.
+
+    ``base_address`` and ``line_bytes`` must match the hardware
+    configuration so architectural line accounting lines up with the
+    hardware-trace collector's.  Purely deterministic: same program,
+    same trace, in any process.
+    """
+    if clause not in CLAUSES:
+        raise ContractError(
+            f"unknown observation clause {clause!r}; implemented clauses "
+            f"are {', '.join(CLAUSES)}"
+        )
+    if max_spec_window < 1:
+        raise ContractError("max_spec_window must be >= 1")
+
+    iss = _build_iss(program, base_address)
+    observations: list[tuple] = []
+    accessed_lines: set[int] = set()
+
+    def observe(kind: str, address: int, value: int, size: int) -> None:
+        observations.append((kind, address))
+        accessed_lines.update(_lines_of(address, size, line_bytes))
+        if clause == "arch-seq" and kind == "load":
+            observations.append(("val", value))
+
+    iss.on_access = observe
+    speculative = clause == "ct-cond"
+    for _ in range(iss.config.max_steps):
+        if iss.halted or not iss._pc_in_program():
+            break
+        pc = iss.pc
+        at_branch = False
+        if speculative:
+            # Only the speculative clause needs to peek at the next
+            # instruction (the cheaper clauses just let step() decode).
+            inst = decode(iss.memory.read(pc, 4))
+            at_branch = inst.exec_class is ExecClass.BRANCH
+            if at_branch:
+                # Decide the wrong path *before* stepping: the
+                # architectural step consumes the source registers.
+                taken_target = (pc + to_signed(inst.imm, 64)) & _M64
+                spec_regs = list(iss.regs)
+                spec_csrs = dict(iss.csrs)
+        observations.append(("pc", pc))
+        iss.step()
+        if at_branch:
+            arch_next = iss.pc
+            fallthrough = (pc + 4) & _M64
+            wrong_pc = fallthrough if arch_next != fallthrough else taken_target
+            if wrong_pc != arch_next:
+                _walk_spec_path(iss, wrong_pc, spec_regs, spec_csrs,
+                                max_spec_window, observations)
+    return ContractTrace(
+        clause=clause,
+        observations=tuple(observations),
+        accessed_lines=frozenset(accessed_lines),
+    )

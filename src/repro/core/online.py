@@ -13,6 +13,13 @@ Composes the paper's Figure 1 components:
 * **Coverage Calculator** — LP coverage items (or traditional code
   coverage when configured as the Figure 2 baseline) as coverage
   feedback for the Hardware Fuzzer.
+
+A second, IFG-free detection pathway rides the same evaluate() call:
+``detector="contract"`` swaps the Vulnerability Detector for the
+model-based relational :class:`~repro.contracts.detector.ContractDetector`
+(:mod:`repro.contracts`), and ``detector="both"`` runs the two side by
+side — the built-in cross-validation mode whose per-iteration agreement
+the campaign report surfaces.
 """
 
 from __future__ import annotations
@@ -21,13 +28,22 @@ import time
 from dataclasses import dataclass, field
 
 from repro.boom.core import BoomCore, CoreResult
+from repro.contracts.clauses import DEFAULT_SPEC_WINDOW
+from repro.contracts.detector import (
+    DEFAULT_INPUTS_PER_CLASS,
+    ContractDetector,
+)
+from repro.contracts.hwtrace import HardwareTraceCollector
 from repro.core.offline import OfflineArtifacts
 from repro.coverage.code import CodeCoverage
 from repro.coverage.lp import LpCoverage
 from repro.detection.leakage import LeakageDetector
 from repro.detection.mst import MisspeculationTable
-from repro.detection.vulnerability import LeakReport, VulnerabilityDetector
+from repro.detection.vulnerability import VulnerabilityDetector
 from repro.fuzz.input import TestProgram
+
+#: The selectable detection pathways.
+DETECTORS = ("ift", "contract", "both")
 
 
 @dataclass
@@ -41,6 +57,11 @@ class OnlineStats:
     mispredicted_windows: int = 0
     simulate_seconds: float = 0.0
     analysis_seconds: float = 0.0
+    #: Extra hardware runs the contract detector's variant inputs made
+    #: and the violations it confirmed (0 on IFT-only campaigns, so
+    #: pre-contract shard artifacts load with the defaults).
+    contract_runs: int = 0
+    contract_violations: int = 0
 
     def merge(self, *others: "OnlineStats") -> "OnlineStats":
         """Field-wise sum with other shards' stats (new object).
@@ -57,6 +78,8 @@ class OnlineStats:
             merged.mispredicted_windows += other.mispredicted_windows
             merged.simulate_seconds += other.simulate_seconds
             merged.analysis_seconds += other.analysis_seconds
+            merged.contract_runs += other.contract_runs
+            merged.contract_violations += other.contract_violations
         return merged
 
 
@@ -69,12 +92,22 @@ class OnlinePhase:
         offline: OfflineArtifacts,
         coverage: str = "lp",
         monitor_dcache: bool = False,
+        detector: str = "ift",
+        contract: str = "ct-seq",
+        inputs_per_class: int = DEFAULT_INPUTS_PER_CLASS,
+        max_spec_window: int = DEFAULT_SPEC_WINDOW,
     ):
         if coverage not in ("lp", "code"):
             raise ValueError(f"unknown coverage metric {coverage!r}")
+        if detector not in DETECTORS:
+            raise ValueError(
+                f"unknown detector {detector!r}; choose from "
+                f"{', '.join(DETECTORS)}"
+            )
         self.core = core
         self.offline = offline
         self.coverage_kind = coverage
+        self.detector_mode = detector
         signal_names = list(core.netlist.signals)
         self.lp = LpCoverage(offline.pdlc, signal_names)
         self.code = CodeCoverage()
@@ -85,9 +118,23 @@ class OnlinePhase:
             line_bytes=core.config.line_bytes,
             dcache_sets=core.config.dcache_sets,
         )
+        self.contract: ContractDetector | None = None
+        if detector in ("contract", "both"):
+            self.contract = ContractDetector(
+                core.run,
+                HardwareTraceCollector(core.config, signal_names),
+                clause=contract,
+                inputs_per_class=inputs_per_class,
+                max_spec_window=max_spec_window,
+                base_address=core.config.base_address,
+                line_bytes=core.config.line_bytes,
+            )
         self.mst = MisspeculationTable()
         self.stats = OnlineStats()
-        self.reports: list[LeakReport] = []
+        #: IFT :class:`LeakReport` and/or contract
+        #: :class:`~repro.contracts.detector.ContractViolation` objects,
+        #: in detection order (both carry ``kind`` and ``render()``).
+        self.reports: list = []
         #: Total trace events examined by this phase's analysis queries
         #: (summed per-run telemetry; the bench harness reports it as
         #: events-examined/iteration).  Kept outside :class:`OnlineStats`
@@ -105,7 +152,9 @@ class OnlinePhase:
         """Run one test input through the whole online pipeline.
 
         Returns ``(coverage_items, findings, metadata)`` as the fuzzing
-        loop expects; findings are ``(kind, LeakReport)`` pairs.
+        loop expects; findings are ``(kind, report)`` pairs where the
+        report is a :class:`LeakReport` (IFT pathway) or a
+        :class:`~repro.contracts.detector.ContractViolation`.
         """
         started = time.perf_counter()
         result = self.core.run(program)
@@ -113,8 +162,20 @@ class OnlinePhase:
 
         windows = self.leakage.windows(result)
         self.mst.add_windows(windows)
-        leaks = self.leakage.potential_leaks(result, windows=windows)
-        reports = self.vulnerability.detect(result, leaks)
+        reports: list = []
+        if self.detector_mode in ("ift", "both"):
+            leaks = self.leakage.potential_leaks(result, windows=windows)
+            reports.extend(self.vulnerability.detect(result, leaks))
+        if self.contract is not None:
+            runs_before = self.contract.variant_runs
+            variant_events_before = self.contract.events_examined
+            violations = self.contract.detect(program, result)
+            reports.extend(violations)
+            self.stats.contract_runs += \
+                self.contract.variant_runs - runs_before
+            self.stats.contract_violations += len(violations)
+            self.events_examined += \
+                self.contract.events_examined - variant_events_before
         self.reports.extend(reports)
 
         if self.coverage_kind == "lp":
@@ -147,8 +208,14 @@ class OnlinePhase:
         }
         return items, findings, metadata
 
-    def run_once(self, program: TestProgram) -> tuple[CoreResult, list[LeakReport]]:
-        """Single-run convenience (examples, tests): result + reports."""
+    def run_once(self, program: TestProgram) -> tuple[CoreResult, list]:
+        """Single-run convenience (examples, tests, minimization, replay):
+        result + reports from every configured detector."""
         result = self.core.run(program)
-        leaks = self.leakage.potential_leaks(result)
-        return result, self.vulnerability.detect(result, leaks)
+        reports: list = []
+        if self.detector_mode in ("ift", "both"):
+            leaks = self.leakage.potential_leaks(result)
+            reports.extend(self.vulnerability.detect(result, leaks))
+        if self.contract is not None:
+            reports.extend(self.contract.detect(program, result))
+        return result, reports

@@ -1,4 +1,13 @@
-"""Campaign reports: what a Specure run found, rendered for humans."""
+"""Campaign reports: what a Specure run found, rendered for humans.
+
+``reports`` may hold findings of either detection pathway — IFT
+:class:`~repro.detection.vulnerability.LeakReport` objects and contract
+:class:`~repro.contracts.detector.ContractViolation` objects — told
+apart by their ``kind`` prefix.  When a campaign ran both detectors
+(``detector="both"``), :meth:`CampaignReport.cross_validation` turns the
+per-iteration agreement into first-class triage output: iterations
+flagged by exactly one detector are where the two oracles disagree.
+"""
 
 from __future__ import annotations
 
@@ -11,6 +20,14 @@ from repro.detection.vulnerability import LeakReport
 from repro.fuzz.fuzzer import CampaignResult
 from repro.utils.text import ascii_table
 
+#: Finding kinds of the contract pathway start with this prefix.
+CONTRACT_KIND_PREFIX = "contract_"
+
+
+def is_contract_kind(kind: str) -> bool:
+    """True for contract-detector finding kinds (``contract_ct_seq``…)."""
+    return kind.startswith(CONTRACT_KIND_PREFIX)
+
 
 @dataclass
 class CampaignReport:
@@ -21,6 +38,10 @@ class CampaignReport:
     stats: OnlineStats
     mst: MisspeculationTable
     reports: list[LeakReport] = field(default_factory=list)
+    #: The detection pathways that actually ran (distinguishes "the IFT
+    #: detector found nothing" from "the IFT detector never ran" —
+    #: findings alone cannot tell the two apart).
+    detectors: tuple[str, ...] = ("ift",)
 
     def detected_kinds(self) -> set[str]:
         return {report.kind for report in self.reports}
@@ -30,9 +51,38 @@ class CampaignReport:
         finding = self.fuzz.first_finding(kind)
         return None if finding is None else finding.iteration
 
+    def ran_both_detectors(self) -> bool:
+        """True when the campaign ran the IFT and contract pathways."""
+        return "ift" in self.detectors and "contract" in self.detectors
+
+    def cross_validation(self) -> dict[str, list[int]]:
+        """Per-iteration agreement of the two detection pathways.
+
+        Returns the iterations flagged by ``both`` detectors, by the
+        IFT detector ``ift_only``, and by the contract detector
+        ``contract_only`` (each sorted).  Only meaningful when
+        :meth:`ran_both_detectors` — elsewhere one side is empty by
+        construction.
+        """
+        ift = {f.iteration for f in self.fuzz.findings
+               if not is_contract_kind(f.kind)}
+        contract = {f.iteration for f in self.fuzz.findings
+                    if is_contract_kind(f.kind)}
+        return {
+            "both": sorted(ift & contract),
+            "ift_only": sorted(ift - contract),
+            "contract_only": sorted(contract - ift),
+        }
+
     def to_dict(self) -> dict:
         """Machine-readable summary (JSON-serialisable) for CI pipelines."""
+        cross = (
+            {"cross_validation": self.cross_validation()}
+            if self.ran_both_detectors() else {}
+        )
         return {
+            **cross,
+            "detectors": list(self.detectors),
             "offline": {
                 "signals": self.offline.ifg.vertex_count,
                 "connections": self.offline.ifg.edge_count,
@@ -77,25 +127,64 @@ class CampaignReport:
             f"{self.stats.mispredicted_windows}/{self.stats.windows} "
             f"windows misspeculated",
         ]
-        if self.reports:
-            kinds = sorted(self.detected_kinds())
+        leaks = [r for r in self.reports if not is_contract_kind(r.kind)]
+        violations = [r for r in self.reports if is_contract_kind(r.kind)]
+        ran_ift = "ift" in self.detectors
+        ran_contract = "contract" in self.detectors
+        first_by_kind = {}
+        for report in self.reports:
+            first_by_kind.setdefault(report.kind, report)
+        if leaks:
+            kinds = sorted({r.kind for r in leaks})
             rows = []
             for kind in kinds:
                 iteration = self.first_detection_iteration(kind)
-                count = sum(1 for r in self.reports if r.kind == kind)
+                count = sum(1 for r in leaks if r.kind == kind)
                 rows.append([kind, count, iteration])
             lines.append(ascii_table(
                 ["vulnerability", "reports", "first at iteration"], rows,
                 title="Detected direct-channel leaks",
             ))
             lines.append("")
-            first_by_kind = {}
-            for report in self.reports:
-                first_by_kind.setdefault(report.kind, report)
             for kind in kinds:
                 lines.append(first_by_kind[kind].render())
-        else:
+        elif ran_ift:
             lines.append("no direct-channel leaks detected")
+        else:
+            lines.append("direct-channel (IFT) detector not run")
+        if violations:
+            kinds = sorted({r.kind for r in violations})
+            rows = []
+            for kind in kinds:
+                iteration = self.first_detection_iteration(kind)
+                count = sum(1 for r in violations if r.kind == kind)
+                rows.append([kind, count, iteration])
+            lines.append(ascii_table(
+                ["contract", "violations", "first at iteration"], rows,
+                title="Contract violations (model-based relational testing)",
+            ))
+            lines.append(
+                f"({self.stats.contract_runs} differential hardware runs)"
+            )
+            lines.append("")
+            for kind in kinds:
+                lines.append(first_by_kind[kind].render())
+        elif ran_contract:
+            lines.append("no contract violations detected")
+        if self.ran_both_detectors():
+            agreement = self.cross_validation()
+
+            def _fmt(iterations: list[int]) -> str:
+                return ", ".join(str(i) for i in iterations) or "-"
+
+            lines.append("")
+            lines.append(ascii_table(
+                ["agreement", "iterations"],
+                [["both detectors", _fmt(agreement["both"])],
+                 ["ift only", _fmt(agreement["ift_only"])],
+                 ["contract only", _fmt(agreement["contract_only"])]],
+                title="Detector cross-validation (flagged iterations)",
+            ))
         if len(self.mst):
             from repro.detection.nesting import max_depth
 

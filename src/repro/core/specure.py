@@ -13,6 +13,11 @@ Configuration knobs map one-to-one onto the paper's experiments:
 (the Spectre experiments), ``use_special_seeds`` toggles the speculative
 seed corpus (the with/without-seeds detection-time numbers), and
 ``splice_probability``/``mutation_rounds`` tune the mutation engine.
+``detector`` selects the detection pathway — the IFT/PDLC detector
+(``"ift"``), the model-based relational contract detector
+(``"contract"``, configured by ``contract``/``inputs_per_class``/
+``max_spec_window``; see :mod:`repro.contracts`), or ``"both"`` for
+cross-validation.
 
 The same knobs travel three ways: directly through this constructor,
 sharded across worker processes via :meth:`Specure.sharded_campaign`
@@ -53,12 +58,14 @@ class SpecureCampaign:
         fuzz_result: CampaignResult = self.fuzzer.run(
             iterations, stop_when=stop_when
         )
+        mode = self.online.detector_mode
         return CampaignReport(
             offline=self.offline,
             fuzz=fuzz_result,
             stats=self.online.stats,
             mst=self.online.mst,
             reports=self.online.reports,
+            detectors=("ift", "contract") if mode == "both" else (mode,),
         )
 
 
@@ -75,6 +82,10 @@ class Specure:
         random_seed_count: int = 4,
         splice_probability: float = 0.15,
         mutation_rounds: int = 3,
+        detector: str = "ift",
+        contract: str = "ct-seq",
+        inputs_per_class: int = 3,
+        max_spec_window: int = 16,
     ):
         self.config = config or BoomConfig.small()
         self.seed = seed
@@ -84,6 +95,10 @@ class Specure:
         self.random_seed_count = random_seed_count
         self.splice_probability = splice_probability
         self.mutation_rounds = mutation_rounds
+        self.detector = detector
+        self.contract = contract
+        self.inputs_per_class = inputs_per_class
+        self.max_spec_window = max_spec_window
         self.core = BoomCore(self.config)
         self._offline: OfflineArtifacts | None = None
 
@@ -93,15 +108,31 @@ class Specure:
             self._offline = run_offline(self.core.netlist)
         return self._offline
 
+    def build_online(self, offline: OfflineArtifacts | None = None) -> OnlinePhase:
+        """A fresh online pipeline wired with every configured knob.
+
+        The single construction point the campaign builder, the finding
+        minimizer, and replay all share, so detector configuration can
+        never drift between the fuzzing loop and its re-checkers.
+        ``offline`` injects precomputed artifacts (they are a pure
+        function of the configuration) to skip re-running the offline
+        phase; by default this Specure's own cached artifacts are used.
+        """
+        return OnlinePhase(
+            self.core,
+            offline if offline is not None else self.offline(),
+            coverage=self.coverage,
+            monitor_dcache=self.monitor_dcache,
+            detector=self.detector,
+            contract=self.contract,
+            inputs_per_class=self.inputs_per_class,
+            max_spec_window=self.max_spec_window,
+        )
+
     def build_campaign(self) -> SpecureCampaign:
         """Wire a fresh online phase + fuzzer (new RNG streams)."""
         offline = self.offline()
-        online = OnlinePhase(
-            self.core,
-            offline,
-            coverage=self.coverage,
-            monitor_dcache=self.monitor_dcache,
-        )
+        online = self.build_online()
         rng = DeterministicRng(self.seed)
         seeds: list[TestProgram] = []
         if self.use_special_seeds:
@@ -155,6 +186,10 @@ class Specure:
             random_seed_count=self.random_seed_count,
             splice_probability=self.splice_probability,
             mutation_rounds=self.mutation_rounds,
+            detector=self.detector,
+            contract=self.contract,
+            inputs_per_class=self.inputs_per_class,
+            max_spec_window=self.max_spec_window,
             stop_kind=stop_kind,
         )
 

@@ -74,6 +74,12 @@ class Iss:
         self.halted = False
         self.instret = 0
         self._program_end = self.config.base_address
+        #: Optional memory-access observation hook,
+        #: ``on_access(kind, address, value, size)`` with kind ``"load"``
+        #: or ``"store"`` — how the contract layer (:mod:`repro.contracts`)
+        #: derives observation clauses from architectural execution
+        #: without this model knowing what a contract is.
+        self.on_access = None
 
     def load_program(self, words: list[int], base: int | None = None) -> None:
         """Load instruction words and point the PC at them."""
@@ -150,12 +156,16 @@ class Iss:
             address = (self.regs[inst.rs1] + to_signed(inst.imm, 64)) & _M64
             size, signed = _ACCESS[inst.mnemonic]
             rd_value = self.memory.read(address, size, signed=signed) & _M64
+            if self.on_access is not None:
+                self.on_access("load", address, rd_value, size)
             if inst.dest() is not None:
                 self.write_reg(inst.rd, rd_value)
         elif cls is ExecClass.STORE:
             store_address = (self.regs[inst.rs1] + to_signed(inst.imm, 64)) & _M64
             size = _ACCESS[inst.mnemonic]
             store_value = truncate(self.regs[inst.rs2], 8 * size)
+            if self.on_access is not None:
+                self.on_access("store", store_address, store_value, size)
             self.memory.write(store_address, self.regs[inst.rs2], size)
         elif cls is ExecClass.BRANCH:
             if self._branch_taken(inst):

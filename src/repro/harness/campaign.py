@@ -127,13 +127,11 @@ def run_coverage_campaign(
     :func:`~repro.harness.parallel.shard_seed`, so the returned curves
     are byte-identical to a serial run.
     """
-    from repro.harness.parallel import (
-        DEFAULT_SHARD_STRIDE, map_shards, shard_seed,
-    )
+    from repro.harness.parallel import map_shards, shard_seed
 
     specs = [
         (config, coverage, iterations,
-         shard_seed(base_seed, repeat, DEFAULT_SHARD_STRIDE), repeat)
+         shard_seed(base_seed, repeat), repeat)
         for repeat in range(repeats)
     ]
     return map_shards(_coverage_repeat_star, specs, jobs)

@@ -46,6 +46,7 @@ Merge semantics
 from __future__ import annotations
 
 import multiprocessing
+import warnings
 from dataclasses import dataclass, replace
 
 from repro.boom.config import BoomConfig
@@ -55,14 +56,20 @@ from repro.detection.vulnerability import LeakReport
 from repro.fuzz.fuzzer import CampaignResult
 from repro.utils.rng import stable_hash
 
-#: Legacy seed spacing, kept only so existing call sites and scenario
-#: files (``shard_stride``) keep loading; the hash derivation below
-#: ignores it.
+#: Deprecated legacy seed spacing, kept only so existing call sites keep
+#: importing; the hash derivation below never uses it and passing any
+#: stride emits a :class:`DeprecationWarning`.
 DEFAULT_SHARD_STRIDE = 1000
+
+_SHARD_STRIDE_DEPRECATION = (
+    "the 'shard_stride' parameter is deprecated and ignored: per-shard "
+    "seeds are hash-derived (shard 0 = base seed, shard k >= 1 = "
+    "stable_hash((base_seed, k))); stop passing it"
+)
 
 
 def shard_seed(base_seed: int, shard: int,
-               shard_stride: int = DEFAULT_SHARD_STRIDE) -> int:
+               shard_stride: int | None = None) -> int:
     """The deterministic seed of one shard.
 
     Shard 0 is the base seed itself — a one-shard campaign must be
@@ -72,9 +79,11 @@ def shard_seed(base_seed: int, shard: int,
     outright (the old ``base_seed + stride * shard`` arithmetic aliased
     whenever base seeds differed by a multiple of the stride).
 
-    ``shard_stride`` is accepted for backward compatibility and unused.
+    ``shard_stride`` is deprecated and unused; passing any value warns.
     """
-    del shard_stride
+    if shard_stride is not None:
+        warnings.warn(_SHARD_STRIDE_DEPRECATION, DeprecationWarning,
+                      stacklevel=2)
     if shard == 0:
         return base_seed
     return stable_hash((base_seed, shard))
@@ -99,6 +108,10 @@ class ShardSpec:
     random_seed_count: int = 4
     splice_probability: float = 0.15
     mutation_rounds: int = 3
+    detector: str = "ift"
+    contract: str = "ct-seq"
+    inputs_per_class: int = 3
+    max_spec_window: int = 16
     stop_kind: str | None = None
 
 
@@ -115,6 +128,10 @@ def _run_shard(spec: ShardSpec) -> CampaignReport:
         random_seed_count=spec.random_seed_count,
         splice_probability=spec.splice_probability,
         mutation_rounds=spec.mutation_rounds,
+        detector=spec.detector,
+        contract=spec.contract,
+        inputs_per_class=spec.inputs_per_class,
+        max_spec_window=spec.max_spec_window,
     )
     deadline = (
         None if spec.seconds is None else time.monotonic() + spec.seconds
@@ -240,6 +257,7 @@ def merge_reports(reports: list[CampaignReport]) -> CampaignReport:
         stats=stats,
         mst=mst,
         reports=leak_reports,
+        detectors=reports[0].detectors,
     )
 
 
@@ -253,28 +271,38 @@ def run_sharded_campaign(
     shards: int = 2,
     jobs: int | None = None,
     base_seed: int = 0,
-    shard_stride: int = DEFAULT_SHARD_STRIDE,
+    shard_stride: int | None = None,
     coverage: str = "lp",
     monitor_dcache: bool = False,
     use_special_seeds: bool = True,
     random_seed_count: int = 4,
     splice_probability: float = 0.15,
     mutation_rounds: int = 3,
+    detector: str = "ift",
+    contract: str = "ct-seq",
+    inputs_per_class: int = 3,
+    max_spec_window: int = 16,
     stop_kind: str | None = None,
 ) -> CampaignReport:
     """Run ``shards`` independent campaigns and merge their reports.
 
     Each shard is a full serial campaign at its :func:`shard_seed`;
     ``jobs`` bounds the number of concurrent worker processes
-    (``None``/1 = inline).
+    (``None``/1 = inline).  ``shard_stride`` is deprecated and ignored
+    (passing it warns).
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
+    if shard_stride is not None:
+        # Warn once here, attributed to the caller, rather than once
+        # per shard from inside the seed derivation.
+        warnings.warn(_SHARD_STRIDE_DEPRECATION, DeprecationWarning,
+                      stacklevel=2)
     specs = [
         ShardSpec(
             shard=shard,
             config=config,
-            seed=shard_seed(base_seed, shard, shard_stride),
+            seed=shard_seed(base_seed, shard),
             coverage=coverage,
             iterations=iterations_per_shard,
             monitor_dcache=monitor_dcache,
@@ -282,6 +310,10 @@ def run_sharded_campaign(
             random_seed_count=random_seed_count,
             splice_probability=splice_probability,
             mutation_rounds=mutation_rounds,
+            detector=detector,
+            contract=contract,
+            inputs_per_class=inputs_per_class,
+            max_spec_window=max_spec_window,
             stop_kind=stop_kind,
         )
         for shard in range(shards)
@@ -295,7 +327,7 @@ def run_sharded_timed_campaign(
     shards: int = 2,
     jobs: int | None = None,
     base_seed: int = 0,
-    shard_stride: int = DEFAULT_SHARD_STRIDE,
+    shard_stride: int | None = None,
     coverage: str = "lp",
     monitor_dcache: bool = True,
 ) -> CampaignReport:
@@ -307,11 +339,14 @@ def run_sharded_timed_campaign(
     """
     if seconds <= 0:
         raise ValueError("seconds must be positive")
+    if shard_stride is not None:
+        warnings.warn(_SHARD_STRIDE_DEPRECATION, DeprecationWarning,
+                      stacklevel=2)
     specs = [
         ShardSpec(
             shard=shard,
             config=config,
-            seed=shard_seed(base_seed, shard, shard_stride),
+            seed=shard_seed(base_seed, shard),
             coverage=coverage,
             seconds=seconds,
             monitor_dcache=monitor_dcache,

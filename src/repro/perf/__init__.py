@@ -10,10 +10,15 @@ Entry points: ``python -m repro bench`` on the command line,
 :func:`run_bench`/:func:`emit_bench`/:func:`check_regression` from code.
 """
 
-from repro.perf.baseline import PRE_PR_BASELINE
+from repro.perf.baseline import (
+    BASELINES,
+    PR4_CONTRACT_BASELINE,
+    PRE_PR_BASELINE,
+)
 from repro.perf.bench import (
     BenchError,
     BenchResult,
+    baseline_for,
     check_regression,
     emit_bench,
     load_bench,
@@ -24,9 +29,12 @@ from repro.perf.bench import (
 )
 
 __all__ = [
+    "BASELINES",
+    "PR4_CONTRACT_BASELINE",
     "PRE_PR_BASELINE",
     "BenchError",
     "BenchResult",
+    "baseline_for",
     "check_regression",
     "emit_bench",
     "load_bench",

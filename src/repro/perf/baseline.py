@@ -25,3 +25,27 @@ PRE_PR_BASELINE: dict = {
     "peak_rss_kb": 51920,
     "measured_at": "commit 88ef173 (pre-PR 3), reference CI container",
 }
+
+#: The contract-detector introduction figure (``BENCH_pr4.json``).
+#: The contract pathway had no pre-PR existence, so its "before" is the
+#: measurement taken when the pathway landed: one relational-testing
+#: iteration = hardware run + golden-ISS contract trace (ct-cond
+#: wrong-path simulation) + secret-planted variant runs.  Future PRs
+#: regress against this the way PR 3's optimizations are measured
+#: against the quickstart figure above.
+PR4_CONTRACT_BASELINE: dict = {
+    "scenario": "contract-ablation",
+    "protocol": {"mode": "iterations", "value": 40},
+    "iterations": 40,
+    "iters_per_sec": 10.72,
+    "events_examined_per_iter": 17424.7,
+    "peak_rss_kb": 49736,
+    "measured_at": "PR 4 (contract pathway introduction), "
+                   "reference container",
+}
+
+#: Baseline per bench-artifact tag (``BENCH_<tag>.json``).
+BASELINES: dict[str, dict] = {
+    "pr3": PRE_PR_BASELINE,
+    "pr4": PR4_CONTRACT_BASELINE,
+}

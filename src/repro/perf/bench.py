@@ -15,7 +15,12 @@ budget, and reports:
 with the committed pre-PR baseline (:mod:`repro.perf.baseline`), so the
 before/after speedup travels with the artifact;
 :func:`check_regression` is the CI gate comparing a fresh run against
-the numbers committed in the repository.
+the numbers committed in the repository.  The contract-detector hot
+path is gated through the same machinery: ``BENCH_pr4.json`` carries a
+fixed-protocol ``contract-ablation`` entry (relational testing under
+``ct-cond``, the most expensive clause), so a regression in the model
+run, the wrong-path simulator, or the trace collector trips CI exactly
+like one in the IFT path would.
 
 The bench always measures a *serial* campaign at the scenario's seed:
 shard fan-out moves work across processes but leaves the per-iteration
@@ -31,7 +36,7 @@ import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
-from repro.perf.baseline import PRE_PR_BASELINE
+from repro.perf.baseline import BASELINES, PRE_PR_BASELINE
 from repro.utils.text import ascii_table
 
 #: Iteration backstop for wall-clock budgets (the deadline does the work).
@@ -192,19 +197,41 @@ def speedup_vs_baseline(results: list[BenchResult],
     return None
 
 
+def artifact_tag(path: str | Path) -> str:
+    """The bench tag of an artifact path (``BENCH_pr4.json`` → ``pr4``)."""
+    stem = Path(path).stem
+    return stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+
+
+def baseline_for(path: str | Path) -> dict:
+    """The committed baseline an artifact path compares against.
+
+    ``BENCH_pr3.json`` carries the pre-PR-3 quickstart figure and
+    ``BENCH_pr4.json`` the contract-pathway introduction figure; any
+    other path defaults to the quickstart baseline.
+    """
+    return BASELINES.get(artifact_tag(path), PRE_PR_BASELINE)
+
+
 def emit_bench(
     results: list[BenchResult],
     path: str | Path = "BENCH_pr3.json",
-    baseline: dict = PRE_PR_BASELINE,
+    baseline: dict | None = None,
 ) -> dict:
     """Write the machine-readable bench artifact; returns its payload.
 
     The payload carries both sides of the before/after story: the
-    committed pre-PR ``baseline`` and the fresh ``results``, plus the
-    derived ``speedup_vs_baseline`` when the baseline scenario was run.
+    committed ``baseline`` (chosen per artifact via
+    :func:`baseline_for` unless given explicitly) and the fresh
+    ``results``, plus the derived ``speedup_vs_baseline`` when the
+    baseline scenario was run.  The ``bench`` tag is derived from the
+    artifact's file name, so ``BENCH_pr3.json`` and ``BENCH_pr4.json``
+    (the contract-mode entry) self-identify.
     """
+    if baseline is None:
+        baseline = baseline_for(path)
     payload = {
-        "bench": "pr3",
+        "bench": artifact_tag(path),
         "generated_by": "python -m repro bench",
         "baseline": dict(baseline),
         "results": {result.key: result.to_dict() for result in results},

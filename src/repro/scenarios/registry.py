@@ -90,6 +90,27 @@ _BUILTIN_SCENARIOS: tuple[ScenarioSpec, ...] = (
         shards=4,
     ),
     ScenarioSpec(
+        name="spectre-v1-contract",
+        description="Model-based relational Spectre hunt: ct-seq contract "
+                    "traces on the golden ISS vs hardware observation "
+                    "traces, no IFG needed (Revizor-style)",
+        detector="contract",
+        contract="ct-seq",
+        seed=3,
+        iterations=200,
+        stop_kind="contract_ct_seq",
+    ),
+    ScenarioSpec(
+        name="contract-ablation",
+        description="The same hunt under ct-cond: conditional-branch "
+                    "speculation is contract-allowed, so plain v1 leaks "
+                    "stop counting as violations",
+        detector="contract",
+        contract="ct-cond",
+        seed=3,
+        iterations=150,
+    ),
+    ScenarioSpec(
         name="offline-analysis",
         description="Offline phase only (§4.1): IFG build + PDLC "
                     "extraction numbers for the small design",
@@ -151,9 +172,14 @@ def render_scenarios() -> str:
             shape = "offline only"
         else:
             shape = f"{spec.shards} x {spec.iterations} iters"
+        if spec.detector == "ift":
+            detector = "ift"
+        else:
+            detector = f"{spec.detector}:{spec.contract}"
         rows.append([
             name,
             spec.design,
+            detector,
             spec.coverage,
             "+".join(spec.vulns) or "-",
             "yes" if spec.monitor_dcache else "no",
@@ -162,8 +188,8 @@ def render_scenarios() -> str:
             spec.description,
         ])
     return ascii_table(
-        ["scenario", "design", "coverage", "armed vulns", "dcache",
-         "shape", "stops at", "description"],
+        ["scenario", "design", "detector", "coverage", "armed vulns",
+         "dcache", "shape", "stops at", "description"],
         rows,
         title="Registered scenarios (python -m repro run <scenario>)",
     )

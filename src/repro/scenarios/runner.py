@@ -9,7 +9,7 @@ lands, and merges the shard reports into the same
 Resume contract
 ---------------
 Shards are the unit of persistence and the unit of determinism: shard
-``k`` always runs at seed ``shard_seed(spec.seed, k, spec.shard_stride)``
+``k`` always runs at seed ``shard_seed(spec.seed, k)``
 and its artifacts are written atomically when it completes.  A resumed
 campaign therefore loads the completed shards' artifacts byte-for-byte,
 re-runs only the missing shards (which are pure functions of their
@@ -65,6 +65,9 @@ class ReplayResult:
     kind: str
     confirmed: bool
     used_minimized: bool
+    #: Which pathway produced the finding ("ift" | "contract"); records
+    #: from stores predating the contract detector default to "ift".
+    detector: str = "ift"
 
 
 def _execute_shard(task) -> tuple[CampaignReport, list[tuple[TestProgram, int]]]:
@@ -95,12 +98,7 @@ class _Minimizer:
 
     def _pipeline(self, offline: OfflineArtifacts) -> OnlinePhase:
         if self._online is None:
-            self._online = OnlinePhase(
-                self._specure.core,
-                offline,
-                coverage=self._spec.coverage,
-                monitor_dcache=self._spec.monitor_dcache,
-            )
+            self._online = self._specure.build_online(offline=offline)
         return self._online
 
     def minimize(self, findings: list[FuzzFinding],
@@ -187,7 +185,7 @@ def _drive(
                                store=store)
 
     seeds = {
-        shard: shard_seed(spec.seed, shard, spec.shard_stride)
+        shard: shard_seed(spec.seed, shard)
         for shard in range(spec.shards)
     }
     tasks = [
@@ -255,12 +253,7 @@ def replay_findings(run_dir: str | Path) -> list[ReplayResult]:
     store = CampaignStore.open(run_dir)
     spec = store.spec
     specure = spec.build_specure()
-    online = OnlinePhase(
-        specure.core,
-        specure.offline(),
-        coverage=spec.coverage,
-        monitor_dcache=spec.monitor_dcache,
-    )
+    online = specure.build_online()
     results = []
     for record in store.findings():
         payload = record["minimized"] or record["program"]
@@ -272,5 +265,6 @@ def replay_findings(run_dir: str | Path) -> list[ReplayResult]:
             kind=record["kind"],
             confirmed=record["kind"] in {r.kind for r in reports},
             used_minimized=record["minimized"] is not None,
+            detector=record.get("detector", "ift"),
         ))
     return results

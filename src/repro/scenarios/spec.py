@@ -19,11 +19,14 @@ from __future__ import annotations
 
 import difflib
 import json
+import warnings
 from dataclasses import asdict, dataclass, fields, replace
 from pathlib import Path
 
 from repro.boom.config import BoomConfig
 from repro.boom.vulns import VulnConfig
+from repro.contracts.clauses import CLAUSES, CONTRACT_KINDS
+from repro.core.online import DETECTORS
 
 #: Core design presets (``BoomConfig.small/medium/large``).
 DESIGNS = ("small", "medium", "large")
@@ -31,8 +34,20 @@ DESIGNS = ("small", "medium", "large")
 COVERAGES = ("lp", "code")
 #: Armable vulnerability emulation hooks (paper §4.2).
 VULN_HOOKS = ("mwait", "zenbleed")
-#: Vulnerability kinds a stop condition may wait for.
-STOP_KINDS = ("mwait", "zenbleed", "spectre_v1", "spectre_v2", "direct")
+#: Finding kinds a stop condition may wait for: the IFT vulnerability
+#: kinds plus one contract-violation kind per observation clause.
+STOP_KINDS = (
+    "mwait", "zenbleed", "spectre_v1", "spectre_v2", "direct",
+) + tuple(CONTRACT_KINDS[clause] for clause in CLAUSES)
+
+#: The historic default of the retired ``shard_stride`` knob.
+_LEGACY_SHARD_STRIDE = 1000
+
+_SHARD_STRIDE_DEPRECATION = (
+    "the 'shard_stride' scenario knob is deprecated and ignored: "
+    "per-shard seeds are hash-derived (repro.harness.parallel.shard_seed); "
+    "remove it from the scenario definition"
+)
 
 
 class ScenarioError(ValueError):
@@ -58,13 +73,18 @@ class ScenarioSpec:
       ``random_seed_count`` of extra random seed programs;
     * **mutation** — ``splice_probability`` and ``mutation_rounds`` of
       the mutation engine;
+    * **detection** — ``detector`` picks the pathway (``ift``,
+      ``contract``, or ``both`` for cross-validation), ``contract``
+      the observation clause, and ``inputs_per_class`` /
+      ``max_spec_window`` the relational-testing depth
+      (:mod:`repro.contracts`);
     * **campaign shape** — ``iterations`` per shard and ``shards``
       (``iterations = 0`` runs the offline phase only); ``shard_stride``
-      is a legacy knob kept so older scenario files load — per-shard
-      seeds are hash-derived (:func:`repro.harness.parallel.shard_seed`)
-      and ignore it;
+      is deprecated and ignored — per-shard seeds are hash-derived
+      (:func:`repro.harness.parallel.shard_seed`) — and loading a
+      definition that still sets it emits a ``DeprecationWarning``;
     * **stop condition** — ``stop_kind`` ends every shard at its first
-      finding of that vulnerability kind.
+      finding of that vulnerability or contract-violation kind.
     """
 
     name: str
@@ -82,10 +102,15 @@ class ScenarioSpec:
     # Mutation knobs.
     splice_probability: float = 0.15
     mutation_rounds: int = 3
+    # Detection pathway.
+    detector: str = "ift"
+    contract: str = "ct-seq"
+    inputs_per_class: int = 3
+    max_spec_window: int = 16
     # Campaign shape.
     iterations: int = 100
     shards: int = 1
-    shard_stride: int = 1000
+    shard_stride: int = _LEGACY_SHARD_STRIDE
     # Stop condition.
     stop_kind: str | None = None
 
@@ -159,6 +184,25 @@ class ScenarioSpec:
         self._expect_type("mutation_rounds", int)
         if self.mutation_rounds < 1:
             self._fail("mutation_rounds must be >= 1")
+        self._expect_type("detector", str)
+        if self.detector not in DETECTORS:
+            self._fail(
+                f"detector must be one of {', '.join(DETECTORS)}; "
+                f"got {self.detector!r}{_suggest(str(self.detector), DETECTORS)}"
+            )
+        self._expect_type("contract", str)
+        if self.contract not in CLAUSES:
+            self._fail(
+                f"contract must be one of {', '.join(CLAUSES)}; "
+                f"got {self.contract!r}{_suggest(str(self.contract), CLAUSES)}"
+            )
+        self._expect_type("inputs_per_class", int)
+        if self.inputs_per_class < 2:
+            self._fail("inputs_per_class must be >= 2 (an input class "
+                       "needs at least a pair to compare)")
+        self._expect_type("max_spec_window", int)
+        if self.max_spec_window < 1:
+            self._fail("max_spec_window must be >= 1")
         self._expect_type("iterations", int)
         if self.iterations < 0:
             self._fail(
@@ -175,6 +219,28 @@ class ScenarioSpec:
                 f"stop_kind must be one of {', '.join(STOP_KINDS)} or "
                 f"omitted; got {self.stop_kind!r}"
                 f"{_suggest(str(self.stop_kind), STOP_KINDS)}"
+            )
+        if self.stop_kind is not None and \
+                self.stop_kind.startswith("contract_"):
+            if self.detector == "ift":
+                self._fail(
+                    f"stop_kind {self.stop_kind!r} waits for a contract "
+                    f"violation, but detector = 'ift' never produces one; "
+                    f"set detector = 'contract' or 'both'"
+                )
+            expected = CONTRACT_KINDS[self.contract]
+            if self.stop_kind != expected:
+                self._fail(
+                    f"stop_kind {self.stop_kind!r} cannot fire: the "
+                    f"{self.contract!r} clause reports violations as "
+                    f"{expected!r}"
+                )
+        elif self.stop_kind is not None and self.detector == "contract":
+            self._fail(
+                f"stop_kind {self.stop_kind!r} waits for an IFT finding, "
+                f"but detector = 'contract' never produces one; set "
+                f"detector = 'ift' or 'both', or stop on "
+                f"{CONTRACT_KINDS[self.contract]!r}"
             )
 
     # -- construction -------------------------------------------------------
@@ -209,6 +275,13 @@ class ScenarioSpec:
                 f"'name' key"
             )
         payload = dict(data)
+        if "shard_stride" in payload:
+            warnings.warn(
+                _SHARD_STRIDE_DEPRECATION
+                + (f" (from {source})" if source else ""),
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if "vulns" in payload:
             if not isinstance(payload["vulns"], (list, tuple)):
                 raise ScenarioError(
@@ -274,11 +347,17 @@ class ScenarioSpec:
 
     def to_dict(self) -> dict:
         """Field-order dict; a ``None`` stop condition is omitted (TOML
-        has no null, and absence already means 'run the full budget')."""
+        has no null, and absence already means 'run the full budget').
+        The deprecated ``shard_stride`` is likewise omitted at its
+        historic default, so dumping and reloading a clean spec never
+        trips the deprecation warning — only definitions that still set
+        the knob round-trip it (and warn on load)."""
         data = asdict(self)
         data["vulns"] = list(self.vulns)
         if data["stop_kind"] is None:
             del data["stop_kind"]
+        if data["shard_stride"] == _LEGACY_SHARD_STRIDE:
+            del data["shard_stride"]
         return data
 
     def to_toml(self) -> str:
@@ -332,6 +411,10 @@ class ScenarioSpec:
             random_seed_count=self.random_seed_count,
             splice_probability=self.splice_probability,
             mutation_rounds=self.mutation_rounds,
+            detector=self.detector,
+            contract=self.contract,
+            inputs_per_class=self.inputs_per_class,
+            max_spec_window=self.max_spec_window,
         )
 
     def stop_predicate(self):

@@ -15,8 +15,11 @@ artifacts under one run directory as it goes:
     counts as done.
 ``findings.jsonl``
     One line per detector finding: the triggering program, its trimmed
-    (minimized) form when available, and the full leak report — enough
-    to re-confirm the finding later without re-fuzzing (``replay``).
+    (minimized) form when available, the producing ``detector``
+    pathway (``ift`` or ``contract``), and the full report — a
+    root-caused leak report or a contract violation, tagged with the
+    same discriminator — enough to re-confirm the finding later
+    without re-fuzzing (``replay``).
 ``corpus.jsonl``
     The retained corpus entries of each shard (program + the coverage
     items it discovered on entry), for seeding follow-up campaigns.
@@ -39,6 +42,7 @@ import json
 import os
 from pathlib import Path
 
+from repro.contracts.detector import ContractViolation
 from repro.core.online import OnlineStats
 from repro.core.report import CampaignReport
 from repro.detection.mst import MisspeculationTable
@@ -137,15 +141,73 @@ def leak_report_from_dict(data: dict) -> LeakReport:
     )
 
 
+def contract_violation_to_dict(violation: ContractViolation) -> dict:
+    return {
+        "kind": violation.kind,
+        "clause": violation.clause,
+        "input_class": violation.input_class,
+        "class_size": violation.class_size,
+        "member_a": violation.member_a,
+        "member_b": violation.member_b,
+        "diverged_at": violation.diverged_at,
+        "observation_a": _encode_item(violation.observation_a),
+        "observation_b": _encode_item(violation.observation_b),
+        "secret_lines": list(violation.secret_lines),
+    }
+
+
+def contract_violation_from_dict(data: dict) -> ContractViolation:
+    return ContractViolation(
+        kind=data["kind"],
+        clause=data["clause"],
+        input_class=data["input_class"],
+        class_size=data["class_size"],
+        member_a=data["member_a"],
+        member_b=data["member_b"],
+        diverged_at=data["diverged_at"],
+        observation_a=_decode_item(data["observation_a"]),
+        observation_b=_decode_item(data["observation_b"]),
+        secret_lines=tuple(data["secret_lines"]),
+    )
+
+
+def detector_of(detail) -> str:
+    """Which detection pathway produced a finding detail / report."""
+    return "contract" if isinstance(detail, ContractViolation) else "ift"
+
+
+def report_to_dict(report) -> dict:
+    """Serialise either pathway's report, tagged with its detector.
+
+    The ``detector`` discriminator is what keeps a persisted campaign's
+    finding kinds faithful on reload — without it every stored report
+    would decode as an IFT :class:`LeakReport`.
+    """
+    if isinstance(report, ContractViolation):
+        return {"detector": "contract", **contract_violation_to_dict(report)}
+    return {"detector": "ift", **leak_report_to_dict(report)}
+
+
+def report_from_dict(data: dict):
+    """Decode a tagged report; untagged data is legacy IFT (schema 1
+    stores written before the contract pathway existed)."""
+    if data.get("detector") == "contract":
+        return contract_violation_from_dict(data)
+    payload = dict(data)
+    payload.pop("detector", None)
+    return leak_report_from_dict(payload)
+
+
 def _finding_to_dict(finding: FuzzFinding) -> dict:
     detail = finding.detail
     return {
         "iteration": finding.iteration,
         "kind": finding.kind,
+        "detector": detector_of(detail),
         "program": program_to_dict(finding.program),
         "detail": (
-            leak_report_to_dict(detail)
-            if isinstance(detail, LeakReport) else None
+            report_to_dict(detail)
+            if isinstance(detail, (LeakReport, ContractViolation)) else None
         ),
     }
 
@@ -155,7 +217,7 @@ def _finding_from_dict(data: dict) -> FuzzFinding:
     return FuzzFinding(
         iteration=data["iteration"],
         kind=data["kind"],
-        detail=None if detail is None else leak_report_from_dict(detail),
+        detail=None if detail is None else report_from_dict(detail),
         program=program_from_dict(data["program"]),
     )
 
@@ -206,10 +268,11 @@ def shard_report_to_dict(shard: int, seed: int,
     return {
         "shard": shard,
         "seed": seed,
+        "detectors": list(report.detectors),
         "fuzz": campaign_result_to_dict(report.fuzz),
         "stats": _stats_to_dict(report.stats),
         "mst": [_window_to_dict(w) for w in report.mst.rows],
-        "reports": [leak_report_to_dict(r) for r in report.reports],
+        "reports": [report_to_dict(r) for r in report.reports],
     }
 
 
@@ -221,7 +284,10 @@ def shard_report_from_dict(data: dict, offline) -> CampaignReport:
         mst=MisspeculationTable(
             rows=[DetectedWindow(**w) for w in data["mst"]]
         ),
-        reports=[leak_report_from_dict(r) for r in data["reports"]],
+        reports=[report_from_dict(r) for r in data["reports"]],
+        # Stores written before the contract pathway carry no detector
+        # list; they were IFT-only by construction.
+        detectors=tuple(data.get("detectors", ("ift",))),
     )
 
 
@@ -370,14 +436,17 @@ class CampaignStore:
                     "index": index,
                     "iteration": finding.iteration,
                     "kind": finding.kind,
+                    "detector": detector_of(finding.detail),
                     "program": program_to_dict(finding.program),
                     "minimized": (
                         program_to_dict(minimized[index])
                         if index in minimized else None
                     ),
                     "report": (
-                        leak_report_to_dict(finding.detail)
-                        if isinstance(finding.detail, LeakReport) else None
+                        report_to_dict(finding.detail)
+                        if isinstance(finding.detail,
+                                      (LeakReport, ContractViolation))
+                        else None
                     ),
                 }
                 stream.write(json.dumps(record) + "\n")

@@ -1,0 +1,57 @@
+"""The `shard_stride` deprecation exit path (PR-3 compat shim).
+
+Per-shard seeds have been hash-derived since PR 3; `shard_stride` was
+kept accepted-but-ignored so older call sites and scenario files load.
+This pins the next step: anything still *passing* the knob gets a
+`DeprecationWarning`, while clean specs and call sites stay silent.
+"""
+
+import warnings
+
+import pytest
+
+from repro.harness.parallel import shard_seed
+from repro.scenarios.spec import ScenarioSpec
+
+
+class TestShardSeedDeprecation:
+    def test_passing_a_stride_warns(self):
+        with pytest.warns(DeprecationWarning, match="shard_stride"):
+            seed = shard_seed(5, 2, 1000)
+        # ...and the value is still ignored: same seed either way.
+        assert seed == shard_seed(5, 2)
+
+    def test_default_call_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert shard_seed(5, 0) == 5
+            shard_seed(5, 3)
+
+
+class TestScenarioSpecDeprecation:
+    def test_loading_a_definition_with_the_knob_warns(self):
+        with pytest.warns(DeprecationWarning, match="shard_stride"):
+            spec = ScenarioSpec.from_dict(
+                {"name": "old", "shard_stride": 500}
+            )
+        assert spec.shard_stride == 500  # still loads losslessly
+
+    def test_toml_file_with_the_knob_warns_with_source(self, tmp_path):
+        path = tmp_path / "old.toml"
+        path.write_text('[scenario]\nname = "old"\nshard_stride = 1000\n')
+        with pytest.warns(DeprecationWarning, match="old.toml"):
+            ScenarioSpec.load(path)
+
+    def test_clean_spec_round_trip_is_silent(self):
+        spec = ScenarioSpec(name="clean", iterations=7)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ScenarioSpec.from_toml(spec.to_toml()) == spec
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert "shard_stride" not in spec.to_dict()
+
+    def test_non_default_stride_still_round_trips(self):
+        spec = ScenarioSpec(name="legacy", shard_stride=250)
+        assert "shard_stride" in spec.to_dict()
+        with pytest.warns(DeprecationWarning):
+            assert ScenarioSpec.from_toml(spec.to_toml()) == spec

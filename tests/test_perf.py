@@ -170,6 +170,41 @@ class TestCommittedArtifact:
         payload = load_bench(self.REPO / "BENCH_pr3.json")
         assert "quickstart@10s" in payload["results"]
 
+    def test_pr4_contract_entry_present_for_the_ci_gate(self):
+        # The contract-mode gate: a fixed-protocol contract-ablation
+        # entry with both the wall-clock and the machine-independent
+        # events-examined figures the bench-smoke job compares against.
+        payload = load_bench(self.REPO / "BENCH_pr4.json")
+        assert payload["bench"] == "pr4"
+        # The pr4 artifact's baseline is the contract pathway's own
+        # introduction figure, not the quickstart number.
+        assert payload["baseline"]["scenario"] == "contract-ablation"
+        entry = payload["results"]["contract-ablation@40it"]
+        assert entry["iters_per_sec"] > 0
+        assert entry["events_examined_per_iter"] > 0
+        assert entry["mode"] == "iterations"
+
+    def test_baseline_for_selects_by_artifact_tag(self, tmp_path):
+        from repro.perf import (
+            PR4_CONTRACT_BASELINE,
+            PRE_PR_BASELINE,
+            baseline_for,
+        )
+
+        assert baseline_for("BENCH_pr3.json") is PRE_PR_BASELINE
+        assert baseline_for(tmp_path / "BENCH_pr4.json") is \
+            PR4_CONTRACT_BASELINE
+        assert baseline_for("somewhere/else.json") is PRE_PR_BASELINE
+
+    def test_emit_bench_tag_follows_the_artifact_name(self, tmp_path):
+        from repro.perf import emit_bench, run_bench
+
+        result = run_bench("quickstart", iterations=1)
+        payload = emit_bench([result], path=tmp_path / "BENCH_pr4.json")
+        assert payload["bench"] == "pr4"
+        payload = emit_bench([result], path=tmp_path / "custom.json")
+        assert payload["bench"] == "custom"
+
 
 @pytest.mark.slow
 class TestBenchCli:

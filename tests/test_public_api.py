@@ -37,8 +37,8 @@ class TestExports:
         import importlib
 
         for name in ("utils", "isa", "rtl", "ifg", "golden", "boom",
-                     "fuzz", "coverage", "detection", "core", "baselines",
-                     "harness"):
+                     "fuzz", "coverage", "detection", "contracts", "core",
+                     "baselines", "harness"):
             module = importlib.import_module(f"repro.{name}")
             assert module.__doc__, f"repro.{name} lacks a docstring"
             assert len(module.__doc__.strip()) > 40

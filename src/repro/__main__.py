@@ -148,11 +148,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
         BenchError,
         baseline_for,
         check_regression,
+        check_scaling,
         emit_bench,
         load_bench,
+        parse_scenario_request,
         render_bench,
+        render_bench_list,
+        render_scaling,
         run_bench,
+        run_scaling_bench,
     )
+
+    if args.list:
+        print(render_bench_list())
+        return 0
 
     # Read the committed gate numbers *before* --out overwrites them.
     committed = None
@@ -173,29 +182,57 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   f"committed baseline)")
 
     try:
-        results = [
-            run_bench(scenario, budget_s=args.budget_s,
-                      iterations=args.iterations)
-            for scenario in (args.scenario or ["quickstart"])
-        ]
+        results = []
+        for request in (args.scenario or ["quickstart"]):
+            name, pinned = parse_scenario_request(request)
+            results.append(run_bench(
+                name,
+                budget_s=None if pinned is not None else args.budget_s,
+                iterations=pinned if pinned is not None else args.iterations,
+            ))
+        scaling = None
+        if args.scaling_jobs:
+            jobs_list = tuple(sorted({1, *args.scaling_jobs}))
+            scaling = run_scaling_bench(
+                scenario=args.scaling_scenario,
+                shards=args.scaling_shards,
+                budget_s=args.scaling_budget_s,
+                jobs_list=jobs_list,
+            )
     except BenchError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
     baseline = baseline_for(args.out)
     print(render_bench(results, baseline=baseline))
-    emit_bench(results, path=args.out, baseline=baseline)
+    if scaling is not None:
+        print()
+        print(render_scaling(scaling))
+    emit_bench(results, path=args.out, baseline=baseline, scaling=scaling)
     print(f"(bench artifact written to {args.out})")
 
+    failures = []
     if committed is not None:
-        failures = check_regression(results, committed,
-                                    max_regression=args.max_regression)
-        if failures:
-            for line in failures:
-                print(f"REGRESSION: {line}", file=sys.stderr)
-            return 1
+        failures.extend(check_regression(results, committed,
+                                         max_regression=args.max_regression))
+    if scaling is not None:
+        failures.extend(check_scaling(scaling,
+                                      min_speedup=args.min_scaling))
+    if failures:
+        for line in failures:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        return 1
+    if committed is not None:
         print(f"regression gate passed (max allowed "
               f"{args.max_regression:.0%} below committed numbers)")
+    if scaling is not None:
+        if scaling.speedup is not None:
+            print(f"scaling gate passed (jobs={max(scaling.wall_seconds)} "
+                  f"at {scaling.speedup:.2f}x >= {args.min_scaling:.2f}x, "
+                  f"deterministic merges)")
+        else:
+            print("scaling entry recorded (single jobs count — no "
+                  "speedup to gate; deterministic merges checked)")
     return 0
 
 
@@ -269,9 +306,32 @@ def main(argv: list[str] | None = None) -> int:
     bench = commands.add_parser(
         "bench", help="measure the per-iteration hot path of scenarios"
     )
-    bench.add_argument("--scenario", action="append", metavar="NAME",
-                       help="scenario name or file (repeatable; "
+    bench.add_argument("--list", action="store_true",
+                       help="list benchable scenarios with their "
+                            "protocols and committed baselines, then exit")
+    bench.add_argument("--scenario", action="append", metavar="NAME[@N]",
+                       help="scenario name or file, optionally with a "
+                            "pinned iteration budget (repeatable; "
                             "default: quickstart)")
+    bench.add_argument("--scaling-jobs", action="append", type=int,
+                       metavar="N", default=None,
+                       help="also measure executor scaling at N worker "
+                            "processes vs jobs=1 on a timed sharded "
+                            "campaign (repeatable)")
+    bench.add_argument("--scaling-scenario", default="quickstart",
+                       metavar="NAME",
+                       help="scenario for the scaling entry "
+                            "(default: quickstart)")
+    bench.add_argument("--scaling-shards", type=int, default=4, metavar="K",
+                       help="timed shards in the scaling entry (default 4)")
+    bench.add_argument("--scaling-budget-s", type=float, default=2.0,
+                       metavar="S",
+                       help="per-shard wall-clock budget of the scaling "
+                            "entry (default 2.0)")
+    bench.add_argument("--min-scaling", type=float, default=1.2, metavar="R",
+                       help="fail unless the largest jobs count is at "
+                            "least this much faster than jobs=1 "
+                            "(default 1.2)")
     budget = bench.add_mutually_exclusive_group()
     budget.add_argument("--budget-s", type=float, default=None, metavar="S",
                         help="wall-clock budget per scenario (seconds)")

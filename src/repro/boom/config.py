@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from repro.boom.vulns import VulnConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class BoomConfig:
     """Structural parameters of the out-of-order core."""
 

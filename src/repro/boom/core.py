@@ -20,8 +20,9 @@ coverage points (the "traditional code coverage" baseline feedback).
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
+from collections import OrderedDict, defaultdict, deque
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.boom import netlist as nl
 from repro.boom.bpu import BranchPredictor
@@ -51,14 +52,24 @@ _ACCESS_SIZE = {
 #: Link registers whose JAL/JALR uses drive the return-address stack.
 _LINK_REGS = (1, 5)
 
+#: Pre-built coverage-point names (an f-string per commit/issue shows up
+#: in profiles at campaign scale).
+_COMMIT_POINTS = {cls: f"commit.{cls.value}" for cls in ExecClass}
+_EXEC_POINTS = {cls: f"exec.{cls.value}" for cls in ExecClass}
+
 
 #: Process-independent hash (``hash()`` is salted per interpreter).
 _stable_hash = stable_hash
 
 
-@dataclass(frozen=True)
-class Commit:
-    """One committed instruction — a legitimate architectural change."""
+class Commit(NamedTuple):
+    """One committed instruction — a legitimate architectural change.
+
+    A :class:`~typing.NamedTuple`: one is built per committed
+    instruction (tens of thousands per campaign iteration batch), and
+    tuple construction is several times cheaper than a frozen dataclass
+    ``__init__`` while keeping immutability and field access by name.
+    """
 
     cycle: int
     pc: int
@@ -75,8 +86,7 @@ class Commit:
     is_halt: bool = False
 
 
-@dataclass(frozen=True)
-class SpecWindow:
+class SpecWindow(NamedTuple):
     """Ground-truth speculation window (for validating the detector)."""
 
     tag: int
@@ -109,7 +119,7 @@ class CoreResult:
         return [w for w in self.windows if w.mispredicted]
 
 
-@dataclass
+@dataclass(slots=True)
 class _Fetched:
     pc: int
     word: int
@@ -268,7 +278,7 @@ class _Engine:
         self.commits: list[Commit] = []
         self.windows: dict[int, dict] = {}
         self.closed_windows: list[SpecWindow] = []
-        self.cov: dict[str, int] = {}
+        self.cov: dict[str, int] = defaultdict(int)
         self.halted = False
         self.halt_reason = "max_cycles"
         self.last_commit_cycle = 0
@@ -291,7 +301,7 @@ class _Engine:
                 self._bump("mwait.timer_cleared")
 
     def _bump(self, point: str, amount: int = 1) -> None:
-        self.cov[point] = self.cov.get(point, 0) + amount
+        self.cov[point] += amount  # self.cov is a defaultdict(int)
 
     # -- main loop -----------------------------------------------------------
 
@@ -331,7 +341,7 @@ class _Engine:
             trace=self.tracer.finish(),
             commits=self.commits,
             windows=self.closed_windows,
-            coverage_points=self.cov,
+            coverage_points=dict(self.cov),
             cycles=self.cycle + 1,
             instret=self.instret,
             halt_reason=self.halt_reason,
@@ -412,14 +422,15 @@ class _Engine:
         self.rob.pop_head()
         self.instret += 1
         self.last_commit_cycle = self.cycle
-        self._bump(f"commit.{cls.value}")
-        self.commits.append(Commit(
-            cycle=self.cycle, pc=entry.pc, word=inst.word, next_pc=next_pc,
-            rd=rd, rd_value=rd_value, csr=csr_addr, csr_value=csr_value,
-            store_addr=store_addr, store_value=store_value,
-            store_size=store_size, load_addr=entry.load_addr,
-            is_halt=cls is ExecClass.SYSTEM,
-        ))
+        self._bump(_COMMIT_POINTS[cls])
+        # tuple.__new__ skips the generated NamedTuple __new__ — one
+        # Commit per committed instruction; field order as declared.
+        self.commits.append(tuple.__new__(Commit, (
+            self.cycle, entry.pc, inst.word, next_pc,
+            rd, rd_value, csr_addr, csr_value,
+            store_addr, store_value, store_size, entry.load_addr,
+            cls is ExecClass.SYSTEM,
+        )))
         if not self.halted and not (
             self.config.base_address <= next_pc < self.program_end
         ):
@@ -429,7 +440,10 @@ class _Engine:
     # -- writeback / branch resolution ----------------------------------------
 
     def _stage_writeback(self) -> None:
-        for entry in self.rob.in_age_order():
+        # Walking the live deque is safe here: the only structural
+        # mutation this stage can make is a squash, and the loop returns
+        # immediately after performing it.
+        for entry in self.rob.live_order():
             if entry.state != EXECUTING or entry.ready_cycle > self.cycle:
                 continue
             if entry.is_ctrl:
@@ -455,10 +469,21 @@ class _Engine:
         producer_index = producer.index
         producer_age = producer.age
         value = producer.result & _M64
-        for entry in self.rob.live_order():
-            for slot, tag in enumerate(entry.src_tags):
-                if tag == producer_index and entry.age > producer_age:
-                    entry.src_tags[slot] = None
+        # Only younger entries can wait on this producer, and the live
+        # deque is age-ordered — walk youngest-first and stop at the
+        # producer's age instead of scanning the older half.
+        for entry in reversed(self.rob.live_order()):
+            if entry.age <= producer_age:
+                break
+            # C-level membership test first: src_tags holds at most two
+            # slots, and almost every live entry is not waiting on this
+            # producer — the common case must not pay a Python loop.
+            tags = entry.src_tags
+            if producer_index not in tags:
+                continue
+            for slot, tag in enumerate(tags):
+                if tag == producer_index:
+                    tags[slot] = None
                     entry.src_vals[slot] = value
 
     def _resolve(self, entry: RobEntry) -> None:
@@ -551,14 +576,18 @@ class _Engine:
                 return
             if entry.state != DISPATCHED:
                 continue
-            self._poll_operands(entry)
-            if not entry.sources_ready():
+            if not self._poll_operands(entry):
                 continue
             if self._start_execution(entry):
                 issued += 1
 
-    def _poll_operands(self, entry: RobEntry) -> None:
-        for slot, tag in enumerate(entry.src_tags):
+    def _poll_operands(self, entry: RobEntry) -> bool:
+        """Capture newly available operands; True when all are ready
+        (the fused former poll-then-``sources_ready`` pair — this runs
+        for every dispatched entry every cycle)."""
+        ready = True
+        tags = entry.src_tags
+        for slot, tag in enumerate(tags):
             if tag is None:
                 continue
             producer = self.rob.entries[tag]
@@ -566,11 +595,14 @@ class _Engine:
                 # Producer vanished (committed or squashed): value is
                 # architectural now.
                 reg = entry.inst.sources()[slot]
-                entry.src_tags[slot] = None
+                tags[slot] = None
                 entry.src_vals[slot] = self.arch_regs[reg]
             elif producer.state == DONE and producer.result is not None:
-                entry.src_tags[slot] = None
+                tags[slot] = None
                 entry.src_vals[slot] = producer.result & _M64
+            else:
+                ready = False
+        return ready
 
     def _operand(self, entry: RobEntry, slot: int) -> int:
         return entry.src_vals[slot]
@@ -592,7 +624,7 @@ class _Engine:
                     entry.actual_target = (rs1 + to_signed(inst.imm, 64)) & _M64 & ~1
                     entry.actual_taken = True
             entry.ready_cycle = self.cycle + config.alu_latency
-            self._bump(f"exec.{cls.value}")
+            self._bump(_EXEC_POINTS[cls])
         elif cls is ExecClass.MUL:
             entry.result = muldiv_value(inst, self._operand(entry, 0),
                                         self._operand(entry, 1))
@@ -713,22 +745,26 @@ class _Engine:
         entry = self.rob.allocate(fetched.pc, fetched.inst)
         inst = fetched.inst
 
-        entry.src_tags = []
-        entry.src_vals = []
+        src_tags: list = []
+        src_vals: list = []
+        rename_map = self.rename.map
+        rob_entries = self.rob.entries
         for reg in inst.sources():
-            tag = self.rename.producer(reg)
+            tag = rename_map[reg]
             if tag is None:
-                entry.src_tags.append(None)
-                entry.src_vals.append(self.arch_regs[reg])
+                src_tags.append(None)
+                src_vals.append(self.arch_regs[reg])
             else:
-                producer = self.rob.entries[tag]
+                producer = rob_entries[tag]
                 if producer is not None and producer.state == DONE \
                         and producer.result is not None:
-                    entry.src_tags.append(None)
-                    entry.src_vals.append(producer.result & _M64)
+                    src_tags.append(None)
+                    src_vals.append(producer.result & _M64)
                 else:
-                    entry.src_tags.append(tag)
-                    entry.src_vals.append(0)
+                    src_tags.append(tag)
+                    src_vals.append(0)
+        entry.src_tags = src_tags
+        entry.src_vals = src_vals
 
         dest = inst.dest()
         if dest is not None:

@@ -83,9 +83,11 @@ class RenameTable:
         if not self._snapshots:
             return
         for saved in self._snapshots.values():
-            for index in range(32):
-                if saved[index] == rob_index:
-                    saved[index] = None
+            # C-level membership scan first: a committing producer is
+            # almost never still referenced by a live snapshot, and this
+            # runs once per commit.
+            while rob_index in saved:
+                saved[saved.index(rob_index)] = None
 
     def scrub_squashed(self, rob_indices: set[int]) -> None:
         """Squashed producers: purge their tags from map and snapshots."""

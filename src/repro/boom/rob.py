@@ -24,7 +24,7 @@ EXECUTING = 1
 DONE = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class RobEntry:
     """One in-flight instruction."""
 

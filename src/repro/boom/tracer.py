@@ -32,8 +32,12 @@ class TraceWriter:
         self.cycle = 0
         self._index = index
         # Bound once: the writer's cycle counter is monotonic by
-        # construction, so set() may use the trace's unchecked append.
-        self._record = self.trace.record_unchecked
+        # construction and finish() closes the trace, so set() may use
+        # the trace's column-append fast path (see
+        # :meth:`SignalTrace.appenders`) — one C-level append per column
+        # per actual change, no per-event Python frame, no event object.
+        (self._append_cycle, self._append_signal,
+         self._append_old, self._append_new) = self.trace.appenders()
 
     def idx(self, name: str) -> int:
         """Resolve a signal name to its slot (units cache these)."""
@@ -60,7 +64,10 @@ class TraceWriter:
         old = self.values[index]
         if value != old:
             self.values[index] = value
-            self._record(self.cycle, index, old, value)
+            self._append_cycle(self.cycle)
+            self._append_signal(index)
+            self._append_old(old)
+            self._append_new(value)
 
     def set_by_name(self, name: str, value: int) -> None:
         self.set(self._index[name], value)

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VulnConfig:
     """Which emulated vulnerability hooks are armed in the core.
 

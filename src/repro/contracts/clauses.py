@@ -40,12 +40,13 @@ after a ``ct-cond`` run is bit-identical to a plain ISS run (pinned by
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.fuzz.input import TestProgram
 from repro.golden.iss import Iss, IssConfig
 from repro.golden.memory import SparseMemory
-from repro.isa.instructions import ExecClass, decode
+from repro.isa.instructions import ExecClass
 from repro.utils.bitvec import mask, to_signed
 from repro.utils.rng import stable_hash
 
@@ -65,6 +66,84 @@ DEFAULT_SPEC_WINDOW = 16
 
 class ContractError(ValueError):
     """An unknown clause or an unusable contract configuration."""
+
+
+#: Default capacity of a :class:`GoldenTraceMemo` (entries).
+DEFAULT_MEMO_CAPACITY = 512
+
+
+class GoldenTraceMemo:
+    """Keyed LRU memo of golden-ISS contract traces.
+
+    A contract trace is a pure function of (program bytes, input tuple,
+    clause, geometry) — the key below — so any re-request may be served
+    from the memo instead of re-running the ISS.  Re-requests are
+    common: ``both``-mode campaigns re-examine stored findings, the
+    minimizer asserts its predicate on the unmodified program before
+    trimming, replay re-runs every persisted finding, and ``ct-cond``
+    detection computes a ``ct-seq`` architectural view whose trace any
+    later ct-seq request for the same input reuses.
+
+    ``hits``/``misses`` are cumulative counters; the online phase folds
+    their deltas into :class:`~repro.core.online.OnlineStats` so the
+    campaign report's timing section can show how many ISS executions
+    the memo absorbed.  Entries (:class:`ContractTrace`) are immutable,
+    so sharing them is safe.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_MEMO_CAPACITY):
+        if capacity < 1:
+            raise ContractError("memo capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, ContractTrace] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(program: TestProgram, clause: str, base_address: int,
+            line_bytes: int, max_spec_window: int) -> tuple:
+        """The memo key: program bytes + full input tuple + clause/geometry."""
+        return (
+            program.to_bytes(),
+            tuple(program.reg_init),
+            program.data_seed,
+            tuple(sorted(program.memory_overlay.items())),
+            program.max_cycles,
+            clause,
+            base_address,
+            line_bytes,
+            max_spec_window,
+        )
+
+    def trace(
+        self,
+        program: TestProgram,
+        clause: str = "ct-seq",
+        base_address: int = 0x8000_0000,
+        line_bytes: int = 16,
+        max_spec_window: int = DEFAULT_SPEC_WINDOW,
+    ) -> ContractTrace:
+        """:func:`contract_trace`, memoised."""
+        key = self.key(program, clause, base_address, line_bytes,
+                       max_spec_window)
+        entries = self._entries
+        hit = entries.get(key)
+        if hit is not None:
+            entries.move_to_end(key)
+            self.hits += 1
+            return hit
+        self.misses += 1
+        value = contract_trace(
+            program, clause=clause, base_address=base_address,
+            line_bytes=line_bytes, max_spec_window=max_spec_window,
+        )
+        entries[key] = value
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 @dataclass(frozen=True)
@@ -120,17 +199,10 @@ class _ShadowMemory(SparseMemory):
 
 
 def _build_iss(program: TestProgram, base_address: int) -> Iss:
-    """A fresh ISS loaded exactly the way the OoO core loads a program."""
-    memory = SparseMemory(fill_seed=program.data_seed)
-    memory.load_words(base_address, program.words)
-    for address, value in program.memory_overlay.items():
-        memory.write_byte(address, value)
-    iss = Iss(memory, IssConfig(base_address=base_address,
-                                max_steps=max(program.max_cycles, 1)))
-    iss.pc = base_address
-    iss._program_end = base_address + 4 * len(program.words)
-    iss.regs = list(program.reg_init)
-    return iss
+    """A fresh ISS loaded exactly the way the OoO core loads a program
+    (with the pre-decoded fetch fast path armed — see
+    :meth:`repro.golden.iss.Iss.for_program`)."""
+    return Iss.for_program(program, base_address=base_address)
 
 
 def _lines_of(address: int, size: int, line_bytes: int) -> tuple[int, ...]:
@@ -162,6 +234,11 @@ def _walk_spec_path(
     shadow._program_end = iss._program_end
     shadow.regs = list(regs)
     shadow.csrs = dict(csrs)
+    if iss._code_clean and iss._decoded is not None:
+        # The parent's pre-decoded image is valid through the shadow
+        # memory too (reads fall through); the shadow's own wrong-path
+        # stores into the code region flip its private clean flag.
+        shadow.attach_predecoded(iss._decoded, iss._decoded_base)
 
     def observe(kind: str, address: int, value: int, size: int) -> None:
         observations.append((f"spec-{kind}", address))
@@ -215,8 +292,9 @@ def contract_trace(
         at_branch = False
         if speculative:
             # Only the speculative clause needs to peek at the next
-            # instruction (the cheaper clauses just let step() decode).
-            inst = decode(iss.memory.read(pc, 4))
+            # instruction (the cheaper clauses just let step() decode);
+            # the peek shares step()'s pre-decoded fast path.
+            inst = iss.peek_decode()
             at_branch = inst.exec_class is ExecClass.BRANCH
             if at_branch:
                 # Decide the wrong path *before* stepping: the

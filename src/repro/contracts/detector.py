@@ -43,7 +43,7 @@ from repro.contracts.clauses import (
     DEFAULT_SPEC_WINDOW,
     ContractError,
     ContractTrace,
-    contract_trace,
+    GoldenTraceMemo,
 )
 from repro.contracts.hwtrace import HardwareTrace, HardwareTraceCollector
 from repro.fuzz.input import TestProgram
@@ -116,6 +116,7 @@ class ContractDetector:
         max_spec_window: int = DEFAULT_SPEC_WINDOW,
         base_address: int = 0x8000_0000,
         line_bytes: int = 16,
+        memo: GoldenTraceMemo | None = None,
     ):
         if clause not in CLAUSES:
             raise ContractError(
@@ -136,11 +137,17 @@ class ContractDetector:
         self.variant_runs = 0
         #: Cumulative trace events examined by variant-run collection.
         self.events_examined = 0
+        #: Golden-trace memo: every ISS contract-trace request routes
+        #: through it, so repeated inputs (both-mode re-examination,
+        #: minimization, replay, residue-class re-runs) never repeat an
+        #: ISS execution.  Shareable across detectors; by default each
+        #: detector owns one.
+        self.memo = memo if memo is not None else GoldenTraceMemo()
 
     # -- internals ----------------------------------------------------------
 
     def _model_trace(self, program: TestProgram) -> ContractTrace:
-        return contract_trace(
+        return self.memo.trace(
             program,
             clause=self.clause,
             base_address=self.base_address,
@@ -217,7 +224,7 @@ class ContractDetector:
             # ct-seq cost so residue-free programs (the common case in
             # a long campaign) never pay the per-branch wrong-path
             # simulation of the full ct-cond trace.
-            arch_view = contract_trace(
+            arch_view = self.memo.trace(
                 program, clause="ct-seq",
                 base_address=self.base_address, line_bytes=self.line_bytes,
             )

@@ -85,8 +85,12 @@ class HardwareTraceCollector:
             else:
                 valid[(s, w)] = bool(trace.initial[idx])
 
-        for event in trace.events_for_signals(self._watched):
-            _cycle, signal, _old, new = event
+        # Positional walk over the watched signals' events — no event
+        # objects are materialised (see SignalTrace.signal_event_positions).
+        _cycles, trace_signals, _olds, trace_news = trace.columns()
+        for position in trace.signal_event_positions(self._watched):
+            signal = trace_signals[position]
+            new = trace_news[position]
             if signal == self._ix_arch_pc:
                 observations.append(("pc", new))
                 continue

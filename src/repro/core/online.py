@@ -62,6 +62,12 @@ class OnlineStats:
     #: pre-contract shard artifacts load with the defaults).
     contract_runs: int = 0
     contract_violations: int = 0
+    #: Golden-trace memo traffic: ISS contract-trace requests served
+    #: from the keyed LRU memo (hits) vs executed fresh (misses).
+    #: 0/0 on IFT-only campaigns and on shard artifacts that predate
+    #: the memo, which therefore load with the defaults.
+    memo_hits: int = 0
+    memo_misses: int = 0
 
     def merge(self, *others: "OnlineStats") -> "OnlineStats":
         """Field-wise sum with other shards' stats (new object).
@@ -80,6 +86,8 @@ class OnlineStats:
             merged.analysis_seconds += other.analysis_seconds
             merged.contract_runs += other.contract_runs
             merged.contract_violations += other.contract_violations
+            merged.memo_hits += other.memo_hits
+            merged.memo_misses += other.memo_misses
         return merged
 
 
@@ -167,13 +175,18 @@ class OnlinePhase:
             leaks = self.leakage.potential_leaks(result, windows=windows)
             reports.extend(self.vulnerability.detect(result, leaks))
         if self.contract is not None:
+            memo = self.contract.memo
             runs_before = self.contract.variant_runs
             variant_events_before = self.contract.events_examined
+            memo_hits_before = memo.hits
+            memo_misses_before = memo.misses
             violations = self.contract.detect(program, result)
             reports.extend(violations)
             self.stats.contract_runs += \
                 self.contract.variant_runs - runs_before
             self.stats.contract_violations += len(violations)
+            self.stats.memo_hits += memo.hits - memo_hits_before
+            self.stats.memo_misses += memo.misses - memo_misses_before
             self.events_examined += \
                 self.contract.events_examined - variant_events_before
         self.reports.extend(reports)

@@ -127,6 +127,19 @@ class CampaignReport:
             f"{self.stats.mispredicted_windows}/{self.stats.windows} "
             f"windows misspeculated",
         ]
+        if include_timings:
+            # The campaign's timing section (dropped from persisted
+            # reports, which must be byte-stable across machines).
+            timing = (
+                f"timings: simulate {self.stats.simulate_seconds:.2f}s, "
+                f"analysis {self.stats.analysis_seconds:.2f}s"
+            )
+            if self.stats.memo_hits or self.stats.memo_misses:
+                timing += (
+                    f"; golden-trace memo: {self.stats.memo_hits} hit(s) / "
+                    f"{self.stats.memo_misses} miss(es)"
+                )
+            lines.append(timing)
         leaks = [r for r in self.reports if not is_contract_kind(r.kind)]
         violations = [r for r in self.reports if is_contract_kind(r.kind)]
         ran_ift = "ift" in self.detectors

@@ -86,8 +86,28 @@ class Specure:
         contract: str = "ct-seq",
         inputs_per_class: int = 3,
         max_spec_window: int = 16,
+        core: BoomCore | None = None,
+        offline: OfflineArtifacts | None = None,
     ):
-        self.config = config or BoomConfig.small()
+        """``core`` and ``offline`` inject prebuilt shared statics.
+
+        Both are pure functions of the configuration (the core's engine
+        resets exactly between programs; the offline artifacts derive
+        from the netlist alone), so a process that runs many campaigns
+        against one design — the persistent worker pool
+        (:mod:`repro.harness.parallel`) — builds them once and hands
+        them to every Specure instead of re-elaborating the netlist and
+        re-running the offline phase per campaign.  When ``core`` is
+        given, its configuration wins (it must equal ``config``).
+        """
+        if core is not None and config is not None \
+                and core.config != config:
+            raise ValueError(
+                "Specure(config=..., core=...): the injected core was "
+                "built for a different configuration"
+            )
+        self.config = core.config if core is not None \
+            else (config or BoomConfig.small())
         self.seed = seed
         self.coverage = coverage
         self.monitor_dcache = monitor_dcache
@@ -99,8 +119,8 @@ class Specure:
         self.contract = contract
         self.inputs_per_class = inputs_per_class
         self.max_spec_window = max_spec_window
-        self.core = BoomCore(self.config)
-        self._offline: OfflineArtifacts | None = None
+        self.core = core if core is not None else BoomCore(self.config)
+        self._offline: OfflineArtifacts | None = offline
 
     def offline(self) -> OfflineArtifacts:
         """Run (and cache) the offline phase for this PUT."""

@@ -73,25 +73,29 @@ def extract_windows(
     windows: list[DetectedWindow] = []
 
     # Replay only the five indicator signals' events (via the trace's
-    # per-signal index) instead of the full change stream.
-    rob_events = trace.events_for_signals({
+    # per-signal index) instead of the full change stream — walked
+    # positionally over the columns, no event objects built.
+    positions = trace.signal_event_positions({
         ix_disp_tag, ix_disp_pc, ix_disp_word, ix_res_tag, ix_res_mispredict,
     })
-    for event in rob_events:
-        if event.signal == ix_disp_pc:
-            disp_pc = event.new
-        elif event.signal == ix_disp_word:
-            disp_word = event.new
-        elif event.signal == ix_res_mispredict:
-            res_mispredict = event.new
-        elif event.signal == ix_disp_tag:
-            open_windows[event.new] = (event.cycle, disp_pc, disp_word)
-        elif event.signal == ix_res_tag:
-            opened = open_windows.pop(event.new, None)
+    cycles, signals, _olds, news = trace.columns()
+    for position in positions:
+        signal = signals[position]
+        new = news[position]
+        if signal == ix_disp_pc:
+            disp_pc = new
+        elif signal == ix_disp_word:
+            disp_word = new
+        elif signal == ix_res_mispredict:
+            res_mispredict = new
+        elif signal == ix_disp_tag:
+            open_windows[new] = (cycles[position], disp_pc, disp_word)
+        elif signal == ix_res_tag:
+            opened = open_windows.pop(new, None)
             if opened is not None:
                 start, pc, word = opened
                 windows.append(DetectedWindow(
-                    tag=event.new, start=start, end=event.cycle,
+                    tag=new, start=start, end=cycles[position],
                     pc=pc, word=word,
                     mispredicted=bool(res_mispredict),
                 ))

@@ -16,6 +16,7 @@ whole point: those effects are invisible to an architectural golden model.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.golden.memory import SparseMemory
 from repro.isa.instructions import DecodedInstruction, ExecClass, decode
@@ -23,6 +24,21 @@ from repro.isa.registers import ALL_CSRS, csr_by_address
 from repro.utils.bitvec import mask, sext, to_signed, to_unsigned, truncate
 
 _M64 = mask(64)
+
+
+@lru_cache(maxsize=512)
+def _predecoded_image(blob: bytes) -> tuple[DecodedInstruction, ...]:
+    """A program byte image decoded once, shared across ISS instances.
+
+    Contract evaluation re-runs the golden model constantly (base
+    trace, residue filter, wrong-path shadows, variant models); keying
+    the decoded image on the instruction bytes means each distinct
+    program pays instruction decode once per process, not once per run.
+    """
+    return tuple(
+        decode(int.from_bytes(blob[i:i + 4], "little"))
+        for i in range(0, len(blob), 4)
+    )
 
 #: Memory access size per load/store mnemonic: (bytes, signed).
 _ACCESS = {
@@ -74,6 +90,13 @@ class Iss:
         self.halted = False
         self.instret = 0
         self._program_end = self.config.base_address
+        #: Pre-decoded fetch fast path (see :meth:`attach_predecoded`):
+        #: while the code region is untouched, :meth:`peek_decode` serves
+        #: instructions from this image instead of reassembling and
+        #: decoding four memory bytes per step.
+        self._decoded: tuple[DecodedInstruction, ...] | None = None
+        self._decoded_base = 0
+        self._code_clean = False
         #: Optional memory-access observation hook,
         #: ``on_access(kind, address, value, size)`` with kind ``"load"``
         #: or ``"store"`` — how the contract layer (:mod:`repro.contracts`)
@@ -87,6 +110,62 @@ class Iss:
         self.memory.load_words(base, words)
         self.pc = base
         self._program_end = base + 4 * len(words)
+
+    def attach_predecoded(self, decoded: tuple[DecodedInstruction, ...],
+                          base: int, clean: bool = True) -> None:
+        """Arm the pre-decoded fetch fast path for ``[base, base+4n)``.
+
+        Only valid when the caller guarantees the memory words in that
+        range equal the decoded image (and stay equal except through
+        this ISS's own stores, which flip the flag).  External writes to
+        the memory object after arming are *not* observed — callers that
+        mutate memory directly must not arm the fast path.
+        """
+        self._decoded = decoded
+        self._decoded_base = base
+        self._code_clean = clean
+
+    def peek_decode(self) -> DecodedInstruction:
+        """The decoded instruction at the current PC, without executing.
+
+        Serves the pre-decoded image while the code region is clean;
+        falls back to reading and decoding live memory otherwise (the
+        self-modifying-code path)."""
+        pc = self.pc
+        if self._code_clean:
+            offset = pc - self._decoded_base
+            if 0 <= offset and pc < self._program_end and not offset & 3:
+                return self._decoded[offset >> 2]
+        return decode(self.memory.read(pc, 4))
+
+    @classmethod
+    def for_program(cls, program, base_address: int = 0x8000_0000,
+                    max_steps: int | None = None) -> "Iss":
+        """A fresh ISS loaded exactly the way the OoO core loads a
+        :class:`~repro.fuzz.input.TestProgram`: background fill from the
+        program's data seed, instruction words at ``base_address``, the
+        memory overlay applied on top, registers from ``reg_init`` — and
+        the pre-decoded fetch fast path armed (unless the overlay
+        rewrites the code region).  ``max_steps`` defaults to the
+        program's own cycle budget.
+        """
+        memory = SparseMemory(fill_seed=program.data_seed)
+        memory.load_words(base_address, program.words)
+        for address, value in program.memory_overlay.items():
+            memory.write_byte(address, value)
+        steps = max(program.max_cycles, 1) if max_steps is None else max_steps
+        iss = cls(memory, IssConfig(base_address=base_address,
+                                    max_steps=steps))
+        iss.pc = base_address
+        iss._program_end = base_address + 4 * len(program.words)
+        iss.regs = list(program.reg_init)
+        clean = not any(
+            base_address <= address < iss._program_end
+            for address in program.memory_overlay
+        )
+        iss.attach_predecoded(_predecoded_image(program.to_bytes()),
+                              base_address, clean=clean)
+        return iss
 
     def write_reg(self, index: int, value: int) -> None:
         if index != 0:
@@ -125,8 +204,7 @@ class Iss:
         expose instruction counts through :attr:`instret` instead.
         """
         pc = self.pc
-        word = self.memory.read(pc, 4)
-        inst = decode(word)
+        inst = self.peek_decode()
         record = self._execute(inst, pc)
         self.instret += 1
         return record
@@ -166,6 +244,11 @@ class Iss:
             store_value = truncate(self.regs[inst.rs2], 8 * size)
             if self.on_access is not None:
                 self.on_access("store", store_address, store_value, size)
+            if (self._code_clean
+                    and store_address < self._program_end
+                    and store_address + size > self._decoded_base):
+                # Self-modifying store: the pre-decoded image is stale.
+                self._code_clean = False
             self.memory.write(store_address, self.regs[inst.rs2], size)
         elif cls is ExecClass.BRANCH:
             if self._branch_taken(inst):

@@ -25,6 +25,25 @@ multiple of 1000 (scenarios at seeds 0 and 1000 shared shard streams —
 shard ``k+1`` of one replayed shard ``k`` of the other).  See the
 compatibility note in ``docs/scenarios.md``.
 
+Executor architecture
+---------------------
+Work is dispatched to a **persistent work-stealing pool**
+(:func:`imap_shard_units`): worker processes live for the process
+lifetime (one fork per jobs count, not one per campaign) and keep
+**shared read-only statics** per core configuration —
+the elaborated netlist inside a reusable :class:`BoomCore`, its
+decoded-program LRU (seed images decode once per process), and the
+offline artifacts (:func:`shared_statics`) — so a shard campaign costs
+exactly its fuzzing loop, with no per-shard netlist elaboration or
+offline phase.  Shards become fine-grained deterministic work units
+(unit id = spec position) dispatched via ``imap_unordered`` with chunk
+size 1: a free worker steals the next pending unit immediately, and
+results are re-assembled by unit id (:func:`map_shards`), keeping merged
+reports byte-identical to serial runs whatever the completion order.
+Worker exceptions come back as values, are re-raised as
+:class:`ShardExecutionError` naming the failing shard, and terminate the
+pool promptly instead of joining stuck siblings; see ``docs/performance.md``.
+
 Merge semantics
 ---------------
 * :meth:`~repro.detection.mst.MisspeculationTable.merge` and
@@ -45,11 +64,16 @@ Merge semantics
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
+import traceback
 import warnings
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 
 from repro.boom.config import BoomConfig
+from repro.boom.core import BoomCore
+from repro.core.offline import OfflineArtifacts, run_offline
 from repro.core.report import CampaignReport
 from repro.core.specure import Specure
 from repro.detection.vulnerability import LeakReport
@@ -90,8 +114,129 @@ def shard_seed(base_seed: int, shard: int,
 
 
 # ----------------------------------------------------------------------
-# Worker-process plumbing
+# Worker-process plumbing: persistent pool + per-process shared statics
 # ----------------------------------------------------------------------
+
+class ShardExecutionError(RuntimeError):
+    """A work unit's worker raised inside the pool.
+
+    Carries the failing shard id (``shard``) and the worker-side
+    traceback text (``worker_traceback``); the pool the unit ran in is
+    torn down promptly before this propagates, so sibling units never
+    hold the caller hostage.
+    """
+
+    def __init__(self, shard: int, worker_traceback: str):
+        super().__init__(
+            f"shard {shard} failed in a worker process:\n{worker_traceback}"
+        )
+        self.shard = shard
+        self.worker_traceback = worker_traceback
+
+
+#: The process-lifetime worker pool (one per jobs count, lazily built).
+_POOL: multiprocessing.pool.Pool | None = None
+_POOL_JOBS = 0
+_POOL_ATEXIT_REGISTERED = False
+
+
+def _get_pool(jobs: int):
+    """The persistent worker pool, (re)built only when ``jobs`` changes.
+
+    Workers are initialized once per process lifetime and keep their
+    per-process statics (:func:`shared_statics`) across campaigns —
+    repeated `imap_shards` calls reuse warm processes instead of paying
+    a fork + netlist elaboration + offline phase per campaign.
+    """
+    global _POOL, _POOL_JOBS, _POOL_ATEXIT_REGISTERED
+    if _POOL is not None and _POOL_JOBS != jobs:
+        shutdown_pool()
+    if _POOL is None:
+        _POOL = _pool_context().Pool(processes=jobs)
+        _POOL_JOBS = jobs
+        if not _POOL_ATEXIT_REGISTERED:
+            atexit.register(shutdown_pool)
+            _POOL_ATEXIT_REGISTERED = True
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Terminate and discard the persistent pool (idempotent).
+
+    Called automatically at interpreter exit, when ``jobs`` changes, and
+    on worker failure or interrupt — `terminate` rather than `close` so
+    a stuck sibling unit cannot block the teardown.
+    """
+    global _POOL, _POOL_JOBS
+    if _POOL is not None:
+        _POOL.terminate()
+        _POOL.join()
+        _POOL = None
+        _POOL_JOBS = 0
+
+
+#: Per-process shared read-only statics: one (core, offline artifacts)
+#: pair per core configuration.  The core carries the elaborated
+#: netlist, the reusable simulation engine, and the decoded-program LRU
+#: (seed images decode once per process, not once per shard); the
+#: offline artifacts are a pure function of the netlist.  Bounded LRU so
+#: a long-lived worker serving many designs cannot grow unboundedly.
+_WORKER_STATICS: OrderedDict[str, tuple[BoomCore, OfflineArtifacts]] = \
+    OrderedDict()
+_WORKER_STATICS_LIMIT = 4
+
+
+def shared_statics(config: BoomConfig) -> tuple[BoomCore, OfflineArtifacts]:
+    """This process's shared (core, offline artifacts) for ``config``.
+
+    Safe to share across work units because both are exact under reuse:
+    the engine resets byte-identically between programs (pinned by
+    ``tests/test_engine_reuse.py``) and the offline artifacts depend on
+    the netlist alone.
+    """
+    key = repr(config)
+    hit = _WORKER_STATICS.get(key)
+    if hit is not None:
+        _WORKER_STATICS.move_to_end(key)
+        return hit
+    core = BoomCore(config)
+    value = (core, run_offline(core.netlist))
+    _WORKER_STATICS[key] = value
+    if len(_WORKER_STATICS) > _WORKER_STATICS_LIMIT:
+        _WORKER_STATICS.popitem(last=False)
+    return value
+
+
+def shared_specure(config: BoomConfig, **knobs) -> Specure:
+    """A :class:`Specure` wired onto this process's shared statics."""
+    core, offline = shared_statics(config)
+    return Specure(core=core, offline=offline, **knobs)
+
+
+def _run_unit(payload):
+    """Work-unit envelope executed in the pool (or inline).
+
+    Returns ``(unit_id, ok, result_or_traceback)`` — errors travel back
+    as values so the dispatcher can name the failing unit and tear the
+    pool down promptly instead of letting the context manager join
+    still-running siblings first.
+    """
+    unit_id, worker, item = payload
+    try:
+        return unit_id, True, worker(item)
+    except Exception:
+        return unit_id, False, traceback.format_exc()
+
+
+def _shard_of(item, unit_id: int) -> int:
+    """Best-effort shard id of a work item (for error reporting)."""
+    shard = getattr(item, "shard", None)
+    if isinstance(shard, int):
+        return shard
+    if isinstance(item, tuple) and len(item) >= 2 and isinstance(item[1], int):
+        return item[1]  # the scenario runner's (spec, shard, seed) tasks
+    return unit_id
+
 
 @dataclass(frozen=True)
 class ShardSpec:
@@ -119,7 +264,7 @@ def _run_shard(spec: ShardSpec) -> CampaignReport:
     """Execute one shard (runs inside a worker process)."""
     import time
 
-    specure = Specure(
+    specure = shared_specure(
         spec.config,
         seed=spec.seed,
         coverage=spec.coverage,
@@ -155,35 +300,74 @@ def _pool_context():
         return multiprocessing.get_context("spawn")
 
 
-def imap_shards(worker, specs, jobs: int | None):
-    """Yield ``(spec, worker(spec))`` pairs in spec order, incrementally.
+def imap_shard_units(worker, specs, jobs: int | None):
+    """Yield ``(unit_id, spec, worker(spec))`` as units *complete*.
 
-    The streaming counterpart of :func:`map_shards`, for store-aware
-    callers (:mod:`repro.scenarios.runner`) that persist each shard's
-    artifacts as soon as it finishes instead of waiting for the whole
-    batch: with ``jobs >= 2`` results stream back via ``Pool.imap`` —
-    still in spec order, so downstream merges stay deterministic — and a
-    consumer that stops early (interrupt) has every yielded shard
-    already persisted.  ``worker`` and every spec must be picklable.
+    The work-stealing dispatcher: every spec becomes one deterministic
+    work unit ``(unit_id, worker, spec)``, dispatched to the persistent
+    pool via ``imap_unordered`` with chunk size 1 — a free worker steals
+    the next pending unit the moment it finishes its previous one, so a
+    slow unit never idles the other processes the way one coarse task
+    per worker would.  Unit ids let callers re-assemble results into
+    spec order (:func:`map_shards`), which keeps merged reports
+    byte-identical to serial runs regardless of completion order.
+
+    Failure semantics: a worker exception travels back as a value,
+    is re-raised here as :class:`ShardExecutionError` naming the failing
+    shard, and the persistent pool is terminated *first* — promptly,
+    without joining still-running siblings.  Interrupts and abandoned
+    generators tear the pool down the same way.  ``jobs=None``/``<=1``
+    runs the units inline, where exceptions propagate raw (with their
+    original tracebacks).  ``worker`` and every spec must be picklable.
     """
     jobs = 1 if jobs is None else min(jobs, len(specs))
     if jobs <= 1 or len(specs) <= 1:
-        for spec in specs:
-            yield spec, worker(spec)
+        for unit_id, spec in enumerate(specs):
+            yield unit_id, spec, worker(spec)
         return
-    with _pool_context().Pool(processes=jobs) as pool:
-        yield from zip(specs, pool.imap(worker, specs))
+    payloads = [(unit_id, worker, spec) for unit_id, spec in enumerate(specs)]
+    pool = _get_pool(jobs)
+    try:
+        for unit_id, ok, result in pool.imap_unordered(_run_unit, payloads):
+            if not ok:
+                raise ShardExecutionError(
+                    _shard_of(specs[unit_id], unit_id), result
+                )
+            yield unit_id, specs[unit_id], result
+    except BaseException:
+        # Worker failure, KeyboardInterrupt, or an abandoned generator
+        # (GeneratorExit): kill outstanding units now; the next call
+        # builds a fresh pool.
+        shutdown_pool()
+        raise
+
+
+def imap_shards(worker, specs, jobs: int | None):
+    """Yield ``(spec, worker(spec))`` pairs as they complete.
+
+    The streaming face of :func:`imap_shard_units` for store-aware
+    callers (:mod:`repro.scenarios.runner`) that persist each shard's
+    artifacts as soon as it lands: results arrive in *completion* order
+    (each paired with its own spec, so identity is never ambiguous), and
+    a consumer that stops early has every yielded shard already
+    persisted.  Callers that need spec order use :func:`map_shards`.
+    """
+    for _unit_id, spec, result in imap_shard_units(worker, specs, jobs):
+        yield spec, result
 
 
 def map_shards(worker, specs, jobs: int | None):
     """Run ``worker`` over ``specs``, optionally across processes.
 
-    Results always come back in spec order, so downstream merges are
-    deterministic regardless of which worker finishes first.  ``worker``
-    and every spec must be picklable (module-level function, plain-data
-    spec).
+    Results are re-assembled by unit id into spec order, so downstream
+    merges are deterministic regardless of which worker finishes first.
+    ``worker`` and every spec must be picklable (module-level function,
+    plain-data spec).
     """
-    return [result for _, result in imap_shards(worker, specs, jobs)]
+    results = [None] * len(specs)
+    for unit_id, _spec, result in imap_shard_units(worker, specs, jobs):
+        results[unit_id] = result
+    return results
 
 
 # ----------------------------------------------------------------------

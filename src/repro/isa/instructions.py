@@ -13,7 +13,7 @@ only add a constant to every experiment).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro.isa.encoding import (
@@ -61,7 +61,7 @@ class ExecClass(enum.Enum):
     ILLEGAL = "illegal"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InstructionSpec:
     """Static description of one instruction mnemonic.
 
@@ -216,7 +216,7 @@ INSTRUCTIONS_BY_NAME: dict[str, InstructionSpec] = {
 _CSR_FUNCT3 = {0b001, 0b010, 0b011, 0b101, 0b110, 0b111}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecodedInstruction:
     """One decoded 32-bit instruction.
 
@@ -226,6 +226,12 @@ class DecodedInstruction:
     field for CSR/shift instructions.  Register reads/writes are exposed
     through :meth:`dest` / :meth:`sources` which already account for
     ``x0`` never being written.
+
+    ``mnemonic``, ``exec_class``, and the dest/sources answers are
+    plain fields precomputed at decode time (decode is LRU-cached, so
+    the cost is paid once per distinct word): the pipeline interrogates
+    them for every in-flight instruction every cycle, where a property
+    or a rebuilt tuple is measurable.
     """
 
     word: int
@@ -236,29 +242,33 @@ class DecodedInstruction:
     imm: int
     csr: int
     shamt: int
+    mnemonic: str = field(init=False)
+    exec_class: ExecClass = field(init=False)
+    _dest: int | None = field(init=False)
+    _sources: tuple[int, ...] = field(init=False)
 
-    @property
-    def mnemonic(self) -> str:
-        return self.spec.mnemonic
-
-    @property
-    def exec_class(self) -> ExecClass:
-        return self.spec.exec_class
+    def __post_init__(self):
+        spec = self.spec
+        object.__setattr__(self, "mnemonic", spec.mnemonic)
+        object.__setattr__(self, "exec_class", spec.exec_class)
+        object.__setattr__(
+            self, "_dest",
+            self.rd if spec.writes_rd and self.rd != 0 else None,
+        )
+        sources = []
+        if spec.reads_rs1:
+            sources.append(self.rs1)
+        if spec.reads_rs2:
+            sources.append(self.rs2)
+        object.__setattr__(self, "_sources", tuple(sources))
 
     def dest(self) -> int | None:
         """Destination GPR index, or None (includes the x0 sink)."""
-        if self.spec.writes_rd and self.rd != 0:
-            return self.rd
-        return None
+        return self._dest
 
     def sources(self) -> tuple[int, ...]:
         """GPR indices read (x0 reads included; they are free)."""
-        sources = []
-        if self.spec.reads_rs1:
-            sources.append(self.rs1)
-        if self.spec.reads_rs2:
-            sources.append(self.rs2)
-        return tuple(sources)
+        return self._sources
 
     def is_control_flow(self) -> bool:
         """True for branches and jumps (the speculation sources)."""

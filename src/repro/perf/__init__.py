@@ -2,44 +2,65 @@
 
 The ROADMAP's "as fast as the hardware allows" axis needs numbers
 before it needs opinions: this package benches named scenarios under
-fixed iteration or wall-clock budgets, emits the machine-readable
-``BENCH_pr3.json`` artifact (fresh results next to the committed pre-PR
-baseline), and provides the regression gate CI runs on every push.
+fixed iteration or wall-clock budgets, measures executor scaling on
+timed sharded campaigns (:func:`run_scaling_bench`), emits the
+machine-readable ``BENCH_*.json`` artifacts (fresh results next to the
+committed pre-PR baselines), and provides the regression gates CI runs
+on every push.
 
 Entry points: ``python -m repro bench`` on the command line,
-:func:`run_bench`/:func:`emit_bench`/:func:`check_regression` from code.
+:func:`run_bench`/:func:`run_scaling_bench`/:func:`emit_bench`/
+:func:`check_regression`/:func:`check_scaling` from code.
 """
 
 from repro.perf.baseline import (
     BASELINES,
     PR4_CONTRACT_BASELINE,
+    PR5_BASELINE,
     PRE_PR_BASELINE,
 )
 from repro.perf.bench import (
     BenchError,
     BenchResult,
+    ScalingResult,
+    baseline_entries,
     baseline_for,
     check_regression,
+    check_scaling,
     emit_bench,
     load_bench,
+    parse_scenario_request,
     peak_rss_kb,
     render_bench,
+    render_bench_list,
+    render_scaling,
     run_bench,
+    run_scaling_bench,
     speedup_vs_baseline,
+    speedups_vs_baseline,
 )
 
 __all__ = [
     "BASELINES",
     "PR4_CONTRACT_BASELINE",
+    "PR5_BASELINE",
     "PRE_PR_BASELINE",
     "BenchError",
     "BenchResult",
+    "ScalingResult",
+    "baseline_entries",
     "baseline_for",
     "check_regression",
+    "check_scaling",
     "emit_bench",
     "load_bench",
+    "parse_scenario_request",
     "peak_rss_kb",
     "render_bench",
+    "render_bench_list",
+    "render_scaling",
     "run_bench",
+    "run_scaling_bench",
     "speedup_vs_baseline",
+    "speedups_vs_baseline",
 ]

@@ -44,8 +44,36 @@ PR4_CONTRACT_BASELINE: dict = {
                    "reference container",
 }
 
+#: The pre-PR-5 figures (``BENCH_pr5.json``): the committed results of
+#: ``BENCH_pr3.json`` / ``BENCH_pr4.json`` at commit 39b98ab — the state
+#: of the tree before the columnar trace engine and the persistent
+#: work-stealing executor landed.  A *multi-entry* baseline: the PR
+#: optimises two distinct hot paths (the IFT quickstart loop and the
+#: ct-cond relational-testing loop), so each protocol-qualified entry
+#: carries its own denominator.
+PR5_BASELINE: dict = {
+    "entries": {
+        "quickstart@60it": {
+            "scenario": "quickstart",
+            "protocol": {"mode": "iterations", "value": 60},
+            "iters_per_sec": 26.34,
+            "events_examined_per_iter": 13626.2,
+            "peak_rss_kb": 43812,
+        },
+        "contract-ablation@40it": {
+            "scenario": "contract-ablation",
+            "protocol": {"mode": "iterations", "value": 40},
+            "iters_per_sec": 10.40,
+            "events_examined_per_iter": 17424.7,
+            "peak_rss_kb": 50268,
+        },
+    },
+    "measured_at": "commit 39b98ab (pre-PR 5), reference container",
+}
+
 #: Baseline per bench-artifact tag (``BENCH_<tag>.json``).
 BASELINES: dict[str, dict] = {
     "pr3": PRE_PR_BASELINE,
     "pr4": PR4_CONTRACT_BASELINE,
+    "pr5": PR5_BASELINE,
 }

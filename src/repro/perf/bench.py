@@ -176,25 +176,274 @@ def run_bench(
     )
 
 
+def parse_scenario_request(request: str) -> tuple[str, int | None]:
+    """Parse a ``name`` or ``name@ITERATIONS`` bench request.
+
+    The suffix pins one scenario's iteration budget independently of
+    the global ``--iterations`` flag, so a single invocation can
+    regenerate an artifact whose entries use different protocols
+    (``quickstart@60`` next to ``contract-ablation@40``).
+    """
+    name, separator, budget = request.partition("@")
+    if not separator:
+        return request, None
+    try:
+        iterations = int(budget)
+    except ValueError:
+        raise BenchError(
+            f"invalid scenario request {request!r}: expected NAME or "
+            f"NAME@ITERATIONS (e.g. quickstart@60)"
+        ) from None
+    if iterations < 1:
+        raise BenchError(
+            f"invalid scenario request {request!r}: iterations must be >= 1"
+        )
+    return name, iterations
+
+
+# ----------------------------------------------------------------------
+# Executor scaling: timed sharded campaigns at several jobs counts
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """Wall-clock scaling of one timed sharded campaign across jobs.
+
+    The measured workload is the paper's time-budgeted campaign shape:
+    every shard fuzzes an independent seed stream for the *same*
+    wall-clock budget, so ``jobs=N`` runs N budgets concurrently where
+    ``jobs=1`` pays them back to back — the wall-clock speedup the
+    24-hour runs see from the executor.  ``deterministic`` reports the
+    orthogonal correctness property, checked on a fixed-iteration run
+    of the same scenario: the merged report is byte-identical across
+    jobs counts (completion order must not leak into artifacts).
+    """
+
+    scenario: str
+    shards: int
+    budget_s: float
+    wall_seconds: dict[int, float]      # jobs -> campaign wall clock
+    iterations: dict[int, int]          # jobs -> iterations completed
+    speedup: float | None               # jobs=1 wall / max-jobs wall
+    deterministic: bool
+    check_iterations: int               # fixed budget of the byte check
+
+    @property
+    def key(self) -> str:
+        return f"{self.scenario}@{self.shards}x{self.budget_s:g}s-scaling"
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        # JSON object keys are strings; keep "jobs=N" self-describing.
+        payload["wall_seconds"] = {
+            f"jobs={jobs}": round(seconds, 3)
+            for jobs, seconds in sorted(self.wall_seconds.items())
+        }
+        payload["iterations"] = {
+            f"jobs={jobs}": count
+            for jobs, count in sorted(self.iterations.items())
+        }
+        if self.speedup is not None:
+            payload["speedup"] = round(self.speedup, 3)
+        payload["key"] = self.key
+        return payload
+
+
+def run_scaling_bench(
+    scenario: str = "quickstart",
+    shards: int = 4,
+    budget_s: float = 2.0,
+    jobs_list: tuple[int, ...] = (1, 4),
+    check_iterations: int = 12,
+) -> ScalingResult:
+    """Measure executor scaling on a timed sharded campaign.
+
+    For each jobs count, runs ``shards`` wall-clock-budgeted shards of
+    the scenario through the persistent pool and records the campaign's
+    total wall time.  A small warm-up run per multi-process jobs count
+    pays the one-time pool fork and per-worker statics (netlist +
+    offline phase) *outside* the measurement, mirroring steady-state
+    campaign service.  Separately, a fixed-iteration run of the same
+    scenario at the smallest and largest jobs counts pins byte-identical
+    merged reports (``deterministic``).
+    """
+    import time
+
+    from repro.harness.parallel import (
+        ShardSpec,
+        _run_shard,
+        map_shards,
+        merge_reports,
+        shard_seed,
+    )
+
+    if shards < 1:
+        raise BenchError("shards must be >= 1")
+    if budget_s <= 0:
+        raise BenchError("budget_s must be positive")
+    if not jobs_list:
+        raise BenchError("jobs_list must name at least one jobs count")
+    spec = _load_spec(scenario)
+    config = spec.build_config()
+
+    def shard_specs(seconds=None, iterations=0):
+        return [
+            ShardSpec(
+                shard=shard,
+                config=config,
+                seed=shard_seed(spec.seed, shard),
+                coverage=spec.coverage,
+                iterations=iterations,
+                seconds=seconds,
+                monitor_dcache=spec.monitor_dcache,
+                use_special_seeds=spec.use_special_seeds,
+                random_seed_count=spec.random_seed_count,
+                splice_probability=spec.splice_probability,
+                mutation_rounds=spec.mutation_rounds,
+                detector=spec.detector,
+                contract=spec.contract,
+                inputs_per_class=spec.inputs_per_class,
+                max_spec_window=spec.max_spec_window,
+            )
+            for shard in range(shards)
+        ]
+
+    wall_seconds: dict[int, float] = {}
+    iterations_done: dict[int, int] = {}
+    for jobs in jobs_list:
+        if jobs < 1:
+            raise BenchError("every jobs count must be >= 1")
+        # Pay the one-time costs off the clock for *every* jobs count —
+        # pool fork + per-worker statics when pooled, in-process statics
+        # (netlist + offline phase) when inline — so the speedup
+        # compares steady-state executors, not cold-start asymmetry.
+        map_shards(_run_shard, shard_specs(seconds=0.05), jobs)
+        started = time.perf_counter()
+        reports = map_shards(_run_shard, shard_specs(seconds=budget_s), jobs)
+        wall_seconds[jobs] = time.perf_counter() - started
+        iterations_done[jobs] = sum(r.fuzz.iterations for r in reports)
+
+    speedup = None
+    slowest = min(jobs_list)
+    fastest = max(jobs_list)
+    if slowest != fastest:
+        speedup = wall_seconds[slowest] / wall_seconds[fastest]
+
+    # Determinism: fixed-iteration merged reports must not depend on the
+    # jobs count (completion order is reassembled by unit id).
+    low = merge_reports(
+        map_shards(_run_shard, shard_specs(iterations=check_iterations),
+                   slowest)
+    )
+    high = merge_reports(
+        map_shards(_run_shard, shard_specs(iterations=check_iterations),
+                   fastest)
+    )
+    deterministic = (
+        low.render(include_timings=False) == high.render(include_timings=False)
+    )
+
+    return ScalingResult(
+        scenario=spec.name,
+        shards=shards,
+        budget_s=float(budget_s),
+        wall_seconds=wall_seconds,
+        iterations=iterations_done,
+        speedup=speedup,
+        deterministic=deterministic,
+        check_iterations=check_iterations,
+    )
+
+
+def check_scaling(scaling: ScalingResult,
+                  min_speedup: float) -> list[str]:
+    """Gate lines for a scaling measurement (empty = passed)."""
+    failures = []
+    if scaling.speedup is not None and scaling.speedup < min_speedup:
+        jobs = max(scaling.wall_seconds)
+        failures.append(
+            f"{scaling.key}: jobs={jobs} is only "
+            f"{scaling.speedup:.2f}x faster than jobs=1 "
+            f"(required >= {min_speedup:.2f}x)"
+        )
+    if not scaling.deterministic:
+        failures.append(
+            f"{scaling.key}: fixed-iteration merged reports differ "
+            f"across jobs counts — the executor leaked completion order "
+            f"into artifacts"
+        )
+    return failures
+
+
+def render_scaling(scaling: ScalingResult) -> str:
+    """Human-readable scaling table."""
+    rows = [
+        [f"jobs={jobs}", f"{seconds:.2f}",
+         scaling.iterations.get(jobs, 0)]
+        for jobs, seconds in sorted(scaling.wall_seconds.items())
+    ]
+    table = ascii_table(
+        ["executor", "wall seconds", "iterations"],
+        rows,
+        title=f"Executor scaling: {scaling.scenario}, {scaling.shards} "
+              f"timed shards x {scaling.budget_s:g}s",
+    )
+    if scaling.speedup is not None:
+        table += f"\nwall-clock speedup: {scaling.speedup:.2f}x"
+    table += ("\nmerged reports byte-identical across jobs counts: "
+              + ("yes" if scaling.deterministic else "NO"))
+    return table
+
+
 # ----------------------------------------------------------------------
 # Artifact emission and the CI gate
 # ----------------------------------------------------------------------
 
+def baseline_entries(baseline: dict) -> dict[str, dict]:
+    """A baseline's per-protocol entries, keyed like :attr:`BenchResult.key`.
+
+    Handles both baseline shapes: the legacy single-scenario dicts
+    (``PRE_PR_BASELINE``/``PR4_CONTRACT_BASELINE``) and the multi-entry
+    form (``PR5_BASELINE``) whose ``entries`` table carries one
+    denominator per protocol-qualified key.
+    """
+    if "entries" in baseline:
+        return dict(baseline["entries"])
+    protocol = baseline["protocol"]
+    suffix = "it" if protocol["mode"] == "iterations" else "s"
+    key = f"{baseline['scenario']}@{protocol['value']:g}{suffix}"
+    return {key: baseline}
+
+
+def speedups_vs_baseline(results: list[BenchResult],
+                         baseline: dict) -> dict[str, float]:
+    """Per-protocol iterations/sec speedups of the fresh results.
+
+    Only a run replaying a baseline entry's own protocol (same scenario,
+    same mode, same budget) produces a speedup figure — any other shape
+    would compare different workloads.
+    """
+    entries = baseline_entries(baseline)
+    speedups: dict[str, float] = {}
+    for result in results:
+        reference = entries.get(result.key)
+        if reference is not None:
+            speedups[result.key] = \
+                result.iters_per_sec / reference["iters_per_sec"]
+    return speedups
+
+
 def speedup_vs_baseline(results: list[BenchResult],
                         baseline: dict = PRE_PR_BASELINE) -> float | None:
-    """Iterations/sec speedup of the baseline scenario's fresh result.
+    """The single-baseline speedup figure (legacy artifact shape).
 
-    Only a run replaying the baseline's own protocol (same scenario,
-    fixed-iteration mode, same iteration count) produces a speedup
-    figure — any other shape would compare different workloads.
+    For multi-entry baselines, the first matching entry's speedup is
+    returned (``speedups_vs_baseline`` carries the full map).
     """
-    protocol = baseline["protocol"]
-    for result in results:
-        if (result.scenario == baseline["scenario"]
-                and result.mode == protocol["mode"]
-                and result.budget == protocol["value"]):
-            return result.iters_per_sec / baseline["iters_per_sec"]
-    return None
+    speedups = speedups_vs_baseline(results, baseline)
+    if not speedups:
+        return None
+    return next(iter(speedups.values()))
 
 
 def artifact_tag(path: str | Path) -> str:
@@ -217,6 +466,7 @@ def emit_bench(
     results: list[BenchResult],
     path: str | Path = "BENCH_pr3.json",
     baseline: dict | None = None,
+    scaling: "ScalingResult | None" = None,
 ) -> dict:
     """Write the machine-readable bench artifact; returns its payload.
 
@@ -236,9 +486,15 @@ def emit_bench(
         "baseline": dict(baseline),
         "results": {result.key: result.to_dict() for result in results},
     }
-    speedup = speedup_vs_baseline(results, baseline)
-    if speedup is not None:
-        payload["speedup_vs_baseline"] = round(speedup, 3)
+    speedups = speedups_vs_baseline(results, baseline)
+    if speedups:
+        payload["speedup_vs_baseline"] = round(next(iter(speedups.values())), 3)
+        if len(baseline_entries(baseline)) > 1:
+            payload["speedups_vs_baseline"] = {
+                key: round(value, 3) for key, value in speedups.items()
+            }
+    if scaling is not None:
+        payload["scaling"] = scaling.to_dict()
     Path(path).write_text(json.dumps(payload, indent=2) + "\n")
     return payload
 
@@ -308,16 +564,60 @@ def check_regression(
     return failures
 
 
+def render_bench_list() -> str:
+    """The benchable-scenario listing behind ``python -m repro bench --list``.
+
+    One row per registry scenario: the protocol its own budget implies
+    (offline-only scenarios need an explicit wall-clock budget), and the
+    committed baseline figure when any committed bench artifact's
+    baseline carries an entry for that protocol.
+    """
+    from repro.scenarios import get_scenario, scenario_names
+
+    committed: dict[str, dict] = {}
+    for baseline in BASELINES.values():
+        committed.update(baseline_entries(baseline))
+
+    rows = []
+    for name in scenario_names():
+        spec = get_scenario(name)
+        if spec.iterations == 0:
+            protocol = "offline-only (needs --budget-s)"
+        else:
+            protocol = f"{name}@{spec.iterations:g}it"
+        # A committed baseline may pin a different protocol than the
+        # scenario's own budget (the gate replays the baseline's): show
+        # whatever entry exists for this scenario.
+        reference = "-"
+        for key, entry in committed.items():
+            if entry.get("scenario", key.partition("@")[0]) == name:
+                reference = f"{key}: {entry['iters_per_sec']:.2f} iters/sec"
+                break
+        rows.append([name, protocol, reference])
+    table = ascii_table(
+        ["scenario", "bench protocol", "committed baseline"],
+        rows,
+        title="Benchable scenarios (protocol = scenario's own budget)",
+    )
+    return (
+        table
+        + "\nbench any entry with: python -m repro bench --scenario "
+        + "NAME[@ITERATIONS] [--budget-s S]"
+    )
+
+
 def render_bench(results: list[BenchResult],
                  baseline: dict = PRE_PR_BASELINE) -> str:
-    """Human-readable results table (with the baseline row for context)."""
-    rows = [[
-        f"{baseline['scenario']} (pre-PR baseline)",
-        baseline["iterations"],
-        f"{baseline['iters_per_sec']:.2f}",
-        f"{baseline['events_examined_per_iter']:.0f}",
-        f"{baseline['peak_rss_kb']:,}",
-    ]]
+    """Human-readable results table (with the baseline rows for context)."""
+    rows = []
+    for key, entry in baseline_entries(baseline).items():
+        rows.append([
+            f"{key} (pre-PR baseline)",
+            entry.get("iterations", entry["protocol"]["value"]),
+            f"{entry['iters_per_sec']:.2f}",
+            f"{entry['events_examined_per_iter']:.0f}",
+            f"{entry['peak_rss_kb']:,}",
+        ])
     for result in results:
         rows.append([
             result.key,
@@ -331,7 +631,7 @@ def render_bench(results: list[BenchResult],
         rows,
         title="Campaign bench: per-iteration hot path",
     )
-    speedup = speedup_vs_baseline(results, baseline)
-    if speedup is not None:
-        table += f"\nspeedup vs pre-PR baseline: {speedup:.2f}x"
+    speedups = speedups_vs_baseline(results, baseline)
+    for key, speedup in speedups.items():
+        table += f"\nspeedup vs pre-PR baseline ({key}): {speedup:.2f}x"
     return table

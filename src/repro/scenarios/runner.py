@@ -35,7 +35,13 @@ from repro.core.report import CampaignReport
 from repro.fuzz.fuzzer import FuzzFinding
 from repro.fuzz.input import TestProgram
 from repro.fuzz.trim import trim_program
-from repro.harness.parallel import imap_shards, merge_reports, shard_seed
+from repro.harness.parallel import (
+    ShardExecutionError,
+    imap_shards,
+    merge_reports,
+    shard_seed,
+    shared_statics,
+)
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.store import (
     STATUS_INTERRUPTED,
@@ -75,10 +81,13 @@ def _execute_shard(task) -> tuple[CampaignReport, list[tuple[TestProgram, int]]]
 
     Returns the shard report plus the fuzzer's retained corpus entries,
     which only exist inside the campaign object and must surface here to
-    be persisted.
+    be persisted.  The core and the offline artifacts come from the
+    executing process's shared statics — one netlist elaboration and one
+    offline phase per process lifetime, not one per shard.
     """
     spec, _shard, seed = task
-    specure = spec.build_specure(seed=seed)
+    core, offline = shared_statics(spec.build_config())
+    specure = spec.build_specure(seed=seed, core=core, offline=offline)
     campaign = specure.build_campaign()
     report = campaign.run(spec.iterations, stop_when=spec.stop_predicate())
     corpus = [
@@ -211,10 +220,14 @@ def _drive(
             executed.append(shard)
             if on_shard is not None:
                 on_shard(shard, report)
-    except KeyboardInterrupt:
+    except (KeyboardInterrupt, ShardExecutionError):
+        # Completed shards are already persisted; mark the campaign
+        # resumable whether a user interrupted it or a worker died (the
+        # ShardExecutionError names the failing shard).
         if store is not None:
             store.set_status(STATUS_INTERRUPTED)
         raise
+    executed.sort()  # completion order varies under the unordered pool
 
     # Offline artifacts for store-loaded shards: reuse a fresh shard's
     # (they are a pure function of the configuration) before paying for

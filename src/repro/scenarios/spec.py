@@ -394,16 +394,22 @@ class ScenarioSpec:
         preset = getattr(BoomConfig, self.design)
         return preset(self.vuln_config())
 
-    def build_specure(self, seed: int | None = None):
+    def build_specure(self, seed: int | None = None, core=None, offline=None):
         """A :class:`~repro.core.specure.Specure` wired per this spec.
 
         ``seed`` overrides the spec's base seed (shard workers pass the
-        derived per-shard seed).
+        derived per-shard seed); ``core``/``offline`` inject prebuilt
+        shared statics (see
+        :func:`repro.harness.parallel.shared_statics`) so pooled workers
+        skip re-elaborating the netlist and re-running the offline phase
+        per shard.
         """
         from repro.core.specure import Specure
 
         return Specure(
-            self.build_config(),
+            self.build_config() if core is None else None,
+            core=core,
+            offline=offline,
             seed=self.seed if seed is None else seed,
             coverage=self.coverage,
             monitor_dcache=self.monitor_dcache,

@@ -23,7 +23,7 @@ def mask(width: int) -> int:
 
 def truncate(value: int, width: int) -> int:
     """Truncate ``value`` to its low ``width`` bits (unsigned result)."""
-    return value & mask(width)
+    return value & ((1 << width) - 1)
 
 
 def zext(value: int, width: int) -> int:
@@ -45,16 +45,16 @@ def sext(value: int, width: int, from_width: int | None = None) -> int:
     """
     if from_width is None:
         from_width = width
-    value = truncate(value, from_width)
+    value &= (1 << from_width) - 1
     sign_bit = 1 << (from_width - 1)
     if value & sign_bit:
-        value |= mask(width) & ~mask(from_width)
-    return truncate(value, width)
+        value |= ((1 << width) - 1) & ~((1 << from_width) - 1)
+    return value & ((1 << width) - 1)
 
 
 def to_signed(value: int, width: int) -> int:
     """Interpret a ``width``-bit pattern as a two's-complement signed int."""
-    value = truncate(value, width)
+    value &= (1 << width) - 1
     if value & (1 << (width - 1)):
         return value - (1 << width)
     return value
@@ -62,7 +62,7 @@ def to_signed(value: int, width: int) -> int:
 
 def to_unsigned(value: int, width: int) -> int:
     """Convert a (possibly negative) Python int to a ``width``-bit pattern."""
-    return truncate(value, width)
+    return value & ((1 << width) - 1)
 
 
 def bit(value: int, index: int) -> int:

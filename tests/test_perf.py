@@ -222,3 +222,117 @@ class TestBenchCli:
         assert "pre-PR baseline" in proc.stdout
         payload = json.loads(out.read_text())
         assert payload["results"]["quickstart@3it"]["iterations"] == 3
+
+
+class TestScenarioRequests:
+    def test_plain_name_passes_through(self):
+        from repro.perf import parse_scenario_request
+
+        assert parse_scenario_request("quickstart") == ("quickstart", None)
+
+    def test_pinned_budget_parses(self):
+        from repro.perf import parse_scenario_request
+
+        assert parse_scenario_request("contract-ablation@40") == \
+            ("contract-ablation", 40)
+
+    @pytest.mark.parametrize("bad", ["quickstart@", "quickstart@x",
+                                     "quickstart@0", "quickstart@-3"])
+    def test_malformed_requests_fail_loudly(self, bad):
+        from repro.perf import BenchError, parse_scenario_request
+
+        with pytest.raises(BenchError):
+            parse_scenario_request(bad)
+
+
+class TestMultiEntryBaseline:
+    def test_pr5_baseline_resolves_per_protocol(self):
+        from repro.perf import PR5_BASELINE, baseline_entries, baseline_for
+
+        assert baseline_for("BENCH_pr5.json") is PR5_BASELINE
+        entries = baseline_entries(PR5_BASELINE)
+        assert set(entries) == {"quickstart@60it", "contract-ablation@40it"}
+
+    def test_legacy_baseline_keys_like_results(self):
+        from repro.perf import baseline_entries
+
+        entries = baseline_entries(PRE_PR_BASELINE)
+        assert list(entries) == ["quickstart@60it"]
+
+    def test_speedups_match_protocols_only(self, quick_result):
+        from repro.perf import PR5_BASELINE, speedups_vs_baseline
+
+        # quickstart@4it matches no committed protocol: no speedup rows.
+        assert speedups_vs_baseline([quick_result], PR5_BASELINE) == {}
+
+    def test_render_handles_multi_entry_baselines(self, quick_result):
+        from repro.perf import PR5_BASELINE
+
+        table = render_bench([quick_result], baseline=PR5_BASELINE)
+        assert "quickstart@60it (pre-PR baseline)" in table
+        assert "contract-ablation@40it (pre-PR baseline)" in table
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def scaling(self):
+        from repro.perf import run_scaling_bench
+
+        return run_scaling_bench(
+            "quickstart", shards=2, budget_s=0.3, jobs_list=(1, 2),
+            check_iterations=4,
+        )
+
+    def test_scaling_measures_every_jobs_count(self, scaling):
+        assert set(scaling.wall_seconds) == {1, 2}
+        assert all(seconds > 0 for seconds in scaling.wall_seconds.values())
+        assert scaling.speedup == pytest.approx(
+            scaling.wall_seconds[1] / scaling.wall_seconds[2]
+        )
+
+    def test_scaling_merges_are_deterministic(self, scaling):
+        assert scaling.deterministic is True
+
+    def test_scaling_serialises_with_jobs_labels(self, scaling):
+        payload = scaling.to_dict()
+        assert set(payload["wall_seconds"]) == {"jobs=1", "jobs=2"}
+        assert payload["key"] == "quickstart@2x0.3s-scaling"
+
+    def test_check_scaling_gates_speedup_and_determinism(self, scaling):
+        from dataclasses import replace
+
+        from repro.perf import check_scaling
+
+        assert check_scaling(scaling, min_speedup=0.01) == []
+        failures = check_scaling(scaling, min_speedup=1e9)
+        assert failures and "faster than jobs=1" in failures[0]
+        broken = replace(scaling, deterministic=False)
+        failures = check_scaling(broken, min_speedup=0.01)
+        assert failures and "completion order" in failures[0]
+
+    def test_emit_embeds_the_scaling_entry(self, scaling, tmp_path):
+        out = tmp_path / "BENCH_pr5.json"
+        payload = emit_bench([], path=out, scaling=scaling)
+        assert payload["scaling"]["shards"] == 2
+        assert json.loads(out.read_text())["scaling"]["key"] == scaling.key
+
+
+class TestBenchList:
+    def test_listing_names_protocols_and_baselines(self):
+        from repro.perf import render_bench_list
+
+        listing = render_bench_list()
+        assert "quickstart@60it" in listing
+        assert "offline-only" in listing          # offline-analysis row
+        assert "26.34 iters/sec" in listing       # committed quickstart figure
+        assert "contract-ablation@40it: 10.40 iters/sec" in listing
+
+    def test_cli_list_flag(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "bench", "--list"],
+            capture_output=True, text=True,
+            env={**__import__("os").environ, "PYTHONPATH": "src"},
+            cwd=Path(__file__).resolve().parent.parent,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Benchable scenarios" in proc.stdout

@@ -147,6 +147,8 @@ class BoomCore:
     equivalence tests pin.
     """
 
+    design = "boom"
+
     def __init__(self, config: BoomConfig | None = None):
         self.config = config or BoomConfig.small()
         self.netlist = nl.build_boom_netlist(self.config)
@@ -179,13 +181,61 @@ class BoomCore:
 
     def run(self, program: TestProgram) -> CoreResult:
         """Simulate one test program from reset; returns the run result."""
+        self.reset(program)
+        return self._engine.execute()
+
+    # -- the Put cycle-level protocol ----------------------------------
+
+    def reset(self, program: TestProgram) -> None:
+        """Load ``program`` into the (lazily built) engine from reset."""
         engine = self._engine
         if engine is None:
             engine = self._engine = _Engine(
                 self.config, self.netlist, self._trace_statics
             )
         engine.reset(program, self._predecoded(program))
-        return engine.execute()
+
+    def step(self) -> bool:
+        """Advance one clock edge; ``False`` when the run is over."""
+        return self._engine.step()
+
+    def finish(self) -> CoreResult:
+        """Assemble the finished run's :class:`CoreResult`."""
+        return self._engine.finish()
+
+    # -- the Put design-structure protocol -----------------------------
+
+    def signal_names(self) -> list[str]:
+        """Every traced signal, in trace-slot order."""
+        return list(self._trace_statics[0])
+
+    def signal_map(self):
+        """The BOOM signal-naming map for this configuration."""
+        from repro.puts.base import boom_signal_map
+
+        return boom_signal_map(self.config)
+
+    def offline_model(self):
+        """The declared netlist (what the offline phase analyses)."""
+        return self.netlist
+
+    def special_seeds(self) -> list[TestProgram]:
+        """The hand-written speculative seed corpus."""
+        from repro.fuzz.seeds import special_seeds
+
+        return special_seeds()
+
+    def golden_memo(self):
+        """A fresh RISC-V ISS contract-trace memo."""
+        from repro.contracts.clauses import GoldenTraceMemo
+
+        return GoldenTraceMemo()
+
+    def supported_clauses(self) -> tuple[str, ...]:
+        """The golden ISS implements every registered clause."""
+        from repro.contracts.clauses import CLAUSES
+
+        return CLAUSES
 
 
 class _Engine:
@@ -285,6 +335,8 @@ class _Engine:
         self.squashed_count = 0
         self._next_spec_tag = 1
         self._resolved_this_cycle = False
+        self._max_cycles = min(program.max_cycles, config.max_cycles)
+        self._running = True
 
     # -- hooks -------------------------------------------------------------
 
@@ -306,22 +358,36 @@ class _Engine:
     # -- main loop -----------------------------------------------------------
 
     def execute(self) -> CoreResult:
-        max_cycles = min(self.program.max_cycles, self.config.max_cycles)
-        while not self.halted and self.cycle + 1 < max_cycles:
-            self.cycle += 1
-            self.tracer.set_cycle(self.cycle)
-            self._resolved_this_cycle = False
-            self._stage_commit()
-            if self.halted:
-                break
-            self._stage_writeback()
-            self._stage_issue()
-            self._stage_dispatch()
-            self._stage_fetch()
-            self._fsm_coverage()
-            if self.cycle - self.last_commit_cycle > self.config.commit_timeout:
-                self.halt_reason = "commit_timeout"
-                break
+        while self.step():
+            pass
+        return self.finish()
+
+    def step(self) -> bool:
+        """One clock edge; ``False`` once the run has ended."""
+        if not self._running:
+            return False
+        if self.halted or self.cycle + 1 >= self._max_cycles:
+            self._running = False
+            return False
+        self.cycle += 1
+        self.tracer.set_cycle(self.cycle)
+        self._resolved_this_cycle = False
+        self._stage_commit()
+        if self.halted:
+            self._running = False
+            return False
+        self._stage_writeback()
+        self._stage_issue()
+        self._stage_dispatch()
+        self._stage_fetch()
+        self._fsm_coverage()
+        if self.cycle - self.last_commit_cycle > self.config.commit_timeout:
+            self.halt_reason = "commit_timeout"
+            self._running = False
+            return False
+        return True
+
+    def finish(self) -> CoreResult:
         if self.halted is False and self.halt_reason == "max_cycles":
             self._bump("run.max_cycles")
 

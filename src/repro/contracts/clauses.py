@@ -89,12 +89,19 @@ class GoldenTraceMemo:
     campaign report's timing section can show how many ISS executions
     the memo absorbed.  Entries (:class:`ContractTrace`) are immutable,
     so sharing them is safe.
+
+    ``trace_fn`` selects the golden model: the default is the RISC-V
+    ISS-backed :func:`contract_trace` (the BOOM contract model); a PUT
+    whose ISA differs supplies its own model with the same signature
+    (see :meth:`repro.puts.base.Put.golden_memo`).
     """
 
-    def __init__(self, capacity: int = DEFAULT_MEMO_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_MEMO_CAPACITY,
+                 trace_fn=None):
         if capacity < 1:
             raise ContractError("memo capacity must be >= 1")
         self.capacity = capacity
+        self._trace_fn = trace_fn
         self._entries: OrderedDict[tuple, ContractTrace] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -133,7 +140,8 @@ class GoldenTraceMemo:
             self.hits += 1
             return hit
         self.misses += 1
-        value = contract_trace(
+        trace_fn = self._trace_fn or contract_trace
+        value = trace_fn(
             program, clause=clause, base_address=base_address,
             line_bytes=line_bytes, max_spec_window=max_spec_window,
         )

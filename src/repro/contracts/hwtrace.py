@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from repro.boom import netlist as nl
 from repro.boom.config import BoomConfig
 from repro.boom.core import CoreResult
+from repro.puts.base import PutSignalMap
 from repro.utils.rng import stable_hash
 
 
@@ -52,22 +53,35 @@ class HardwareTraceCollector:
     collector serves every run of its core.
     """
 
-    def __init__(self, config: BoomConfig, signal_names: list[str]):
+    def __init__(self, config: BoomConfig, signal_names: list[str],
+                 signal_map: PutSignalMap | None = None):
+        """``signal_map`` locates the watched signals for non-BOOM PUTs;
+        without one the historic BOOM netlist names are used."""
         self.config = config
         index = {name: i for i, name in enumerate(signal_names)}
-        sets, ways = config.dcache_sets, config.dcache_ways
+        if signal_map is None:
+            sets, ways = config.dcache_sets, config.dcache_ways
+            line_bytes = config.line_bytes
+            tag_name, valid_name = nl.sig_dc_tag, nl.sig_dc_valid
+            arch_pc = nl.sig_arch_pc()
+        else:
+            dcache = signal_map.dcache
+            sets, ways, line_bytes = dcache.sets, dcache.ways, dcache.line_bytes
+            tag_name, valid_name = dcache.tag_name, dcache.valid_name
+            arch_pc = signal_map.arch_pc
+        self._sets = sets
+        self._line_bytes = line_bytes
         #: signal index -> ("tag"|"valid", set, way)
         self._dc_role: dict[int, tuple[str, int, int]] = {}
         for s in range(sets):
             for w in range(ways):
-                self._dc_role[index[nl.sig_dc_tag(s, w)]] = ("tag", s, w)
-                self._dc_role[index[nl.sig_dc_valid(s, w)]] = ("valid", s, w)
-        self._ix_arch_pc = index[nl.sig_arch_pc()]
+                self._dc_role[index[tag_name(s, w)]] = ("tag", s, w)
+                self._dc_role[index[valid_name(s, w)]] = ("valid", s, w)
+        self._ix_arch_pc = index[arch_pc]
         self._watched = set(self._dc_role) | {self._ix_arch_pc}
 
     def _line_base(self, tag: int, set_index: int) -> int:
-        return ((tag * self.config.dcache_sets) + set_index) \
-            * self.config.line_bytes
+        return ((tag * self._sets) + set_index) * self._line_bytes
 
     def collect(self, result: CoreResult) -> HardwareTrace:
         """The observation trace of one finished run."""

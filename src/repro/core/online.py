@@ -27,7 +27,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.boom.core import BoomCore, CoreResult
+from repro.boom.core import CoreResult
 from repro.contracts.clauses import DEFAULT_SPEC_WINDOW
 from repro.contracts.detector import (
     DEFAULT_INPUTS_PER_CLASS,
@@ -96,7 +96,7 @@ class OnlinePhase:
 
     def __init__(
         self,
-        core: BoomCore,
+        core,  # any repro.puts.base.Put backend (BoomCore, RtlPut, ...)
         offline: OfflineArtifacts,
         coverage: str = "lp",
         monitor_dcache: bool = False,
@@ -116,26 +116,36 @@ class OnlinePhase:
         self.offline = offline
         self.coverage_kind = coverage
         self.detector_mode = detector
-        signal_names = list(core.netlist.signals)
+        signal_names = core.signal_names()
+        signal_map = core.signal_map()
         self.lp = LpCoverage(offline.pdlc, signal_names)
         self.code = CodeCoverage()
-        self.leakage = LeakageDetector()
+        self.leakage = LeakageDetector(signal_map.windows)
         self.vulnerability = VulnerabilityDetector(
             offline.pdlc,
             monitor_dcache=monitor_dcache,
             line_bytes=core.config.line_bytes,
             dcache_sets=core.config.dcache_sets,
+            signal_map=signal_map,
         )
         self.contract: ContractDetector | None = None
         if detector in ("contract", "both"):
+            if contract not in core.supported_clauses():
+                raise ValueError(
+                    f"contract clause {contract!r} is not supported by "
+                    f"the {core.design!r} design (supported: "
+                    f"{', '.join(core.supported_clauses())})"
+                )
             self.contract = ContractDetector(
                 core.run,
-                HardwareTraceCollector(core.config, signal_names),
+                HardwareTraceCollector(core.config, signal_names,
+                                       signal_map=signal_map),
                 clause=contract,
                 inputs_per_class=inputs_per_class,
                 max_spec_window=max_spec_window,
                 base_address=core.config.base_address,
                 line_bytes=core.config.line_bytes,
+                memo=core.golden_memo(),
             )
         self.mst = MisspeculationTable()
         self.stats = OnlineStats()

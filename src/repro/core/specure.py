@@ -31,13 +31,13 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro.boom.config import BoomConfig
-from repro.boom.core import BoomCore
 from repro.core.offline import OfflineArtifacts, run_offline
 from repro.core.online import OnlinePhase
 from repro.core.report import CampaignReport
 from repro.fuzz.fuzzer import CampaignResult, Fuzzer, FuzzFinding
 from repro.fuzz.input import TestProgram
-from repro.fuzz.seeds import random_seed, special_seeds
+from repro.fuzz.seeds import random_seed
+from repro.puts.base import build_put
 from repro.utils.rng import DeterministicRng
 
 
@@ -74,7 +74,7 @@ class Specure:
 
     def __init__(
         self,
-        config: BoomConfig | None = None,
+        config=None,  # BoomConfig, RtlPutConfig, ... (None: small BOOM)
         seed: int = 0,
         coverage: str = "lp",
         monitor_dcache: bool = False,
@@ -86,7 +86,7 @@ class Specure:
         contract: str = "ct-seq",
         inputs_per_class: int = 3,
         max_spec_window: int = 16,
-        core: BoomCore | None = None,
+        core=None,  # any repro.puts.base.Put backend
         offline: OfflineArtifacts | None = None,
     ):
         """``core`` and ``offline`` inject prebuilt shared statics.
@@ -119,13 +119,13 @@ class Specure:
         self.contract = contract
         self.inputs_per_class = inputs_per_class
         self.max_spec_window = max_spec_window
-        self.core = core if core is not None else BoomCore(self.config)
+        self.core = core if core is not None else build_put(self.config)
         self._offline: OfflineArtifacts | None = offline
 
     def offline(self) -> OfflineArtifacts:
         """Run (and cache) the offline phase for this PUT."""
         if self._offline is None:
-            self._offline = run_offline(self.core.netlist)
+            self._offline = run_offline(self.core.offline_model())
         return self._offline
 
     def build_online(self, offline: OfflineArtifacts | None = None) -> OnlinePhase:
@@ -156,7 +156,7 @@ class Specure:
         rng = DeterministicRng(self.seed)
         seeds: list[TestProgram] = []
         if self.use_special_seeds:
-            seeds.extend(special_seeds())
+            seeds.extend(self.core.special_seeds())
         for index in range(self.random_seed_count):
             seeds.append(random_seed(rng.fork(0x5EED + index)))
         fuzzer = Fuzzer(

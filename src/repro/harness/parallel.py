@@ -22,17 +22,20 @@ unavailable.
 The hash derivation replaces the original ``base_seed + 1000 * k``
 spacing, which collided across campaigns whose base seeds differ by a
 multiple of 1000 (scenarios at seeds 0 and 1000 shared shard streams —
-shard ``k+1`` of one replayed shard ``k`` of the other).  See the
-compatibility note in ``docs/scenarios.md``.
+shard ``k+1`` of one replayed shard ``k`` of the other).  The old
+``shard_stride`` parameter is gone: passing it raises (a ``TypeError``
+here, a :class:`~repro.scenarios.spec.ScenarioError` from scenario
+files).  See the compatibility note in ``docs/scenarios.md``.
 
 Executor architecture
 ---------------------
 Work is dispatched to a **persistent work-stealing pool**
 (:func:`imap_shard_units`): worker processes live for the process
 lifetime (one fork per jobs count, not one per campaign) and keep
-**shared read-only statics** per core configuration —
-the elaborated netlist inside a reusable :class:`BoomCore`, its
-decoded-program LRU (seed images decode once per process), and the
+**shared read-only statics** per ``(design, config)`` —
+the elaborated netlist or RTL design inside a reusable PUT backend
+(:func:`repro.puts.base.build_put`), its decode caches (seed images
+decode once per process), and the
 offline artifacts (:func:`shared_statics`) — so a shard campaign costs
 exactly its fuzzing loop, with no per-shard netlist elaboration or
 offline phase.  Shards become fine-grained deterministic work units
@@ -67,33 +70,19 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import traceback
-import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 
-from repro.boom.config import BoomConfig
-from repro.boom.core import BoomCore
 from repro.core.offline import OfflineArtifacts, run_offline
 from repro.core.report import CampaignReport
 from repro.core.specure import Specure
 from repro.detection.vulnerability import LeakReport
 from repro.fuzz.fuzzer import CampaignResult
+from repro.puts.base import Put, build_put, statics_key
 from repro.utils.rng import stable_hash
 
-#: Deprecated legacy seed spacing, kept only so existing call sites keep
-#: importing; the hash derivation below never uses it and passing any
-#: stride emits a :class:`DeprecationWarning`.
-DEFAULT_SHARD_STRIDE = 1000
 
-_SHARD_STRIDE_DEPRECATION = (
-    "the 'shard_stride' parameter is deprecated and ignored: per-shard "
-    "seeds are hash-derived (shard 0 = base seed, shard k >= 1 = "
-    "stable_hash((base_seed, k))); stop passing it"
-)
-
-
-def shard_seed(base_seed: int, shard: int,
-               shard_stride: int | None = None) -> int:
+def shard_seed(base_seed: int, shard: int) -> int:
     """The deterministic seed of one shard.
 
     Shard 0 is the base seed itself — a one-shard campaign must be
@@ -101,13 +90,9 @@ def shard_seed(base_seed: int, shard: int,
     independent stream from ``stable_hash((base_seed, shard))``, so two
     campaigns share a shard stream only if their base seeds collide
     outright (the old ``base_seed + stride * shard`` arithmetic aliased
-    whenever base seeds differed by a multiple of the stride).
-
-    ``shard_stride`` is deprecated and unused; passing any value warns.
+    whenever base seeds differed by a multiple of the stride; its
+    ``shard_stride`` parameter has been removed).
     """
-    if shard_stride is not None:
-        warnings.warn(_SHARD_STRIDE_DEPRECATION, DeprecationWarning,
-                      stacklevel=2)
     if shard == 0:
         return base_seed
     return stable_hash((base_seed, shard))
@@ -176,38 +161,40 @@ def shutdown_pool() -> None:
 
 
 #: Per-process shared read-only statics: one (core, offline artifacts)
-#: pair per core configuration.  The core carries the elaborated
-#: netlist, the reusable simulation engine, and the decoded-program LRU
-#: (seed images decode once per process, not once per shard); the
-#: offline artifacts are a pure function of the netlist.  Bounded LRU so
-#: a long-lived worker serving many designs cannot grow unboundedly.
-_WORKER_STATICS: OrderedDict[str, tuple[BoomCore, OfflineArtifacts]] = \
-    OrderedDict()
+#: pair per PUT configuration, keyed on ``(design, repr(config))`` so
+#: two designs whose configs repr alike can never alias.  The core
+#: carries the elaborated netlist/design, the reusable simulation
+#: engine, and any decode caches (seed images decode once per process,
+#: not once per shard); the offline artifacts are a pure function of
+#: the design.  Bounded LRU so a long-lived worker serving many designs
+#: cannot grow unboundedly.
+_WORKER_STATICS: OrderedDict[tuple[str, str],
+                             tuple[Put, OfflineArtifacts]] = OrderedDict()
 _WORKER_STATICS_LIMIT = 4
 
 
-def shared_statics(config: BoomConfig) -> tuple[BoomCore, OfflineArtifacts]:
+def shared_statics(config) -> tuple[Put, OfflineArtifacts]:
     """This process's shared (core, offline artifacts) for ``config``.
 
     Safe to share across work units because both are exact under reuse:
     the engine resets byte-identically between programs (pinned by
     ``tests/test_engine_reuse.py``) and the offline artifacts depend on
-    the netlist alone.
+    the design alone.
     """
-    key = repr(config)
+    key = statics_key(config)
     hit = _WORKER_STATICS.get(key)
     if hit is not None:
         _WORKER_STATICS.move_to_end(key)
         return hit
-    core = BoomCore(config)
-    value = (core, run_offline(core.netlist))
+    core = build_put(config)
+    value = (core, run_offline(core.offline_model()))
     _WORKER_STATICS[key] = value
     if len(_WORKER_STATICS) > _WORKER_STATICS_LIMIT:
         _WORKER_STATICS.popitem(last=False)
     return value
 
 
-def shared_specure(config: BoomConfig, **knobs) -> Specure:
+def shared_specure(config, **knobs) -> Specure:
     """A :class:`Specure` wired onto this process's shared statics."""
     core, offline = shared_statics(config)
     return Specure(core=core, offline=offline, **knobs)
@@ -243,7 +230,7 @@ class ShardSpec:
     """One shard's full, picklable work description."""
 
     shard: int
-    config: BoomConfig
+    config: object  # BoomConfig | RtlPutConfig (any Put configuration)
     seed: int
     coverage: str = "lp"
     iterations: int = 0
@@ -450,12 +437,11 @@ def merge_reports(reports: list[CampaignReport]) -> CampaignReport:
 # ----------------------------------------------------------------------
 
 def run_sharded_campaign(
-    config: BoomConfig,
+    config,
     iterations_per_shard: int,
     shards: int = 2,
     jobs: int | None = None,
     base_seed: int = 0,
-    shard_stride: int | None = None,
     coverage: str = "lp",
     monitor_dcache: bool = False,
     use_special_seeds: bool = True,
@@ -472,16 +458,10 @@ def run_sharded_campaign(
 
     Each shard is a full serial campaign at its :func:`shard_seed`;
     ``jobs`` bounds the number of concurrent worker processes
-    (``None``/1 = inline).  ``shard_stride`` is deprecated and ignored
-    (passing it warns).
+    (``None``/1 = inline).
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
-    if shard_stride is not None:
-        # Warn once here, attributed to the caller, rather than once
-        # per shard from inside the seed derivation.
-        warnings.warn(_SHARD_STRIDE_DEPRECATION, DeprecationWarning,
-                      stacklevel=2)
     specs = [
         ShardSpec(
             shard=shard,
@@ -506,12 +486,11 @@ def run_sharded_campaign(
 
 
 def run_sharded_timed_campaign(
-    config: BoomConfig,
+    config,
     seconds: float,
     shards: int = 2,
     jobs: int | None = None,
     base_seed: int = 0,
-    shard_stride: int | None = None,
     coverage: str = "lp",
     monitor_dcache: bool = True,
 ) -> CampaignReport:
@@ -523,9 +502,6 @@ def run_sharded_timed_campaign(
     """
     if seconds <= 0:
         raise ValueError("seconds must be positive")
-    if shard_stride is not None:
-        warnings.warn(_SHARD_STRIDE_DEPRECATION, DeprecationWarning,
-                      stacklevel=2)
     specs = [
         ShardSpec(
             shard=shard,

@@ -27,8 +27,12 @@ def build_ifg_from_design(design: ElaboratedDesign) -> Ifg:
         ifg.add_vertex(
             signal.name, is_state=signal.is_state, width=signal.width
         )
+    # Dedupe sources in first-occurrence order, never via ``set()``:
+    # edge insertion order must not depend on string hashing, or the
+    # PDLC enumeration (and every coverage-group id derived from it)
+    # would differ across interpreter processes.
     for assign in design.assigns:
-        for source in set(ast.expr_identifiers(assign.value)):
+        for source in dict.fromkeys(ast.expr_identifiers(assign.value)):
             ifg.add_edge(source, assign.target)
     for ff in design.ffs:
         _add_ff_edges(ifg, ff.body, conditions=())
@@ -39,12 +43,14 @@ def _add_ff_edges(
     ifg: Ifg, statement: ast.Statement, conditions: tuple[str, ...]
 ) -> None:
     if isinstance(statement, ast.NonBlocking):
-        sources = set(ast.expr_identifiers(statement.value))
-        sources.update(conditions)
+        sources = dict.fromkeys(ast.expr_identifiers(statement.value))
+        sources.update(dict.fromkeys(conditions))
         for source in sources:
             ifg.add_edge(source, statement.target)
     elif isinstance(statement, ast.If):
-        condition_sources = tuple(set(ast.expr_identifiers(statement.condition)))
+        condition_sources = tuple(
+            dict.fromkeys(ast.expr_identifiers(statement.condition))
+        )
         _add_ff_edges(ifg, statement.then_body, conditions + condition_sources)
         if statement.else_body is not None:
             _add_ff_edges(ifg, statement.else_body, conditions + condition_sources)

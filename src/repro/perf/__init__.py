@@ -17,6 +17,7 @@ from repro.perf.baseline import (
     BASELINES,
     PR4_CONTRACT_BASELINE,
     PR5_BASELINE,
+    PR6_RTL_BASELINE,
     PRE_PR_BASELINE,
 )
 from repro.perf.bench import (
@@ -44,6 +45,7 @@ __all__ = [
     "BASELINES",
     "PR4_CONTRACT_BASELINE",
     "PR5_BASELINE",
+    "PR6_RTL_BASELINE",
     "PRE_PR_BASELINE",
     "BenchError",
     "BenchResult",

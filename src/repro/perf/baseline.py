@@ -71,9 +71,33 @@ PR5_BASELINE: dict = {
     "measured_at": "commit 39b98ab (pre-PR 5), reference container",
 }
 
+#: The Verilog-route introduction figure (``BENCH_pr6.json``).  Like
+#: the contract pathway in PR 4, the RTL PUT had no pre-PR existence,
+#: so its "before" is the measurement taken when the route landed: one
+#: iteration = event-driven simulation of the ``spec-cpu`` Verilog core
+#: (settle loop + flop updates per cycle) feeding the same columnar
+#: trace engine and IFT detector the BOOM route uses.  The quickstart
+#: scenario's own 12-iteration budget finishes in tens of
+#: milliseconds — far too noisy for a wall-clock gate — so the pinned
+#: bench protocol runs the scenario at 120 iterations instead.
+PR6_RTL_BASELINE: dict = {
+    "entries": {
+        "spec-cpu-quickstart@120it": {
+            "scenario": "spec-cpu-quickstart",
+            "protocol": {"mode": "iterations", "value": 120},
+            "iters_per_sec": 200.0,
+            "events_examined_per_iter": 1055.6,
+            "peak_rss_kb": 20368,
+        },
+    },
+    "measured_at": "PR 6 (Verilog PUT route introduction), "
+                   "reference container",
+}
+
 #: Baseline per bench-artifact tag (``BENCH_<tag>.json``).
 BASELINES: dict[str, dict] = {
     "pr3": PRE_PR_BASELINE,
     "pr4": PR4_CONTRACT_BASELINE,
     "pr5": PR5_BASELINE,
+    "pr6": PR6_RTL_BASELINE,
 }

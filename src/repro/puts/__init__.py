@@ -1,0 +1,37 @@
+"""Processor-under-test (PUT) abstraction.
+
+The online pipeline fuzzes *a* processor, not *the* BOOM model: every
+component that needs to know something about the target — which signals
+carry the speculation-window strobes, which signals are architectural,
+where the data-cache metadata lives, which golden model matches the
+ISA — asks the PUT instead of hard-coding BOOM names.  Targets become
+data: registering a new design means a config object, a signal map, and
+a golden model, not edits to the detection stack.
+
+* :mod:`repro.puts.base` — the :class:`Put` protocol, the per-design
+  :class:`PutSignalMap`, and the :func:`build_put` config dispatch;
+* :mod:`repro.puts.rtl` — :class:`RtlPut`, the backend that runs parsed
+  Verilog designs on :class:`~repro.rtl.sim.RtlSimulator`;
+* :mod:`repro.puts.spec_cpu` — the ``SPEC_CPU`` design's glue: signal
+  map, matching golden model, and its speculative seed corpus.
+"""
+
+from repro.puts.base import (
+    DcacheMap,
+    Put,
+    PutSignalMap,
+    boom_signal_map,
+    build_put,
+    design_of,
+    statics_key,
+)
+
+__all__ = [
+    "DcacheMap",
+    "Put",
+    "PutSignalMap",
+    "boom_signal_map",
+    "build_put",
+    "design_of",
+    "statics_key",
+]

@@ -1,0 +1,366 @@
+"""``SPEC_CPU`` design glue: signal map, golden model, seed corpus.
+
+The Verilog lives in :data:`repro.rtl.designs.SPEC_CPU`; this module
+supplies everything around it that makes the design a first-class PUT:
+
+* RV32 instruction encoders for writing seed programs (the design
+  executes standard RV32I encodings with register indices truncated to
+  ``x0..x7``);
+* the :class:`~repro.puts.base.PutSignalMap` locating the window
+  strobes, architectural state, and dcache metadata in the elaborated
+  namespace;
+* a golden contract model (:func:`spec_cpu_contract_trace`) that
+  architecturally matches the design's ISA subset *exactly* — including
+  the register-index truncation, the unknown-funct3 fall-back to add,
+  and the NOP-on-misaligned-fetch rule — so relational contract testing
+  never sees a false architectural divergence;
+* the speculative seed corpus, headlined by a Spectre-v1 gadget whose
+  two wrong-path loads leave a secret-dependent dcache fill behind a
+  squashed branch.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.contracts.clauses import ContractError, ContractTrace
+from repro.detection.windows import RobSignalMap
+from repro.fuzz.input import TestProgram
+from repro.golden.memory import SparseMemory
+from repro.puts.base import DcacheMap, PutSignalMap
+from repro.rtl.designs import SPEC_CPU
+from repro.rtl.elaborate import elaborate
+from repro.rtl.parser import parse
+from repro.utils.bitvec import mask
+
+_M32 = mask(32)
+
+#: ``addi x0, x0, 0`` — what the fetch harness serves off the program.
+NOP = 0x0000_0013
+
+#: ``ecall`` — the design's halt instruction.
+ECALL = 0x0000_0073
+
+#: Observation clauses the golden model implements.  ``ct-cond`` needs
+#: a wrong-path simulator the model deliberately does not have: on this
+#: PUT the *hardware* executes the wrong paths.
+SPEC_CPU_CLAUSES = ("ct-seq", "arch-seq")
+
+
+@lru_cache(maxsize=1)
+def spec_cpu_design():
+    """The elaborated ``SPEC_CPU`` design (parsed once per process)."""
+    return elaborate(parse(SPEC_CPU))
+
+
+def spec_cpu_signal_map(config) -> PutSignalMap:
+    """Where the detection stack finds this design's state."""
+    return PutSignalMap(
+        windows=RobSignalMap(
+            disp_tag="spec_cpu.w_disp_tag",
+            disp_pc="spec_cpu.w_disp_pc",
+            disp_word="spec_cpu.w_disp_word",
+            res_tag="spec_cpu.w_res_tag",
+            res_mispredict="spec_cpu.w_res_mispredict",
+        ),
+        arch_pc="spec_cpu.pc",
+        arch_reg_format="spec_cpu.x{index}",
+        dcache=DcacheMap(
+            sets=config.dcache_sets,
+            ways=config.dcache_ways,
+            line_bytes=config.line_bytes,
+            tag_format="spec_cpu.dcache.s{set}w{way}_tag",
+            valid_format="spec_cpu.dcache.s{set}w{way}_valid",
+        ),
+        # The architectural registers live flat next to pipeline state
+        # (``spec_cpu.pc`` beside ``spec_cpu.pc_f``), so membership is
+        # by explicit set, not prefix.
+        arch_signals=frozenset(
+            {"spec_cpu.pc"} | {f"spec_cpu.x{index}" for index in range(8)}
+        ),
+    )
+
+
+# -- RV32 instruction encoders ---------------------------------------------
+
+
+def _i_type(funct3: int, rd: int, rs1: int, imm: int, opcode: int) -> int:
+    return (((imm & 0xFFF) << 20) | ((rs1 & 31) << 15) | (funct3 << 12)
+            | ((rd & 31) << 7) | opcode)
+
+
+def _r_type(funct3: int, rd: int, rs1: int, rs2: int, funct7: int) -> int:
+    return ((funct7 << 25) | ((rs2 & 31) << 20) | ((rs1 & 31) << 15)
+            | (funct3 << 12) | ((rd & 31) << 7) | 0x33)
+
+
+def addi(rd: int, rs1: int, imm: int) -> int:
+    return _i_type(0, rd, rs1, imm, 0x13)
+
+
+def xori(rd: int, rs1: int, imm: int) -> int:
+    return _i_type(4, rd, rs1, imm, 0x13)
+
+
+def ori(rd: int, rs1: int, imm: int) -> int:
+    return _i_type(6, rd, rs1, imm, 0x13)
+
+
+def andi(rd: int, rs1: int, imm: int) -> int:
+    return _i_type(7, rd, rs1, imm, 0x13)
+
+
+def add(rd: int, rs1: int, rs2: int) -> int:
+    return _r_type(0, rd, rs1, rs2, 0)
+
+
+def sub(rd: int, rs1: int, rs2: int) -> int:
+    return _r_type(0, rd, rs1, rs2, 0x20)
+
+
+def xor(rd: int, rs1: int, rs2: int) -> int:
+    return _r_type(4, rd, rs1, rs2, 0)
+
+
+def lw(rd: int, rs1: int, imm: int) -> int:
+    return _i_type(2, rd, rs1, imm, 0x03)
+
+
+def sw(rs2: int, rs1: int, imm: int) -> int:
+    """``sw rs2, imm(rs1)`` — store the value in ``rs2``."""
+    value = imm & 0xFFF
+    return ((((value >> 5) & 0x7F) << 25) | ((rs2 & 31) << 20)
+            | ((rs1 & 31) << 15) | (2 << 12) | ((value & 0x1F) << 7) | 0x23)
+
+
+def _b_type(funct3: int, rs1: int, rs2: int, offset: int) -> int:
+    imm = offset & 0x1FFF
+    return ((((imm >> 12) & 1) << 31) | (((imm >> 5) & 0x3F) << 25)
+            | ((rs2 & 31) << 20) | ((rs1 & 31) << 15) | (funct3 << 12)
+            | (((imm >> 1) & 0xF) << 8) | (((imm >> 11) & 1) << 7) | 0x63)
+
+
+def beq(rs1: int, rs2: int, offset: int) -> int:
+    return _b_type(0, rs1, rs2, offset)
+
+
+def bne(rs1: int, rs2: int, offset: int) -> int:
+    return _b_type(1, rs1, rs2, offset)
+
+
+def blt(rs1: int, rs2: int, offset: int) -> int:
+    return _b_type(4, rs1, rs2, offset)
+
+
+def bge(rs1: int, rs2: int, offset: int) -> int:
+    return _b_type(5, rs1, rs2, offset)
+
+
+def jal(rd: int, offset: int) -> int:
+    imm = offset & 0x1F_FFFF
+    return ((((imm >> 20) & 1) << 31) | (((imm >> 1) & 0x3FF) << 21)
+            | (((imm >> 11) & 1) << 20) | (((imm >> 12) & 0xFF) << 12)
+            | ((rd & 31) << 7) | 0x6F)
+
+
+# -- the golden contract model ----------------------------------------------
+
+
+def _sext(value: int, bits: int) -> int:
+    value &= mask(bits)
+    return value - (1 << bits) if value >> (bits - 1) else value
+
+
+def _imm_i(word: int) -> int:
+    return _sext(word >> 20, 12)
+
+
+def _imm_s(word: int) -> int:
+    return _sext(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+
+
+def _imm_b(word: int) -> int:
+    value = ((((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11)
+             | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1))
+    return _sext(value, 13)
+
+
+def _imm_j(word: int) -> int:
+    value = ((((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12)
+             | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1))
+    return _sext(value, 21)
+
+
+def _alu(funct3: int, a: int, b: int, subtract: bool) -> int:
+    if funct3 == 0:
+        result = a - b if subtract else a + b
+    elif funct3 == 4:
+        result = a ^ b
+    elif funct3 == 6:
+        result = a | b
+    elif funct3 == 7:
+        result = a & b
+    else:  # unknown funct3 falls back to add, as the RTL does
+        result = a + b
+    return result & _M32
+
+
+def _branch_taken(funct3: int, a: int, b: int) -> bool:
+    if funct3 == 0:
+        return a == b
+    if funct3 == 1:
+        return a != b
+    if funct3 == 4:
+        return (a ^ 0x8000_0000) < (b ^ 0x8000_0000)
+    if funct3 == 5:
+        return (a ^ 0x8000_0000) >= (b ^ 0x8000_0000)
+    return False
+
+
+def _lines(address: int, line_bytes: int) -> tuple[int, ...]:
+    line_mask = ~(line_bytes - 1)
+    first = address & line_mask
+    last = (address + 3) & line_mask
+    return (first,) if first == last else (first, last)
+
+
+def spec_cpu_contract_trace(
+    program: TestProgram,
+    clause: str = "ct-seq",
+    base_address: int = 0x8000_0000,
+    line_bytes: int = 16,
+    max_spec_window: int = 16,
+) -> ContractTrace:
+    """The architectural observation trace SPEC_CPU *should* expose.
+
+    A sequential interpreter of exactly the RTL's ISA subset and halt
+    rules; ``max_spec_window`` is accepted for signature compatibility
+    (there is no wrong-path simulation — on this PUT the hardware runs
+    the wrong paths, which is the whole point).
+    """
+    if clause not in SPEC_CPU_CLAUSES:
+        raise ContractError(
+            f"the SPEC_CPU golden model implements {SPEC_CPU_CLAUSES}, "
+            f"not {clause!r}"
+        )
+    memory = SparseMemory(fill_seed=program.data_seed)
+    memory.load_words(base_address, program.words)
+    for address, value in program.memory_overlay.items():
+        memory.write_byte(address, value)
+    # The fetch image is frozen at reset (matching the RTL harness):
+    # stores update data memory, never the instruction stream.
+    code = [memory.read(base_address + 4 * i, 4)
+            for i in range(len(program.words))]
+    end = base_address + 4 * len(program.words)
+
+    regs = [value & _M32 for value in program.reg_init[:8]]
+    regs[0] = 0
+    pc = base_address
+    observations: list[tuple] = []
+    accessed: set[int] = set()
+    observe_values = clause == "arch-seq"
+
+    for _ in range(max(program.max_cycles, 1)):
+        if not base_address <= pc < end:
+            break
+        observations.append(("pc", pc))
+        offset = pc - base_address
+        word = code[offset >> 2] if not offset & 3 else NOP
+        opcode = word & 0x7F
+        funct3 = (word >> 12) & 0x7
+        rd = (word >> 7) & 0x7
+        rs1 = regs[(word >> 15) & 0x7]
+        rs2 = regs[(word >> 20) & 0x7]
+        next_pc = (pc + 4) & _M32
+        if opcode == 0x13:
+            if rd:
+                regs[rd] = _alu(funct3, rs1, _imm_i(word), subtract=False)
+        elif opcode == 0x33:
+            subtract = funct3 == 0 and bool((word >> 30) & 1)
+            if rd:
+                regs[rd] = _alu(funct3, rs1, rs2, subtract=subtract)
+        elif opcode == 0x03 and funct3 == 2:
+            address = (rs1 + _imm_i(word)) & _M32
+            observations.append(("load", address))
+            accessed.update(_lines(address, line_bytes))
+            value = memory.read(address, 4)
+            if observe_values:
+                observations.append(("val", value))
+            if rd:
+                regs[rd] = value
+        elif opcode == 0x23 and funct3 == 2:
+            address = (rs1 + _imm_s(word)) & _M32
+            observations.append(("store", address))
+            accessed.update(_lines(address, line_bytes))
+            memory.write(address, rs2, 4)
+        elif opcode == 0x63:
+            if _branch_taken(funct3, rs1, rs2):
+                next_pc = (pc + _imm_b(word)) & _M32
+        elif opcode == 0x6F:
+            if rd:
+                regs[rd] = (pc + 4) & _M32
+            next_pc = (pc + _imm_j(word)) & _M32
+        elif opcode == 0x73:
+            break
+        pc = next_pc
+
+    return ContractTrace(
+        clause=clause,
+        observations=tuple(observations),
+        accessed_lines=frozenset(accessed),
+    )
+
+
+# -- the speculative seed corpus --------------------------------------------
+
+
+def spec_cpu_seeds(config) -> list[TestProgram]:
+    """Seed programs that exercise SPEC_CPU's speculation machinery.
+
+    The headliner is a Spectre-v1 gadget: an always-taken branch that a
+    cold predictor calls not-taken, so two wrong-path loads run before
+    the flush — the first reads a secret from ``[x1]``, the second uses
+    that secret as an address, leaving a secret-dependent dcache fill
+    the squash cannot undo.  The architectural path only ever stores to
+    ``[x2]``.
+    """
+    data = config.data_address
+    gadget = [
+        addi(6, 0, 7),
+        beq(0, 0, 12),   # always taken; a cold BHT predicts not-taken
+        lw(3, 1, 0),     # wrong path: x3 <- secret at [x1]
+        lw(4, 3, 0),     # wrong path: touch [x3] (secret-dependent fill)
+        sw(6, 2, 0),     # architectural path resumes here
+        ECALL,
+    ]
+    gadget_regs = [0] * 32
+    gadget_regs[1] = data + 0x100   # dcache set 0, line-aligned
+    gadget_regs[2] = data + 0x030   # dcache set 3
+    programs = [TestProgram(
+        words=gadget,
+        reg_init=gadget_regs,
+        data_seed=0xD0_E5EC,
+        max_cycles=64,
+        label="spec-v1-gadget",
+    )]
+
+    # Predictor training: a countdown loop whose backward branch is
+    # taken twice (training the counter toward taken) and then falls
+    # through — a guaranteed mispredict with a harmless wrong path.
+    train = [
+        addi(5, 0, 3),
+        addi(5, 5, -1),
+        bne(5, 0, -4),
+        lw(3, 1, 0),     # architectural load (an *explained* fill)
+        ECALL,
+    ]
+    train_regs = [0] * 32
+    train_regs[1] = data + 0x40
+    programs.append(TestProgram(
+        words=train,
+        reg_init=train_regs,
+        data_seed=0x7A11,
+        max_cycles=96,
+        label="spec-bht-train",
+    ))
+    return programs

@@ -7,6 +7,11 @@
   :class:`~repro.rtl.sim.RtlSimulator`, and fed to the offline phase,
   demonstrating that Specure's front half is genuinely
   hardware-agnostic (it never sees the Python core model).
+* :data:`SPEC_CPU` — a four-stage *speculative* RV32-subset core with a
+  2-bit branch predictor, wrong-path fetch, flush-on-resolve, and a
+  direct-mapped data cache whose tags survive squash.  It is the design
+  behind the ``spec-cpu`` PUT (:mod:`repro.puts.spec_cpu`), built so the
+  Verilog route genuinely misspeculates and leaves transient residue.
 
 The streaming CPU's ISA (instructions arrive on ``instr`` each cycle,
 8 bits: ``op[7:5] | arg[4:0]``):
@@ -111,6 +116,398 @@ module cpu(input clk, input [7:0] instr, output [7:0] acc_out);
       if (op_d != 3'd4)
         acc <= alu_out;
   end
+endmodule
+"""
+
+SPEC_CPU = """
+// Four-stage speculative RV32-subset core (subset Verilog).
+//
+// Stages: F (fetch, branch prediction), D (decode, regfile read with
+// bypass, ALU, branch resolve *computation*, dcache probe for loads),
+// X1 (memory wait; the harness serves dmem_rdata here), X2 (commit:
+// architectural writes, branch *resolution* and flush).  A branch
+// resolves three cycles after fetch, so two wrong-path instructions
+// reach D — and probe the data cache — before the flush.  The dcache
+// fill is deliberately not gated by the flush: that surviving tag is
+// the transient residue the detection stack hunts.
+//
+// ISA (RV32I encoding, registers truncated to x0..x7):
+//   ADDI/XORI/ORI/ANDI, ADD/SUB/XOR/OR/AND, LW, SW,
+//   BEQ/BNE/BLT/BGE, JAL (decode-at-fetch, never mispredicts),
+//   SYSTEM (ECALL/EBREAK: halt).  Everything else is a NOP; unknown
+//   funct3 in the ALU groups falls back to add.
+module dcache(input clk, input probe, input [31:0] addr);
+  // Direct-mapped, 4 sets x 1 way, 16-byte lines: set = addr[5:4],
+  // tag = addr[31:6].  Tags are declared before valids so the trace
+  // replays a first fill's tag ahead of its valid edge.
+  reg [25:0] s0w0_tag;
+  reg s0w0_valid;
+  reg [25:0] s1w0_tag;
+  reg s1w0_valid;
+  reg [25:0] s2w0_tag;
+  reg s2w0_valid;
+  reg [25:0] s3w0_tag;
+  reg s3w0_valid;
+  wire [1:0] set_ix;
+  wire [25:0] tag_in;
+  assign set_ix = addr[5:4];
+  assign tag_in = addr[31:6];
+  always @(posedge clk)
+    if (probe)
+      if (set_ix == 2'd0) begin
+        s0w0_tag <= tag_in;
+        s0w0_valid <= 1'b1;
+      end
+      else if (set_ix == 2'd1) begin
+        s1w0_tag <= tag_in;
+        s1w0_valid <= 1'b1;
+      end
+      else if (set_ix == 2'd2) begin
+        s2w0_tag <= tag_in;
+        s2w0_valid <= 1'b1;
+      end
+      else begin
+        s3w0_tag <= tag_in;
+        s3w0_valid <= 1'b1;
+      end
+endmodule
+
+module spec_cpu(input clk, input [31:0] instr, input [31:0] dmem_rdata);
+  // Speculation-window strobes (ROB-protocol order: pc/word before
+  // tag, mispredict before tag — the window extractor replays events
+  // positionally in declaration order).
+  reg [31:0] w_disp_pc;
+  reg [31:0] w_disp_word;
+  reg [31:0] w_disp_tag;
+  reg w_res_mispredict;
+  reg [31:0] w_res_tag;
+
+  // Architectural state: commit-order pc and the register file.
+  reg [31:0] pc;
+  wire [31:0] x0;
+  reg [31:0] x1;
+  reg [31:0] x2;
+  reg [31:0] x3;
+  reg [31:0] x4;
+  reg [31:0] x5;
+  reg [31:0] x6;
+  reg [31:0] x7;
+
+  // 2-bit saturating branch-history counters, indexed by pc[3:2].
+  reg [1:0] bht0;
+  reg [1:0] bht1;
+  reg [1:0] bht2;
+  reg [1:0] bht3;
+
+  // F: the speculative fetch pc.
+  reg [31:0] pc_f;
+
+  // F -> D latches.
+  reg [31:0] d_pc;
+  reg [31:0] d_instr;
+  reg d_valid;
+  reg d_pred_taken;
+  reg [31:0] d_btag;
+
+  // D -> X1 latches.
+  reg e1_valid;
+  reg e1_we;
+  reg [2:0] e1_rd;
+  reg [31:0] e1_alu;
+  reg e1_is_ld;
+  reg e1_is_st;
+  reg [31:0] e1_mem_addr;
+  reg [31:0] e1_st_val;
+  reg [31:0] e1_pc;
+  reg [31:0] e1_instr;
+  reg [31:0] e1_next_pc;
+  reg e1_is_br;
+  reg e1_mispred;
+  reg e1_taken;
+  reg [31:0] e1_btag;
+  reg e1_is_halt;
+
+  // X1 -> X2 latches.
+  reg e2_valid;
+  reg e2_we;
+  reg [2:0] e2_rd;
+  reg [31:0] e2_result;
+  reg e2_is_ld;
+  reg e2_is_st;
+  reg [31:0] e2_mem_addr;
+  reg [31:0] e2_st_val;
+  reg [31:0] e2_pc;
+  reg [31:0] e2_instr;
+  reg [31:0] e2_next_pc;
+  reg e2_is_br;
+  reg e2_mispred;
+  reg e2_taken;
+  reg [31:0] e2_btag;
+  reg e2_is_halt;
+
+  // Registered commit record: describes the instruction that committed
+  // at the *last* clock edge, so the harness reads a stable snapshot.
+  reg c_valid;
+  reg [31:0] c_pc;
+  reg [31:0] c_word;
+  reg [31:0] c_next_pc;
+  reg c_we;
+  reg [2:0] c_rd;
+  reg [31:0] c_rd_val;
+  reg c_ld;
+  reg c_st;
+  reg [31:0] c_mem_addr;
+  reg [31:0] c_st_val;
+  reg c_halt;
+  reg c_mispred;
+
+  // F-stage decode: predict branches, redirect JALs at fetch.
+  wire [6:0] f_op;
+  wire f_is_br;
+  wire f_is_jal;
+  wire [11:0] f_bimm_lo;
+  wire [31:0] f_bimm;
+  wire [19:0] f_jimm_lo;
+  wire [31:0] f_jimm;
+  wire [1:0] f_bht_ix;
+  wire [1:0] f_bht;
+  wire f_pred_taken;
+  wire [31:0] f_next_pc;
+
+  // D-stage decode.
+  wire [6:0] d_op;
+  wire [2:0] d_f3;
+  wire [2:0] d_rd;
+  wire [2:0] d_rs1;
+  wire [2:0] d_rs2;
+  wire [11:0] d_iimm_lo;
+  wire [31:0] d_iimm;
+  wire [11:0] d_simm_lo;
+  wire [31:0] d_simm;
+  wire [11:0] d_bimm_lo;
+  wire [31:0] d_bimm;
+  wire [19:0] d_jimm_lo;
+  wire [31:0] d_jimm;
+  wire d_is_br;
+  wire d_is_jal;
+  wire d_is_ld;
+  wire d_is_st;
+  wire d_is_imm;
+  wire d_is_alu;
+  wire d_is_halt;
+  wire d_writes_rd;
+
+  // Regfile read and bypass (X1 result wins over X2 over the file).
+  wire [31:0] rf_rs1;
+  wire [31:0] rf_rs2;
+  wire [31:0] e1_fwd;
+  wire [31:0] d_rs1_val;
+  wire [31:0] d_rs2_val;
+
+  // ALU, memory address, branch resolution.
+  wire [31:0] d_opb;
+  wire [31:0] d_sum;
+  wire d_sub;
+  wire [31:0] d_alu;
+  wire [31:0] d_mem_addr;
+  wire d_lt_signed;
+  wire d_br_taken;
+  wire d_mispred;
+  wire [31:0] d_next_pc;
+  wire d_probe;
+  wire [1:0] e2_bht_ix;
+  wire flush;
+
+  assign x0 = 32'd0;
+
+  assign f_op = instr[6:0];
+  assign f_is_br = f_op == 7'h63;
+  assign f_is_jal = f_op == 7'h6F;
+  assign f_bimm_lo = {instr[7], instr[30:25], instr[11:8], 1'b0};
+  assign f_bimm = (instr[31] ? 32'hFFFFF000 : 32'h0) | f_bimm_lo;
+  assign f_jimm_lo = {instr[19:12], instr[20], instr[30:21], 1'b0};
+  assign f_jimm = (instr[31] ? 32'hFFF00000 : 32'h0) | f_jimm_lo;
+  assign f_bht_ix = pc_f[3:2];
+  assign f_bht = f_bht_ix == 2'd0 ? bht0
+               : f_bht_ix == 2'd1 ? bht1
+               : f_bht_ix == 2'd2 ? bht2
+               : bht3;
+  assign f_pred_taken = f_is_br && f_bht[1];
+  assign f_next_pc = f_is_jal ? pc_f + f_jimm
+                   : f_pred_taken ? pc_f + f_bimm
+                   : pc_f + 32'd4;
+
+  assign d_op = d_instr[6:0];
+  assign d_f3 = d_instr[14:12];
+  assign d_rd = d_instr[9:7];
+  assign d_rs1 = d_instr[17:15];
+  assign d_rs2 = d_instr[22:20];
+  assign d_iimm_lo = d_instr[31:20];
+  assign d_iimm = (d_instr[31] ? 32'hFFFFF000 : 32'h0) | d_iimm_lo;
+  assign d_simm_lo = {d_instr[31:25], d_instr[11:7]};
+  assign d_simm = (d_instr[31] ? 32'hFFFFF000 : 32'h0) | d_simm_lo;
+  assign d_bimm_lo = {d_instr[7], d_instr[30:25], d_instr[11:8], 1'b0};
+  assign d_bimm = (d_instr[31] ? 32'hFFFFF000 : 32'h0) | d_bimm_lo;
+  assign d_jimm_lo = {d_instr[19:12], d_instr[20], d_instr[30:21], 1'b0};
+  assign d_jimm = (d_instr[31] ? 32'hFFF00000 : 32'h0) | d_jimm_lo;
+  assign d_is_br = d_op == 7'h63;
+  assign d_is_jal = d_op == 7'h6F;
+  assign d_is_ld = (d_op == 7'h03) && (d_f3 == 3'd2);
+  assign d_is_st = (d_op == 7'h23) && (d_f3 == 3'd2);
+  assign d_is_imm = d_op == 7'h13;
+  assign d_is_alu = d_op == 7'h33;
+  assign d_is_halt = d_op == 7'h73;
+  assign d_writes_rd = (d_is_imm || d_is_alu || d_is_ld || d_is_jal)
+                       && (d_rd != 3'd0);
+
+  assign rf_rs1 = d_rs1 == 3'd0 ? x0
+                : d_rs1 == 3'd1 ? x1
+                : d_rs1 == 3'd2 ? x2
+                : d_rs1 == 3'd3 ? x3
+                : d_rs1 == 3'd4 ? x4
+                : d_rs1 == 3'd5 ? x5
+                : d_rs1 == 3'd6 ? x6
+                : x7;
+  assign rf_rs2 = d_rs2 == 3'd0 ? x0
+                : d_rs2 == 3'd1 ? x1
+                : d_rs2 == 3'd2 ? x2
+                : d_rs2 == 3'd3 ? x3
+                : d_rs2 == 3'd4 ? x4
+                : d_rs2 == 3'd5 ? x5
+                : d_rs2 == 3'd6 ? x6
+                : x7;
+  assign e1_fwd = e1_is_ld ? dmem_rdata : e1_alu;
+  assign d_rs1_val = (e1_we && (e1_rd == d_rs1)) ? e1_fwd
+                   : (e2_we && (e2_rd == d_rs1)) ? e2_result
+                   : rf_rs1;
+  assign d_rs2_val = (e1_we && (e1_rd == d_rs2)) ? e1_fwd
+                   : (e2_we && (e2_rd == d_rs2)) ? e2_result
+                   : rf_rs2;
+
+  assign d_opb = d_is_imm ? d_iimm : d_rs2_val;
+  assign d_sum = d_rs1_val + d_opb;
+  assign d_sub = d_is_alu && d_instr[30];
+  assign d_alu = d_is_jal ? d_pc + 32'd4
+               : d_f3 == 3'd0 ? (d_sub ? d_rs1_val - d_opb : d_sum)
+               : d_f3 == 3'd4 ? (d_rs1_val ^ d_opb)
+               : d_f3 == 3'd6 ? (d_rs1_val | d_opb)
+               : d_f3 == 3'd7 ? (d_rs1_val & d_opb)
+               : d_sum;
+  assign d_mem_addr = d_rs1_val + (d_is_st ? d_simm : d_iimm);
+  assign d_lt_signed = (d_rs1_val ^ 32'h80000000) < (d_rs2_val ^ 32'h80000000);
+  assign d_br_taken = d_is_br && (d_f3 == 3'd0 ? (d_rs1_val == d_rs2_val)
+                    : d_f3 == 3'd1 ? (d_rs1_val != d_rs2_val)
+                    : d_f3 == 3'd4 ? d_lt_signed
+                    : d_f3 == 3'd5 ? !d_lt_signed
+                    : 1'b0);
+  assign d_mispred = d_valid && d_is_br && (d_br_taken != d_pred_taken);
+  assign d_next_pc = d_is_jal ? d_pc + d_jimm
+                   : (d_is_br && d_br_taken) ? d_pc + d_bimm
+                   : d_pc + 32'd4;
+  assign d_probe = d_valid && d_is_ld;
+  assign e2_bht_ix = e2_pc[3:2];
+  assign flush = e2_valid && e2_is_br && e2_mispred;
+
+  always @(posedge clk) begin
+    // F -> D (killed by a same-edge flush).
+    d_pc <= pc_f;
+    d_instr <= instr;
+    d_valid <= !flush;
+    d_pred_taken <= f_pred_taken && !flush;
+    if (f_is_br && !flush) begin
+      w_disp_pc <= pc_f;
+      w_disp_word <= instr;
+      w_disp_tag <= w_disp_tag + 32'd1;
+    end
+    d_btag <= (f_is_br && !flush) ? w_disp_tag + 32'd1 : 32'd0;
+    pc_f <= flush ? e2_next_pc : f_next_pc;
+
+    // D -> X1.
+    e1_valid <= d_valid && !flush;
+    e1_we <= d_valid && !flush && d_writes_rd;
+    e1_rd <= d_rd;
+    e1_alu <= d_alu;
+    e1_is_ld <= d_valid && !flush && d_is_ld;
+    e1_is_st <= d_valid && !flush && d_is_st;
+    e1_mem_addr <= d_mem_addr;
+    e1_st_val <= d_rs2_val;
+    e1_pc <= d_pc;
+    e1_instr <= d_instr;
+    e1_next_pc <= d_next_pc;
+    e1_is_br <= d_valid && !flush && d_is_br;
+    e1_mispred <= d_mispred && !flush;
+    e1_taken <= d_br_taken;
+    e1_btag <= d_btag;
+    e1_is_halt <= d_valid && !flush && d_is_halt;
+
+    // X1 -> X2.
+    e2_valid <= e1_valid && !flush;
+    e2_we <= e1_we && !flush;
+    e2_rd <= e1_rd;
+    e2_result <= e1_is_ld ? dmem_rdata : e1_alu;
+    e2_is_ld <= e1_is_ld && !flush;
+    e2_is_st <= e1_is_st && !flush;
+    e2_mem_addr <= e1_mem_addr;
+    e2_st_val <= e1_st_val;
+    e2_pc <= e1_pc;
+    e2_instr <= e1_instr;
+    e2_next_pc <= e1_next_pc;
+    e2_is_br <= e1_is_br && !flush;
+    e2_mispred <= e1_mispred;
+    e2_taken <= e1_taken;
+    e2_btag <= e1_btag;
+    e2_is_halt <= e1_is_halt && !flush;
+
+    // X2: commit.  Whatever is valid here is past the flush point.
+    if (e2_valid) begin
+      pc <= e2_next_pc;
+      if (e2_we)
+        if (e2_rd == 3'd1) x1 <= e2_result;
+        else if (e2_rd == 3'd2) x2 <= e2_result;
+        else if (e2_rd == 3'd3) x3 <= e2_result;
+        else if (e2_rd == 3'd4) x4 <= e2_result;
+        else if (e2_rd == 3'd5) x5 <= e2_result;
+        else if (e2_rd == 3'd6) x6 <= e2_result;
+        else x7 <= e2_result;
+    end
+
+    // Branch resolution strobes + predictor training.
+    if (e2_valid && e2_is_br) begin
+      w_res_mispredict <= e2_mispred;
+      w_res_tag <= e2_btag;
+      if (e2_bht_ix == 2'd0)
+        bht0 <= e2_taken ? (bht0 == 2'd3 ? 2'd3 : bht0 + 2'd1)
+                         : (bht0 == 2'd0 ? 2'd0 : bht0 - 2'd1);
+      else if (e2_bht_ix == 2'd1)
+        bht1 <= e2_taken ? (bht1 == 2'd3 ? 2'd3 : bht1 + 2'd1)
+                         : (bht1 == 2'd0 ? 2'd0 : bht1 - 2'd1);
+      else if (e2_bht_ix == 2'd2)
+        bht2 <= e2_taken ? (bht2 == 2'd3 ? 2'd3 : bht2 + 2'd1)
+                         : (bht2 == 2'd0 ? 2'd0 : bht2 - 2'd1);
+      else
+        bht3 <= e2_taken ? (bht3 == 2'd3 ? 2'd3 : bht3 + 2'd1)
+                         : (bht3 == 2'd0 ? 2'd0 : bht3 - 2'd1);
+    end
+
+    // Commit record for the harness.
+    c_valid <= e2_valid;
+    c_halt <= e2_valid && e2_is_halt;
+    c_mispred <= e2_valid && e2_is_br && e2_mispred;
+    if (e2_valid) begin
+      c_pc <= e2_pc;
+      c_word <= e2_instr;
+      c_next_pc <= e2_next_pc;
+      c_we <= e2_we;
+      c_rd <= e2_rd;
+      c_rd_val <= e2_result;
+      c_ld <= e2_is_ld;
+      c_st <= e2_is_st;
+      c_mem_addr <= e2_mem_addr;
+      c_st_val <= e2_st_val;
+    end
+  end
+
+  dcache dcache (.clk(clk), .probe(d_probe), .addr(d_mem_addr));
 endmodule
 """
 

@@ -57,7 +57,16 @@ class RtlSimulator:
         self._settle()
         updates = {}
         for ff in self.design.ffs:
-            self._eval_statement(ff.body, updates)
+            try:
+                self._eval_statement(ff.body, updates)
+            except SimulationError as error:
+                targets = set()
+                _collect_ff_targets(ff.body, targets)
+                where = ", ".join(sorted(targets)) or "<empty body>"
+                raise SimulationError(
+                    f"cycle {self.cycle}: in always block driving "
+                    f"{where}: {error}"
+                ) from error
         for target, value in updates.items():
             self.values[target] = value & mask(self._widths[target])
         self._settle()
@@ -90,6 +99,23 @@ class RtlSimulator:
         """Current value of a signal (qualified or top-level name)."""
         return self.values[self._qualify_input(name)]
 
+    def preset(self, values: dict[str, int], *, reset: bool = False) -> None:
+        """Overwrite signal state (register initialisation) and re-settle.
+
+        With ``reset`` the design first returns to the power-on all-zero
+        state, so one simulator instance can run many programs; the
+        ``values`` then seed the named registers, exactly as an RTL
+        testbench would force them before releasing reset.
+        """
+        if reset:
+            for name in self.values:
+                self.values[name] = 0
+            self.cycle = -1
+        for name, value in values.items():
+            qualified = self._qualify_input(name)
+            self.values[qualified] = value & mask(self._widths[qualified])
+        self._settle()
+
     # -- internals ----------------------------------------------------------
 
     def _qualify_input(self, name: str) -> str:
@@ -102,12 +128,23 @@ class RtlSimulator:
 
     def _settle(self) -> None:
         for assign in self._order:
-            value = self._eval(assign.value)
+            try:
+                value = self._eval(assign.value)
+            except SimulationError as error:
+                raise SimulationError(
+                    f"cycle {self.cycle}: while settling "
+                    f"{assign.target!r}: {error}"
+                ) from error
             self.values[assign.target] = value & mask(self._widths[assign.target])
 
     def _eval_statement(self, statement: ast.Statement, updates: dict[str, int]) -> None:
         if isinstance(statement, ast.NonBlocking):
-            updates[statement.target] = self._eval(statement.value)
+            try:
+                updates[statement.target] = self._eval(statement.value)
+            except SimulationError as error:
+                raise SimulationError(
+                    f"in assignment to {statement.target!r}: {error}"
+                ) from error
         elif isinstance(statement, ast.If):
             if self._eval(statement.condition):
                 self._eval_statement(statement.then_body, updates)
@@ -236,7 +273,9 @@ def _schedule(design: ElaboratedDesign) -> list[ElabAssign]:
     dependents: dict[str, list[str]] = {target: [] for target in drivers}
     in_degree = {target: 0 for target in drivers}
     for target, assign in drivers.items():
-        for name in set(ast.expr_identifiers(assign.value)):
+        # First-occurrence dedupe, not set(): the topological order this
+        # feeds must be identical across processes (hash-salt-free).
+        for name in dict.fromkeys(ast.expr_identifiers(assign.value)):
             if name in drivers:
                 dependents[name].append(target)
                 in_degree[target] += 1
@@ -254,6 +293,19 @@ def _schedule(design: ElaboratedDesign) -> list[ElabAssign]:
         cyclic = sorted(t for t, deg in in_degree.items() if deg > 0)
         raise SimulationError(f"combinational loop through {cyclic}")
     return order
+
+
+def _collect_ff_targets(statement: ast.Statement, out: set[str]) -> None:
+    """Targets of a flip-flop body (names a failing always block)."""
+    if isinstance(statement, ast.NonBlocking):
+        out.add(statement.target)
+    elif isinstance(statement, ast.If):
+        _collect_ff_targets(statement.then_body, out)
+        if statement.else_body is not None:
+            _collect_ff_targets(statement.else_body, out)
+    elif isinstance(statement, ast.Block):
+        for child in statement.statements:
+            _collect_ff_targets(child, out)
 
 
 def _kind_is_input(design: ElaboratedDesign, name: str) -> bool:

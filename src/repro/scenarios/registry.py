@@ -111,6 +111,32 @@ _BUILTIN_SCENARIOS: tuple[ScenarioSpec, ...] = (
         iterations=150,
     ),
     ScenarioSpec(
+        name="spec-cpu-quickstart",
+        description="The Verilog route in one minute: elaborate the "
+                    "speculative RTL core and run a short LP-guided "
+                    "campaign on it",
+        design="spec-cpu",
+        vulns=(),
+        monitor_dcache=True,
+        seed=7,
+        iterations=12,
+    ),
+    ScenarioSpec(
+        name="spec-cpu-spectre-v1",
+        description="Spectre hunt on the Verilog core: both detectors "
+                    "cross-validated until the seeded transient leak "
+                    "is found",
+        design="spec-cpu",
+        vulns=(),
+        monitor_dcache=True,
+        detector="both",
+        contract="ct-seq",
+        inputs_per_class=2,
+        seed=3,
+        iterations=40,
+        stop_kind="spectre_v1",
+    ),
+    ScenarioSpec(
         name="offline-analysis",
         description="Offline phase only (§4.1): IFG build + PDLC "
                     "extraction numbers for the small design",

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import difflib
 import json
-import warnings
 from dataclasses import asdict, dataclass, fields, replace
 from pathlib import Path
 
@@ -27,9 +26,12 @@ from repro.boom.config import BoomConfig
 from repro.boom.vulns import VulnConfig
 from repro.contracts.clauses import CLAUSES, CONTRACT_KINDS
 from repro.core.online import DETECTORS
+from repro.puts.spec_cpu import SPEC_CPU_CLAUSES
 
-#: Core design presets (``BoomConfig.small/medium/large``).
-DESIGNS = ("small", "medium", "large")
+#: PUT design presets: the BOOM model sizes
+#: (``BoomConfig.small/medium/large``) plus the Verilog-backed
+#: speculative core (``spec-cpu``, run through the RTL simulator).
+DESIGNS = ("small", "medium", "large", "spec-cpu")
 #: Coverage feedback metrics (the two Figure 2 arms).
 COVERAGES = ("lp", "code")
 #: Armable vulnerability emulation hooks (paper §4.2).
@@ -40,13 +42,10 @@ STOP_KINDS = (
     "mwait", "zenbleed", "spectre_v1", "spectre_v2", "direct",
 ) + tuple(CONTRACT_KINDS[clause] for clause in CLAUSES)
 
-#: The historic default of the retired ``shard_stride`` knob.
-_LEGACY_SHARD_STRIDE = 1000
-
-_SHARD_STRIDE_DEPRECATION = (
-    "the 'shard_stride' scenario knob is deprecated and ignored: "
-    "per-shard seeds are hash-derived (repro.harness.parallel.shard_seed); "
-    "remove it from the scenario definition"
+_SHARD_STRIDE_REMOVED = (
+    "the 'shard_stride' scenario knob has been removed: per-shard seeds "
+    "are hash-derived (repro.harness.parallel.shard_seed); delete the "
+    "key from the scenario definition"
 )
 
 
@@ -79,10 +78,9 @@ class ScenarioSpec:
       ``max_spec_window`` the relational-testing depth
       (:mod:`repro.contracts`);
     * **campaign shape** — ``iterations`` per shard and ``shards``
-      (``iterations = 0`` runs the offline phase only); ``shard_stride``
-      is deprecated and ignored — per-shard seeds are hash-derived
-      (:func:`repro.harness.parallel.shard_seed`) — and loading a
-      definition that still sets it emits a ``DeprecationWarning``;
+      (``iterations = 0`` runs the offline phase only); per-shard seeds
+      are hash-derived (:func:`repro.harness.parallel.shard_seed`), and
+      the removed ``shard_stride`` knob is rejected on load;
     * **stop condition** — ``stop_kind`` ends every shard at its first
       finding of that vulnerability or contract-violation kind.
     """
@@ -110,7 +108,6 @@ class ScenarioSpec:
     # Campaign shape.
     iterations: int = 100
     shards: int = 1
-    shard_stride: int = _LEGACY_SHARD_STRIDE
     # Stop condition.
     stop_kind: str | None = None
 
@@ -211,15 +208,25 @@ class ScenarioSpec:
         self._expect_type("shards", int)
         if self.shards < 1:
             self._fail("shards must be >= 1")
-        self._expect_type("shard_stride", int)
-        if self.shard_stride < 1:
-            self._fail("shard_stride must be >= 1")
         if self.stop_kind is not None and self.stop_kind not in STOP_KINDS:
             self._fail(
                 f"stop_kind must be one of {', '.join(STOP_KINDS)} or "
                 f"omitted; got {self.stop_kind!r}"
                 f"{_suggest(str(self.stop_kind), STOP_KINDS)}"
             )
+        if self.design == "spec-cpu":
+            if self.vulns:
+                self._fail(
+                    "the 'spec-cpu' design has no vulnerability emulation "
+                    "hooks; set vulns = []"
+                )
+            if self.detector in ("contract", "both") \
+                    and self.contract not in SPEC_CPU_CLAUSES:
+                self._fail(
+                    f"the 'spec-cpu' golden model implements only the "
+                    f"{', '.join(SPEC_CPU_CLAUSES)} clauses; "
+                    f"got contract = {self.contract!r}"
+                )
         if self.stop_kind is not None and \
                 self.stop_kind.startswith("contract_"):
             if self.detector == "ift":
@@ -259,6 +266,10 @@ class ScenarioSpec:
                 f"scenario definition{where} must be a table/object, "
                 f"got {type(data).__name__}"
             )
+        if "shard_stride" in data:
+            raise ScenarioError(
+                f"scenario definition{where}: {_SHARD_STRIDE_REMOVED}"
+            )
         known = tuple(f.name for f in fields(cls))
         unknown = [key for key in data if key not in known]
         if unknown:
@@ -275,13 +286,6 @@ class ScenarioSpec:
                 f"'name' key"
             )
         payload = dict(data)
-        if "shard_stride" in payload:
-            warnings.warn(
-                _SHARD_STRIDE_DEPRECATION
-                + (f" (from {source})" if source else ""),
-                DeprecationWarning,
-                stacklevel=2,
-            )
         if "vulns" in payload:
             if not isinstance(payload["vulns"], (list, tuple)):
                 raise ScenarioError(
@@ -347,17 +351,11 @@ class ScenarioSpec:
 
     def to_dict(self) -> dict:
         """Field-order dict; a ``None`` stop condition is omitted (TOML
-        has no null, and absence already means 'run the full budget').
-        The deprecated ``shard_stride`` is likewise omitted at its
-        historic default, so dumping and reloading a clean spec never
-        trips the deprecation warning — only definitions that still set
-        the knob round-trip it (and warn on load)."""
+        has no null, and absence already means 'run the full budget')."""
         data = asdict(self)
         data["vulns"] = list(self.vulns)
         if data["stop_kind"] is None:
             del data["stop_kind"]
-        if data["shard_stride"] == _LEGACY_SHARD_STRIDE:
-            del data["shard_stride"]
         return data
 
     def to_toml(self) -> str:
@@ -389,8 +387,13 @@ class ScenarioSpec:
             zenbleed="zenbleed" in self.vulns,
         )
 
-    def build_config(self) -> BoomConfig:
-        """The :class:`BoomConfig` this scenario fuzzes."""
+    def build_config(self):
+        """The PUT configuration this scenario fuzzes
+        (:class:`BoomConfig` or :class:`~repro.puts.rtl.RtlPutConfig`)."""
+        if self.design == "spec-cpu":
+            from repro.puts.rtl import RtlPutConfig
+
+            return RtlPutConfig()
         preset = getattr(BoomConfig, self.design)
         return preset(self.vuln_config())
 

@@ -1,46 +1,63 @@
-"""The `shard_stride` deprecation exit path (PR-3 compat shim).
+"""The `shard_stride` removal (deprecated in PR 3/4, deleted in PR 6).
 
-Per-shard seeds have been hash-derived since PR 3; `shard_stride` was
-kept accepted-but-ignored so older call sites and scenario files load.
-This pins the next step: anything still *passing* the knob gets a
-`DeprecationWarning`, while clean specs and call sites stay silent.
+Per-shard seeds have been hash-derived since PR 3; the knob then spent
+two releases accepted-but-warning.  This pins the end state: the
+parameter is *gone* — call sites get a `TypeError`, scenario
+definitions a `ScenarioError` that says what to delete — while clean
+call sites and specs stay silent.
 """
 
 import warnings
 
 import pytest
 
-from repro.harness.parallel import shard_seed
-from repro.scenarios.spec import ScenarioSpec
+from repro.harness.parallel import (
+    run_sharded_campaign,
+    run_sharded_timed_campaign,
+    shard_seed,
+)
+from repro.scenarios.spec import ScenarioError, ScenarioSpec
 
 
-class TestShardSeedDeprecation:
-    def test_passing_a_stride_warns(self):
-        with pytest.warns(DeprecationWarning, match="shard_stride"):
-            seed = shard_seed(5, 2, 1000)
-        # ...and the value is still ignored: same seed either way.
-        assert seed == shard_seed(5, 2)
+class TestShardSeedRemoval:
+    def test_passing_a_stride_raises_type_error(self):
+        with pytest.raises(TypeError):
+            shard_seed(5, 2, 1000)
+        with pytest.raises(TypeError):
+            shard_seed(5, 2, shard_stride=1000)
 
-    def test_default_call_is_silent(self):
+    def test_runners_reject_the_keyword(self):
+        with pytest.raises(TypeError, match="shard_stride"):
+            run_sharded_campaign(None, 1, shard_stride=1000)
+        with pytest.raises(TypeError, match="shard_stride"):
+            run_sharded_timed_campaign(None, 1.0, shard_stride=1000)
+
+    def test_default_call_is_silent_and_unchanged(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert shard_seed(5, 0) == 5
-            shard_seed(5, 3)
+            assert shard_seed(5, 3) == shard_seed(5, 3)
+            assert shard_seed(5, 3) != shard_seed(5, 2)
 
 
-class TestScenarioSpecDeprecation:
-    def test_loading_a_definition_with_the_knob_warns(self):
-        with pytest.warns(DeprecationWarning, match="shard_stride"):
-            spec = ScenarioSpec.from_dict(
-                {"name": "old", "shard_stride": 500}
-            )
-        assert spec.shard_stride == 500  # still loads losslessly
+class TestScenarioSpecRemoval:
+    def test_the_field_is_gone(self):
+        with pytest.raises(TypeError, match="shard_stride"):
+            ScenarioSpec(name="legacy", shard_stride=250)
 
-    def test_toml_file_with_the_knob_warns_with_source(self, tmp_path):
+    def test_loading_a_definition_with_the_knob_raises(self):
+        with pytest.raises(ScenarioError, match="removed"):
+            ScenarioSpec.from_dict({"name": "old", "shard_stride": 500})
+
+    def test_toml_file_with_the_knob_names_the_source(self, tmp_path):
         path = tmp_path / "old.toml"
         path.write_text('[scenario]\nname = "old"\nshard_stride = 1000\n')
-        with pytest.warns(DeprecationWarning, match="old.toml"):
+        with pytest.raises(ScenarioError, match="old.toml"):
             ScenarioSpec.load(path)
+
+    def test_the_error_says_how_to_fix_it(self):
+        with pytest.raises(ScenarioError, match="delete the key"):
+            ScenarioSpec.from_dict({"name": "old", "shard_stride": 1000})
 
     def test_clean_spec_round_trip_is_silent(self):
         spec = ScenarioSpec(name="clean", iterations=7)
@@ -49,9 +66,3 @@ class TestScenarioSpecDeprecation:
             assert ScenarioSpec.from_toml(spec.to_toml()) == spec
             assert ScenarioSpec.from_json(spec.to_json()) == spec
         assert "shard_stride" not in spec.to_dict()
-
-    def test_non_default_stride_still_round_trips(self):
-        spec = ScenarioSpec(name="legacy", shard_stride=250)
-        assert "shard_stride" in spec.to_dict()
-        with pytest.warns(DeprecationWarning):
-            assert ScenarioSpec.from_toml(spec.to_toml()) == spec

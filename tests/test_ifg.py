@@ -271,3 +271,43 @@ class TestNetlist:
         net = diamond_netlist()
         assert "n.w0" not in net.state_names()
         assert "n.micro.m0" in net.state_names()
+
+
+class TestHashSaltIndependence:
+    """IFG construction must not depend on the string-hash salt.
+
+    Edge insertion order feeds the PDLC enumeration, whose indices key
+    the LP coverage groups that guide fuzzing — so a hash-order
+    dependence makes whole campaigns differ across interpreter
+    processes.  (This bit the Verilog route: the elaborated-design
+    builder deduped assign sources through ``set()``.)
+    """
+
+    SCRIPT = (
+        "from repro.core.offline import run_offline\n"
+        "from repro.puts.spec_cpu import spec_cpu_design\n"
+        "artifacts = run_offline(spec_cpu_design())\n"
+        "for src, dst in artifacts.ifg.edges():\n"
+        "    print(f'{src}->{dst}')\n"
+        "for item in artifacts.pdlc:\n"
+        "    print(item.index, item.source, item.dest, '/'.join(item.path))\n"
+    )
+
+    def _offline_listing(self, hash_seed: str) -> str:
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        proc = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT],
+            capture_output=True, text=True, cwd=repo,
+            env={**os.environ, "PYTHONPATH": str(repo / "src"),
+                 "PYTHONHASHSEED": hash_seed},
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    def test_edge_and_pdlc_order_survive_hash_randomisation(self):
+        assert self._offline_listing("1") == self._offline_listing("2")

@@ -184,6 +184,19 @@ class TestCommittedArtifact:
         assert entry["events_examined_per_iter"] > 0
         assert entry["mode"] == "iterations"
 
+    def test_pr6_rtl_entry_present_for_the_ci_gate(self):
+        # The Verilog-route gate: a fixed-protocol spec-cpu-quickstart
+        # entry (the scenario's own 12-iteration budget is too short to
+        # time, so the pinned protocol runs 120).  events/iter doubles
+        # as a cross-process determinism check on the RTL route.
+        payload = load_bench(self.REPO / "BENCH_pr6.json")
+        assert payload["bench"] == "pr6"
+        entry = payload["results"]["spec-cpu-quickstart@120it"]
+        assert entry["iters_per_sec"] > 0
+        assert entry["events_examined_per_iter"] > 0
+        assert entry["mode"] == "iterations"
+        assert entry["iterations"] == 120
+
     def test_baseline_for_selects_by_artifact_tag(self, tmp_path):
         from repro.perf import (
             PR4_CONTRACT_BASELINE,
@@ -252,6 +265,17 @@ class TestMultiEntryBaseline:
         assert baseline_for("BENCH_pr5.json") is PR5_BASELINE
         entries = baseline_entries(PR5_BASELINE)
         assert set(entries) == {"quickstart@60it", "contract-ablation@40it"}
+
+    def test_pr6_baseline_resolves_per_protocol(self):
+        from repro.perf import (
+            PR6_RTL_BASELINE,
+            baseline_entries,
+            baseline_for,
+        )
+
+        assert baseline_for("BENCH_pr6.json") is PR6_RTL_BASELINE
+        entries = baseline_entries(PR6_RTL_BASELINE)
+        assert set(entries) == {"spec-cpu-quickstart@120it"}
 
     def test_legacy_baseline_keys_like_results(self):
         from repro.perf import baseline_entries
@@ -326,6 +350,7 @@ class TestBenchList:
         assert "offline-only" in listing          # offline-analysis row
         assert "26.34 iters/sec" in listing       # committed quickstart figure
         assert "contract-ablation@40it: 10.40 iters/sec" in listing
+        assert "spec-cpu-quickstart@120it: 200.00 iters/sec" in listing
 
     def test_cli_list_flag(self):
         proc = subprocess.run(

@@ -1,7 +1,10 @@
 """Tests for the cycle-driven RTL simulator."""
 
+from dataclasses import replace
+
 import pytest
 
+from repro.rtl import ast
 from repro.rtl.elaborate import elaborate
 from repro.rtl.parser import parse
 from repro.rtl.sim import RtlSimulator, SimulationError
@@ -223,3 +226,185 @@ class TestSequential:
         sim.step({"rst": 0})
         sim.step()  # rst stays 0
         assert sim.value("count") == 2
+
+
+class TestExpressionEvaluator:
+    """Property-style checks of the evaluator vs hand-computed values."""
+
+    A_VALUES = (0, 1, 7, 0x80, 0xFE, 0xFF)
+    B_VALUES = (0, 1, 3, 9, 0x80, 0xFF)
+
+    @pytest.mark.parametrize("op,fn", [
+        ("+", lambda a, b: a + b),
+        ("-", lambda a, b: a - b),
+        ("*", lambda a, b: a * b),
+        ("&", lambda a, b: a & b),
+        ("|", lambda a, b: a | b),
+        ("^", lambda a, b: a ^ b),
+        ("==", lambda a, b: int(a == b)),
+        ("!=", lambda a, b: int(a != b)),
+        ("<", lambda a, b: int(a < b)),
+        ("<=", lambda a, b: int(a <= b)),
+        (">", lambda a, b: int(a > b)),
+        (">=", lambda a, b: int(a >= b)),
+        ("<<", lambda a, b: a << min(b, 64)),
+        (">>", lambda a, b: a >> b),
+        ("&&", lambda a, b: int(bool(a) and bool(b))),
+        ("||", lambda a, b: int(bool(a) or bool(b))),
+    ])
+    def test_binary_ops_match_python(self, op, fn):
+        sim = make_sim(
+            f"""
+            module m(input [7:0] a, input [7:0] b, output [7:0] o);
+              assign o = a {op} b;
+            endmodule
+            """
+        )
+        for a in self.A_VALUES:
+            for b in self.B_VALUES:
+                sim.step({"a": a, "b": b})
+                assert sim.value("o") == fn(a, b) & 0xFF, (op, a, b)
+
+    @pytest.mark.parametrize("op,fn", [
+        ("~", lambda a: ~a),
+        ("!", lambda a: int(a == 0)),
+        ("-", lambda a: -a),
+        ("&", lambda a: int(a == 0xFF)),
+        ("|", lambda a: int(a != 0)),
+        ("^", lambda a: bin(a).count("1") & 1),
+    ])
+    def test_unary_ops_match_python(self, op, fn):
+        sim = make_sim(
+            f"""
+            module m(input [7:0] a, output [7:0] o);
+              assign o = {op}a;
+            endmodule
+            """
+        )
+        for a in self.A_VALUES:
+            sim.step({"a": a})
+            assert sim.value("o") == fn(a) & 0xFF, (op, a)
+
+    def test_wide_intermediate_truncates_at_the_target(self):
+        # The sum is computed unmasked; only the 4-bit target truncates.
+        sim = make_sim(
+            """
+            module m(input [3:0] a, output [3:0] narrow, output [7:0] wide);
+              assign narrow = a + a + a;
+              assign wide = a + a + a;
+            endmodule
+            """
+        )
+        sim.step({"a": 15})
+        assert sim.value("narrow") == 45 & 0xF
+        assert sim.value("wide") == 45
+
+    def test_oversized_shift_counts_do_not_explode(self):
+        sim = make_sim(
+            """
+            module m(input [7:0] a, input [7:0] n, output [7:0] l, output [7:0] r);
+              assign l = a << n;
+              assign r = a >> n;
+            endmodule
+            """
+        )
+        sim.step({"a": 0xFF, "n": 0xFF})
+        assert sim.value("l") == 0
+        assert sim.value("r") == 0
+
+    def test_input_values_mask_to_port_width(self):
+        sim = make_sim(
+            """
+            module m(input [3:0] a, output [3:0] o);
+              assign o = a;
+            endmodule
+            """
+        )
+        sim.step({"a": 0x1F2})
+        assert sim.value("o") == 0x2
+
+    def test_unknown_input_is_a_key_error(self):
+        sim = make_sim(LISTING_1, top="top")
+        with pytest.raises(KeyError, match="unknown signal"):
+            sim.step({"no_such_port": 1})
+
+    def test_driving_a_combinational_output_is_overridden_by_settle(self):
+        sim = make_sim(
+            """
+            module m(input a, output o);
+              assign o = ~a;
+            endmodule
+            """
+        )
+        sim.step({"a": 1, "o": 1})
+        assert sim.value("o") == 0  # settle recomputes ~a
+
+
+class TestPreset:
+    COUNTER = TestSequential.COUNTER
+
+    def test_preset_seeds_state_and_resettles(self):
+        sim = make_sim(self.COUNTER)
+        sim.step({"rst": 0})
+        sim.step()
+        sim.preset({"count": 40}, reset=True)
+        assert sim.cycle == -1
+        assert sim.value("count") == 40
+        sim.step({"rst": 0})
+        assert sim.value("count") == 41
+
+    def test_preset_masks_to_signal_width(self):
+        sim = make_sim(self.COUNTER)
+        sim.preset({"count": 0x1FF}, reset=True)
+        assert sim.value("count") == 0xFF
+
+    def test_preset_unknown_signal_is_a_key_error(self):
+        sim = make_sim(self.COUNTER)
+        with pytest.raises(KeyError, match="unknown signal"):
+            sim.preset({"no_such": 1})
+
+
+class TestErrorContext:
+    """A SimulationError mid-run names the cycle and the offending
+    signal/statement (the satellite bugfix regression tests)."""
+
+    def bogus(self, operand_name: str) -> ast.UnaryOp:
+        # An operator the evaluator does not implement, to force a
+        # SimulationError from deep inside expression evaluation.
+        return ast.UnaryOp(op="%%", operand=ast.Identifier(operand_name))
+
+    def test_settle_error_names_signal_and_cycle(self):
+        design = elaborate(parse(
+            """
+            module m(input a, output o);
+              assign o = ~a;
+            endmodule
+            """
+        ))
+        sim = RtlSimulator(design)
+        sim.step({"a": 1})
+        broken = replace(sim._order[0], value=self.bogus("m.a"))
+        sim._order = [broken]
+        with pytest.raises(SimulationError) as err:
+            sim.step({"a": 0})
+        message = str(err.value)
+        assert "cycle 1" in message
+        assert "while settling 'm.o'" in message
+        assert "unsupported unary operator" in message
+
+    def test_ff_error_names_driven_signal_and_cycle(self):
+        design = elaborate(parse(TestSequential.COUNTER))
+        sim = RtlSimulator(design)
+        sim.step({"rst": 1})
+        ff = design.ffs[0]
+        design.ffs[0] = replace(
+            ff, body=ast.NonBlocking(target="counter.count",
+                                     value=self.bogus("counter.rst")),
+        )
+        with pytest.raises(SimulationError) as err:
+            sim.step({"rst": 0})
+        message = str(err.value)
+        assert "cycle 1" in message
+        assert "always block driving counter.count" in message
+        assert "in assignment to 'counter.count'" in message
+        assert "unsupported unary operator" in message

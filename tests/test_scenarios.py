@@ -85,7 +85,6 @@ class TestValidation:
         ("mutation_rounds", 0, ">= 1"),
         ("iterations", -1, ">= 0"),
         ("shards", 0, ">= 1"),
-        ("shard_stride", 0, ">= 1"),
         ("random_seed_count", -2, ">= 0"),
     ])
     def test_numeric_ranges(self, field, value, fragment):
@@ -196,6 +195,11 @@ class TestCli:
         assert main(["list-scenarios"]) == 0
         out = capsys.readouterr().out
         assert "spectre-v1" in out
+        # The design column distinguishes the BOOM presets from the
+        # Verilog-backed PUT rows.
+        assert "design" in out
+        assert "spec-cpu-quickstart" in out
+        assert "spec-cpu " in out
 
     def test_run_every_registered_scenario_tiny(self, tmp_path, capsys):
         # The acceptance bar: `python -m repro run <name>` works for every

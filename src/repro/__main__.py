@@ -100,6 +100,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             ("shards", args.shards),
             ("seed", args.seed),
             ("detector", args.detector),
+            ("contract", args.contract),
+            ("execution_clauses",
+             tuple(args.execution_clauses)
+             if args.execution_clauses is not None else None),
         )
         if value is not None
     }
@@ -294,6 +298,14 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--detector", choices=DETECTORS, default=None,
                      help="override the spec's detection pathway "
                           "(both = cross-validate IFT vs contract)")
+    run.add_argument("--contract", default=None, metavar="CLAUSE",
+                     help="override the spec's base contract clause "
+                          "(e.g. ct-seq, ct-cond+ssb)")
+    run.add_argument("--execution-clause", action="append", default=None,
+                     dest="execution_clauses", metavar="MEMBER",
+                     help="replace the spec's composed execution clauses "
+                          "(repeatable: --execution-clause ssb "
+                          "--execution-clause fault)")
     run.add_argument("--no-minimize", action="store_true",
                      help="skip trimming finding programs before storing")
     run.set_defaults(handler=cmd_run)

@@ -13,6 +13,9 @@ from dataclasses import dataclass, field
 
 from repro.boom.vulns import VulnConfig
 
+#: Speculation mechanisms :attr:`BoomConfig.speculation` can arm.
+SPECULATION_MECHANISMS = ("ssb", "fault", "ret")
+
 
 @dataclass(slots=True)
 class BoomConfig:
@@ -56,6 +59,24 @@ class BoomConfig:
     # Armed vulnerability emulations.
     vulns: VulnConfig = field(default_factory=VulnConfig)
 
+    # Armed speculation mechanisms beyond conditional/indirect branch
+    # prediction (which are always on).  "ssb" lets loads issue past
+    # older stores with unresolved addresses (Spectre-v4 hardware);
+    # "fault" executes protected-region accesses transiently and raises
+    # the fault at commit (Meltdown-shape hardware); "ret" arms nothing
+    # extra — the RAS already mispredicts returns — but gates the
+    # return-misspeculation seed into the special corpus.
+    speculation: tuple[str, ...] = ()
+    # The architecturally protected memory region ("fault" speculation):
+    # any access overlapping [protected_base, protected_base +
+    # protected_size) faults at commit.  Size 0 disables the region.
+    protected_base: int = 0x8180_0000
+    protected_size: int = 0
+    # Cycles a faulting access stalls at the commit head before the
+    # fault raises — the transient window in which already-issued
+    # dependents execute and leave cache residue.
+    fault_latency: int = 16
+
     def __post_init__(self):
         if self.rob_entries < 4:
             raise ValueError("rob_entries must be at least 4")
@@ -65,6 +86,23 @@ class BoomConfig:
             raise ValueError("dcache_sets must be a power of two")
         if self.gshare_entries & (self.gshare_entries - 1):
             raise ValueError("gshare_entries must be a power of two")
+        self.speculation = tuple(self.speculation)
+        for mechanism in self.speculation:
+            if mechanism not in SPECULATION_MECHANISMS:
+                raise ValueError(
+                    f"unknown speculation mechanism {mechanism!r}; "
+                    f"armable mechanisms are "
+                    f"{', '.join(SPECULATION_MECHANISMS)}"
+                )
+        if len(set(self.speculation)) != len(self.speculation):
+            raise ValueError(
+                f"speculation lists a mechanism twice: "
+                f"{list(self.speculation)}"
+            )
+        if self.protected_size < 0:
+            raise ValueError("protected_size must be >= 0")
+        if self.fault_latency < 1:
+            raise ValueError("fault_latency must be >= 1")
 
     @classmethod
     def small(cls, vulns: VulnConfig | None = None) -> "BoomConfig":

@@ -220,10 +220,11 @@ class BoomCore:
         return self.netlist
 
     def special_seeds(self) -> list[TestProgram]:
-        """The hand-written speculative seed corpus."""
+        """The hand-written speculative seed corpus (the base trio plus
+        one gadget per armed speculation mechanism)."""
         from repro.fuzz.seeds import special_seeds
 
-        return special_seeds()
+        return special_seeds(self.config.speculation)
 
     def golden_memo(self):
         """A fresh RISC-V ISS contract-trace memo."""
@@ -232,10 +233,10 @@ class BoomCore:
         return GoldenTraceMemo()
 
     def supported_clauses(self) -> tuple[str, ...]:
-        """The golden ISS implements every registered clause."""
-        from repro.contracts.clauses import CLAUSES
+        """The golden ISS implements every composable clause."""
+        from repro.contracts.clauses import all_clauses
 
-        return CLAUSES
+        return all_clauses()
 
 
 class _Engine:
@@ -253,6 +254,10 @@ class _Engine:
         self.config = config
         self.netlist = netlist
         self._trace_statics = trace_statics
+        # Armed speculation mechanisms beyond branch prediction.
+        self._ssb_armed = "ssb" in config.speculation
+        self._fault_armed = ("fault" in config.speculation
+                             and config.protected_size > 0)
 
         # A throwaway writer wires the units' signal indexes; reset()
         # rebinds them all to the per-run writer.
@@ -335,6 +340,9 @@ class _Engine:
         self.squashed_count = 0
         self._next_spec_tag = 1
         self._resolved_this_cycle = False
+        #: Stores whose addresses resolved this cycle ("ssb" armed):
+        #: checked against younger bypassed loads for order violations.
+        self._pending_ssb: list[RobEntry] = []
         self._max_cycles = min(program.max_cycles, config.max_cycles)
         self._running = True
 
@@ -378,6 +386,8 @@ class _Engine:
             return False
         self._stage_writeback()
         self._stage_issue()
+        if self._pending_ssb:
+            self._stage_ssb_violations()
         self._stage_dispatch()
         self._stage_fetch()
         self._fsm_coverage()
@@ -434,9 +444,27 @@ class _Engine:
                 return
             if entry.is_ctrl and not entry.resolved:
                 return
+            if entry.faults:
+                self._commit_fault(entry)
+                return
             self._commit_entry(entry)
             if self.halted:
                 return
+
+    def _commit_fault(self, entry: RobEntry) -> None:
+        """A protected-region access reached the commit head: stall for
+        the fault latency — the transient window in which already-issued
+        dependents keep executing and leave cache residue — then raise
+        the fault with no architectural effects."""
+        if entry.fault_commit_cycle < 0:
+            entry.fault_commit_cycle = self.cycle + self.config.fault_latency
+            self._bump("fault.at_head")
+            return
+        if self.cycle < entry.fault_commit_cycle:
+            return
+        self.halted = True
+        self.halt_reason = "fault"
+        self._bump("fault.raised")
 
     def _commit_entry(self, entry: RobEntry) -> None:
         inst = entry.inst
@@ -482,6 +510,17 @@ class _Engine:
             self.halt_reason = "halt_instruction"
 
         self.tracer.set(self._ix_arch_pc, next_pc)
+        if entry.spec_tag and not entry.is_ctrl:
+            # An ssb-armed load commits: its bypass (if any) was legal.
+            self.rename.drop_snapshot(entry.spec_tag)
+            state = self.windows.pop(entry.spec_tag, None)
+            if state is not None:
+                self.tracer.set(self._ix_res_mispredict, 0)
+                self.tracer.set(self._ix_res_tag, entry.spec_tag)
+                self.closed_windows.append(SpecWindow(
+                    tag=entry.spec_tag, start=state["start"], end=self.cycle,
+                    pc=entry.pc, word=inst.word, mispredicted=False,
+                ))
         if rd is not None:
             self.rename.retire(rd, entry.index)
         self.rename.scrub_committed(entry.index)
@@ -608,7 +647,7 @@ class _Engine:
         squashed_indices = {victim.index for victim in squashed}
         self.rename.scrub_squashed(squashed_indices)
         for victim in squashed:
-            if victim.is_ctrl:
+            if victim.spec_tag:  # ctrl, or an ssb-armed load
                 self.rename.drop_snapshot(victim.spec_tag)
                 wstate = self.windows.pop(victim.spec_tag, None)
                 if wstate is not None:
@@ -721,6 +760,10 @@ class _Engine:
             )
             entry.store_size = _ACCESS_SIZE[inst.mnemonic]
             entry.store_ready = True
+            if self._fault_armed and self._faulting(address, entry.store_size):
+                entry.faults = True
+            if self._ssb_armed:
+                self._pending_ssb.append(entry)
             entry.ready_cycle = self.cycle + 1
             slot = entry.index % nl.stq_size(config)
             entry.stq_slot = slot
@@ -764,6 +807,24 @@ class _Engine:
         size, signed = _ACCESS_SIZE[inst.mnemonic]
         entry.load_addr = address
 
+        bypassed = False
+        if self._ssb_armed:
+            # Older stores that have not issued yet have unresolved
+            # addresses and are invisible to the disambiguation loop
+            # below.  The armed core issues past them *speculatively*
+            # (Spectre-v4 hardware): the bypass opens a window and is
+            # repaired by a memory-order squash if the store turns out
+            # to alias.  A replaying load waits for them instead.
+            for older in self.rob.live_order():
+                if older.age >= entry.age:
+                    break
+                if (older.inst.exec_class is ExecClass.STORE
+                        and not older.store_ready):
+                    if entry.no_bypass:
+                        return False  # replay: wait for every address
+                    bypassed = True
+                    break
+
         forward_from = None
         for store in self.rob.older_stores(entry):
             if not store.store_ready:
@@ -779,6 +840,25 @@ class _Engine:
                 return False  # partial overlap: wait for the store to drain
 
         self.tracer.set(self._ix_req, address)
+        if self._fault_armed and self._faulting(address, size):
+            # Protected access: executes transiently below; the fault
+            # raises when the entry reaches the commit head.
+            entry.faults = True
+            self._bump("fault.transient")
+        if bypassed:
+            entry.bypassed = True
+            self.rob.set_unsafe(entry, True)
+            # The bypass is a speculation source: strobe the dispatch
+            # bus and open a ground-truth window keyed by the load's
+            # tag, exactly as a dispatched branch would.
+            self.tracer.set(self._ix_disp_pc, entry.pc)
+            self.tracer.set(self._ix_disp_word, inst.word)
+            self.tracer.set(self._ix_disp_tag, entry.spec_tag)
+            self.windows[entry.spec_tag] = {
+                "tag": entry.spec_tag, "start": self.cycle,
+                "pc": entry.pc, "word": inst.word,
+            }
+            self._bump("ssb.bypass")
         if forward_from is not None:
             raw = forward_from.store_data & mask(8 * size)
             if signed and raw & (1 << (8 * size - 1)):
@@ -795,6 +875,95 @@ class _Engine:
         self.tracer.set(self._ix_resp, entry.result)
         entry.state = EXECUTING
         return True
+
+    def _faulting(self, address: int, size: int) -> bool:
+        """Does an access overlap the architecturally protected region?"""
+        base = self.config.protected_base
+        return (address < base + self.config.protected_size
+                and address + size > base)
+
+    # -- store-bypass violations ("ssb" armed) ------------------------------
+
+    def _stage_ssb_violations(self) -> None:
+        """Memory-order check at store address resolution: a younger
+        load that bypassed this store and overlaps it read stale memory
+        — squash everything younger than the load and replay the load
+        in order.  One squash per cycle (mirroring the one-brupdate
+        discipline); remaining stores re-check next cycle."""
+        pending = self._pending_ssb
+        self._pending_ssb = []
+        for position, store in enumerate(pending):
+            if self.rob.entries[store.index] is not store:
+                continue  # the store itself was squashed away
+            victim_load = None
+            for entry in self.rob.live_order():
+                if entry.age <= store.age or not entry.bypassed:
+                    continue
+                load_size = _ACCESS_SIZE[entry.inst.mnemonic][0]
+                if (entry.load_addr < store.store_addr + store.store_size
+                        and store.store_addr < entry.load_addr + load_size):
+                    victim_load = entry
+                    break  # oldest violating load
+            if victim_load is None:
+                continue
+            self._squash_ssb(victim_load)
+            self._pending_ssb.extend(
+                later for later in pending[position + 1:]
+                if self.rob.entries[later.index] is later
+            )
+            return
+
+    def _squash_ssb(self, load: RobEntry) -> None:
+        """Roll back past a memory-order violation and replay the load."""
+        self.tracer.set(self._ix_res_mispredict, 1)
+        self.tracer.set(self._ix_res_tag, load.spec_tag)
+        self._bump("ssb.violation")
+        state = self.windows.pop(load.spec_tag, None)
+        if state is not None:
+            self.closed_windows.append(SpecWindow(
+                tag=load.spec_tag, start=state["start"], end=self.cycle,
+                pc=load.pc, word=load.inst.word, mispredicted=True,
+            ))
+
+        squashed = self.rob.squash_after(load)
+        self.squashed_count += len(squashed)
+        self._bump("squash.events")
+        self._bump("squash.instructions", len(squashed))
+
+        self.rename.restore(load.spec_tag)
+        squashed_indices = {victim.index for victim in squashed}
+        self.rename.scrub_squashed(squashed_indices)
+        for victim in squashed:
+            if victim.spec_tag:
+                self.rename.drop_snapshot(victim.spec_tag)
+                wstate = self.windows.pop(victim.spec_tag, None)
+                if wstate is not None:
+                    self.tracer.set(self._ix_res_mispredict, 0)
+                    self.tracer.set(self._ix_res_tag, victim.spec_tag)
+                    self.closed_windows.append(SpecWindow(
+                        tag=victim.spec_tag, start=wstate["start"],
+                        end=self.cycle, pc=victim.pc, word=victim.inst.word,
+                        mispredicted=False,
+                    ))
+            if victim.stq_slot is not None:
+                self.tracer.set(self._ix_stq_valid[victim.stq_slot], 0)
+        self.bpu.repair_ras(load.ras_snapshot)
+
+        # Replay the load itself, in order this time.
+        self.rob.set_unsafe(load, False)
+        load.state = DISPATCHED
+        load.bypassed = False
+        load.no_bypass = True
+        load.result = None
+        load.ready_cycle = -1
+        load.load_addr = None
+        load.faults = False
+        load.fault_commit_cycle = -1
+
+        # Redirect the frontend to the instruction after the load.
+        self.fetch_queue.clear()
+        self.pc_f = (load.pc + 4) & _M64
+        self.tracer.set(self._ix_pc_f, self.pc_f)
 
     # -- dispatch -----------------------------------------------------------
 
@@ -855,6 +1024,16 @@ class _Engine:
                 "tag": entry.spec_tag, "start": self.cycle,
                 "pc": fetched.pc, "word": inst.word,
             }
+        elif self._ssb_armed and inst.exec_class is ExecClass.LOAD:
+            # Armed store bypass: every load is a potential speculation
+            # source, so it takes a tag and a rename snapshot at
+            # dispatch (after its own dest allocation, so a restore
+            # keeps the surviving load's mapping).  The window opens
+            # only if the load actually bypasses at issue.
+            entry.spec_tag = self._next_spec_tag
+            self._next_spec_tag += 1
+            entry.ras_snapshot = fetched.ras_snapshot
+            self.rename.snapshot(entry.spec_tag)
 
     # -- fetch ----------------------------------------------------------------
 
@@ -923,6 +1102,10 @@ class _Engine:
                 stop_group = True
             elif cls is ExecClass.ILLEGAL:
                 self._bump("fetch.illegal")
+            elif cls is ExecClass.LOAD and self._ssb_armed:
+                # A bypass squash redirects here, so the load needs the
+                # RAS state it was fetched under to repair from.
+                item.ras_snapshot = self.bpu.ras_top
 
             self.fetch_queue.append(item)
             self.pc_f = next_pc

@@ -62,6 +62,16 @@ class RobEntry:
 
     # Loads.
     load_addr: int | None = None
+    #: Load issued past an older not-address-ready store ("ssb" armed).
+    bypassed: bool = False
+    #: Replay marker after a memory-order squash: issue in order.
+    no_bypass: bool = False
+
+    # Faults ("fault" speculation): the access overlapped the protected
+    # region, executed transiently, and raises at the commit head after
+    # stalling there until ``fault_commit_cycle``.
+    faults: bool = False
+    fault_commit_cycle: int = -1
 
     # CSR / system.
     csr_new: int | None = None

@@ -9,17 +9,31 @@ attacker-view hardware trace derived from the BOOM change-event trace
 class the hardware can tell apart is a contract violation
 (:mod:`repro.contracts.detector`) — no information-flow graph required.
 
-Scenario specs select it with ``detector = "contract"`` (or ``"both"``
-for cross-validation against the IFT detector) plus a ``contract``
-observation clause; see ``docs/scenarios.md``.
+Clauses are composable: an observation clause (``ct``/``arch``) pairs
+with any subset of the execution-clause registry (``cond``, ``ssb``,
+``fault``, ``ret``) — ``ct-seq``, ``ct-cond+ssb``, ... — see
+:func:`repro.contracts.clauses.parse_clause` and ``docs/contracts.md``.
+
+Scenario specs select the pathway with ``detector = "contract"`` (or
+``"both"`` for cross-validation against the IFT detector) plus a
+``contract`` clause and optional ``execution_clauses`` members; see
+``docs/scenarios.md``.
 """
 
 from repro.contracts.clauses import (
     CLAUSES,
     CONTRACT_KINDS,
+    EXECUTION_CLAUSES,
+    EXECUTION_CLAUSE_REGISTRY,
     ContractError,
     ContractTrace,
+    ExecutionClause,
+    all_clauses,
+    canonicalize_clause,
+    compose_clause,
+    contract_kind,
     contract_trace,
+    parse_clause,
 )
 from repro.contracts.detector import (
     ContractDetector,
@@ -30,9 +44,17 @@ from repro.contracts.hwtrace import HardwareTrace, HardwareTraceCollector
 __all__ = [
     "CLAUSES",
     "CONTRACT_KINDS",
+    "EXECUTION_CLAUSES",
+    "EXECUTION_CLAUSE_REGISTRY",
     "ContractError",
     "ContractTrace",
+    "ExecutionClause",
+    "all_clauses",
+    "canonicalize_clause",
+    "compose_clause",
+    "contract_kind",
     "contract_trace",
+    "parse_clause",
     "ContractDetector",
     "ContractViolation",
     "HardwareTrace",

@@ -1,4 +1,4 @@
-"""Observation clauses: leakage contracts evaluated on the golden ISS.
+"""Leakage-contract clauses evaluated on the golden ISS.
 
 Model-based relational testing (Revizor, "Hardware-Software Contracts
 for Secure Speculation") needs an *executable contract*: a model run
@@ -7,44 +7,62 @@ make for a given program and input.  Two inputs with equal contract
 traces form an *input class*; the hardware must then be indistinguishable
 on them too, or the contract is violated.
 
-The contract model here is the repository's golden ISS — the same
-in-order architectural simulator co-simulation diffs against — extended
-with observation hooks (:attr:`repro.golden.iss.Iss.on_access`) and, for
-the speculative clause, a rollback-exact wrong-path simulator.  Three
-clauses are implemented:
+A contract clause is spelled ``<observation>-<execution>``:
 
-``ct-seq``
-    The constant-time sequential contract: the attacker observes the PC
-    of every architecturally executed instruction and the address of
-    every architectural load and store.  Speculation exposes nothing;
-    any speculative leak is a violation.
-``ct-cond``
-    CT-SEQ plus conditional-branch speculation (the CT-BPAS-style
-    execution clause): at every conditional branch the model also walks
-    the *not-taken-architecturally* path for a bounded window,
-    observing its PCs and memory addresses, then rolls every effect
-    back.  Spectre-v1-style leaks are contract-*allowed* here — which
-    is exactly what the ``contract-ablation`` scenario demonstrates.
-``arch-seq``
-    CT-SEQ plus the *values* returned by architectural loads — the most
-    permissive observation clause, useful as the ablation floor.
+* the **observation clause** picks what the attacker sees of committed
+  execution — ``ct`` (constant-time: PCs plus load/store addresses) or
+  ``arch`` (``ct`` plus the values architectural loads return);
+* the **execution clause** picks which speculation mechanisms the model
+  simulates, exposing their wrong paths as contract-*allowed*
+  observations — ``seq`` (none: any speculative leak is a violation) or
+  a ``+``-composition of members from :data:`EXECUTION_CLAUSES`.
+
+The implemented execution-clause members, each a first-class
+:class:`ExecutionClause` in :data:`EXECUTION_CLAUSE_REGISTRY`:
+
+``cond``
+    Conditional-branch misspeculation (the CT-BPAS-style clause): at
+    every conditional branch the model also walks the
+    *not-taken-architecturally* path for a bounded window.  Plain
+    Spectre-v1 leaks are allowed under ``ct-cond`` — the
+    ``contract-ablation`` scenario.
+``ssb``
+    Store-bypass speculation (Spectre-v4): a load whose address overlaps
+    an older in-flight store also executes against the *pre-store*
+    memory, and the stale value's dependents run for the window.
+``fault``
+    Fault/exception speculation (the Meltdown/MDS shape): an access to
+    the protected memory region architecturally faults, but the model
+    also runs the faulting access and its dependents transiently.
+``ret``
+    Return-stack misspeculation: a shadow RAS mirrors the BPU's
+    push/pop/overflow semantics, and when its prediction disagrees with
+    a return's actual target the predicted path runs for the window.
+
+Members compose: ``ct-cond+ssb`` simulates both mechanisms in one model
+run (the product semantics of "Detecting speculative leaks with
+compositional semantics").  Spellings canonicalise to registry order —
+``parse_clause("ct-ssb+cond")`` and ``"ct-cond+ssb"`` name the same
+clause and produce byte-identical traces.
 
 Contract traces are plain tuples of observations, so equality is input
 classing and :func:`repro.utils.rng.stable_hash` gives process-stable
 class ids.  Squashed/misspeculated work never reaches the committed
 observation stream: wrong-path simulation runs on a shadow register
 file, CSR copy, and write-buffered memory, and the architectural state
-after a ``ct-cond`` run is bit-identical to a plain ISS run (pinned by
-``tests/test_contracts.py``).
+after any clause's run is bit-identical to a plain ISS run (pinned by
+``tests/test_contracts.py`` and the property suite in
+``tests/test_clause_properties.py``).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import difflib
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 
 from repro.fuzz.input import TestProgram
-from repro.golden.iss import Iss, IssConfig
+from repro.golden.iss import Iss, IssConfig, access_size
 from repro.golden.memory import SparseMemory
 from repro.isa.instructions import ExecClass
 from repro.utils.bitvec import mask, to_signed
@@ -52,20 +70,402 @@ from repro.utils.rng import stable_hash
 
 _M64 = mask(64)
 
-#: The implemented observation clauses, in documentation order.
-CLAUSES = ("ct-seq", "ct-cond", "arch-seq")
-
-#: Finding kind reported for a violation of each clause.
-CONTRACT_KINDS = {
-    clause: "contract_" + clause.replace("-", "_") for clause in CLAUSES
-}
+#: The observation clauses: what the attacker sees of committed execution.
+OBSERVATIONS = ("ct", "arch")
 
 #: Default instruction budget for one simulated wrong path.
 DEFAULT_SPEC_WINDOW = 16
 
+#: Link registers the return-address stack tracks (ra/t0 per the RISC-V
+#: calling convention) — must match :data:`repro.boom.core._LINK_REGS`.
+_LINK_REGS = (1, 5)
+
+#: Shadow return-address-stack depth of the ``ret`` execution clause;
+#: mirrors ``BoomConfig.small().ras_entries`` so the model predicts the
+#: same returns the reference hardware configuration does.
+MODEL_RAS_ENTRIES = 4
+
 
 class ContractError(ValueError):
     """An unknown clause or an unusable contract configuration."""
+
+
+def _suggest(unknown: str, options) -> str:
+    matches = difflib.get_close_matches(str(unknown), list(options), n=1)
+    return f" (did you mean {matches[0]!r}?)" if matches else ""
+
+
+# ----------------------------------------------------------------------
+# The clause grammar: parse, canonicalise, compose
+# ----------------------------------------------------------------------
+
+def parse_clause(name: str) -> tuple[str, tuple[str, ...]]:
+    """Parse a clause name into ``(observation, execution members)``.
+
+    ``"<obs>-seq"`` parses to ``(obs, ())``; ``"<obs>-<e1>+<e2>"`` to
+    ``(obs, members)`` with the members validated against
+    :data:`EXECUTION_CLAUSES` and normalised to registry order, so every
+    spelling of a composition parses identically.
+    """
+    grammar = (
+        "clauses are spelled '<observation>-seq' or "
+        "'<observation>-<member>[+<member>...]' with observation in "
+        f"({', '.join(OBSERVATIONS)}) and members from "
+        f"({', '.join(EXECUTION_CLAUSES)})"
+    )
+    if not isinstance(name, str) or "-" not in name:
+        raise ContractError(
+            f"unknown contract clause {name!r}; {grammar}"
+            f"{_suggest(name, CLAUSES)}"
+        )
+    observation, _, rest = name.partition("-")
+    if observation not in OBSERVATIONS:
+        raise ContractError(
+            f"unknown observation clause {observation!r} in contract "
+            f"clause {name!r}; {grammar}{_suggest(name, CLAUSES)}"
+        )
+    if rest == "seq":
+        return observation, ()
+    members = rest.split("+")
+    for member in members:
+        if member not in EXECUTION_CLAUSE_REGISTRY:
+            raise ContractError(
+                f"unknown execution clause {member!r} in contract clause "
+                f"{name!r}; implemented execution clauses are "
+                f"{', '.join(EXECUTION_CLAUSES)}"
+                f"{_suggest(member, EXECUTION_CLAUSES + ('seq',))}"
+            )
+    if len(set(members)) != len(members):
+        raise ContractError(
+            f"contract clause {name!r} lists an execution clause twice"
+        )
+    ordered = tuple(sorted(members, key=EXECUTION_CLAUSES.index))
+    return observation, ordered
+
+
+def canonical_clause(observation: str, execution: tuple[str, ...]) -> str:
+    """The canonical clause name of parsed components."""
+    if not execution:
+        return f"{observation}-seq"
+    ordered = sorted(execution, key=EXECUTION_CLAUSES.index)
+    return f"{observation}-" + "+".join(ordered)
+
+
+def canonicalize_clause(name: str) -> str:
+    """A clause name normalised to registry order (validates it too)."""
+    return canonical_clause(*parse_clause(name))
+
+
+def compose_clause(base: str, execution=()) -> str:
+    """Compose extra execution-clause members onto a base clause.
+
+    ``compose_clause("ct-cond", ("ssb",))`` is ``"ct-cond+ssb"``;
+    composition is idempotent and order-independent (the result is
+    canonical).  Unknown members raise with a suggestion.
+    """
+    observation, members = parse_clause(base)
+    merged = list(members)
+    for member in execution:
+        if member not in EXECUTION_CLAUSE_REGISTRY:
+            raise ContractError(
+                f"unknown execution clause {member!r}; implemented "
+                f"execution clauses are {', '.join(EXECUTION_CLAUSES)}"
+                f"{_suggest(member, EXECUTION_CLAUSES)}"
+            )
+        if member not in merged:
+            merged.append(member)
+    return canonical_clause(observation, tuple(merged))
+
+
+def contract_kind(clause: str) -> str:
+    """The finding kind a violation of ``clause`` is reported as."""
+    name = canonicalize_clause(clause)
+    return "contract_" + name.replace("-", "_").replace("+", "_")
+
+
+def all_clauses() -> tuple[str, ...]:
+    """Every canonical clause name the grammar generates (observation
+    × execution-member subset), the full support set of the BOOM model."""
+    names = []
+    for observation in OBSERVATIONS:
+        for bits in range(1 << len(EXECUTION_CLAUSES)):
+            execution = tuple(
+                member for index, member in enumerate(EXECUTION_CLAUSES)
+                if bits >> index & 1
+            )
+            names.append(canonical_clause(observation, execution))
+    return tuple(names)
+
+
+# ----------------------------------------------------------------------
+# Execution clauses: one simulated speculation mechanism each
+# ----------------------------------------------------------------------
+
+class _TraceState:
+    """Per-run state :func:`contract_trace` shares with clause runners."""
+
+    __slots__ = ("iss", "observations", "budget", "step_index")
+
+    def __init__(self, iss: Iss, observations: list, budget: int):
+        self.iss = iss
+        self.observations = observations
+        self.budget = budget
+        self.step_index = 0
+
+
+class _CondRunner:
+    """Conditional-branch misspeculation: walk the not-taken path.
+
+    The wrong path is decided *before* the architectural step (the step
+    consumes the source registers) and walked *after* it, so the
+    speculative observations always follow the branch's own committed
+    ``pc`` observation — the exact ordering the PR-4 ``ct-cond``
+    fixed-seed pins rely on.
+    """
+
+    __slots__ = ("_state", "_pending")
+
+    def __init__(self, state: _TraceState):
+        self._state = state
+        self._pending = None
+
+    def before_step(self, pc, inst) -> None:
+        if inst.exec_class is not ExecClass.BRANCH:
+            self._pending = None
+            return
+        iss = self._state.iss
+        taken_target = (pc + to_signed(inst.imm, 64)) & _M64
+        self._pending = (taken_target, list(iss.regs), dict(iss.csrs))
+
+    def after_step(self, pc, inst) -> None:
+        pending, self._pending = self._pending, None
+        if pending is None:
+            return
+        taken_target, regs, csrs = pending
+        iss = self._state.iss
+        arch_next = iss.pc
+        fallthrough = (pc + 4) & _M64
+        wrong_pc = fallthrough if arch_next != fallthrough else taken_target
+        if wrong_pc != arch_next:
+            _walk_spec_path(iss, wrong_pc, regs, csrs,
+                            self._state.budget, self._state.observations)
+
+
+class _SsbRunner:
+    """Store-bypass speculation (Spectre-v4): loads read stale memory.
+
+    Architectural stores stay "in flight" for one speculation window of
+    steps; a later load that overlaps any in-flight store also executes
+    — with its dependents — against the *pre-store* bytes, modelling a
+    hardware load that issues before older store addresses resolve.
+    Multiple in-flight stores to one byte expose the value before the
+    oldest of them (a full bypass of the store queue).
+    """
+
+    __slots__ = ("_state", "_stores", "_pending")
+
+    def __init__(self, state: _TraceState):
+        self._state = state
+        #: (step index, {byte address: pre-store value}) per store, old→new.
+        self._stores: deque = deque()
+        self._pending = None
+
+    def before_step(self, pc, inst) -> None:
+        self._pending = None
+        cls = inst.exec_class
+        if cls is not ExecClass.STORE and cls is not ExecClass.LOAD:
+            return
+        state = self._state
+        stores = self._stores
+        horizon = state.step_index - state.budget
+        while stores and stores[0][0] < horizon:
+            stores.popleft()
+        iss = state.iss
+        address = (iss.regs[inst.rs1] + to_signed(inst.imm, 64)) & _M64
+        size = access_size(inst.mnemonic)
+        if cls is ExecClass.STORE:
+            old = {
+                (address + offset) & _M64:
+                    iss.memory.read_byte(address + offset)
+                for offset in range(size)
+            }
+            stores.append((state.step_index, old))
+            return
+        if not stores:
+            return
+        # setdefault keeps the OLDEST store's pre-value per byte: the
+        # bypassing load skips the whole in-flight store queue.
+        stale: dict[int, int] = {}
+        for _step, old in stores:
+            for byte, value in old.items():
+                stale.setdefault(byte, value)
+        if any((address + offset) & _M64 in stale for offset in range(size)):
+            self._pending = (list(iss.regs), dict(iss.csrs), stale)
+
+    def after_step(self, pc, inst) -> None:
+        pending, self._pending = self._pending, None
+        if pending is None:
+            return
+        regs, csrs, stale = pending
+        # Walk from the load itself: the shadow re-executes it against
+        # the stale bytes and runs its dependents for the window.
+        _walk_spec_path(self._state.iss, pc, regs, csrs,
+                        self._state.budget, self._state.observations,
+                        stale_bytes=stale)
+
+
+class _FaultRunner:
+    """Fault/exception speculation (Meltdown/MDS): faulting accesses
+    execute transiently.
+
+    When an access to the protected region architecturally faults (the
+    ISS halts without effects), the model re-runs the faulting
+    instruction and its dependents on a shadow with the protection
+    lifted — the transient forwarding window between a fault's execution
+    and its raise at commit.
+    """
+
+    __slots__ = ("_state", "_pending")
+
+    def __init__(self, state: _TraceState):
+        self._state = state
+        self._pending = None
+
+    def before_step(self, pc, inst) -> None:
+        self._pending = None
+        state = self._state
+        iss = state.iss
+        if iss.config.protected_size <= 0:
+            return
+        cls = inst.exec_class
+        if cls is not ExecClass.LOAD and cls is not ExecClass.STORE:
+            return
+        address = (iss.regs[inst.rs1] + to_signed(inst.imm, 64)) & _M64
+        size = access_size(inst.mnemonic)
+        base = iss.config.protected_base
+        if address < base + iss.config.protected_size and address + size > base:
+            self._pending = (list(iss.regs), dict(iss.csrs))
+
+    def after_step(self, pc, inst) -> None:
+        pending, self._pending = self._pending, None
+        if pending is None:
+            return
+        iss = self._state.iss
+        if not iss.faulted:
+            return
+        regs, csrs = pending
+        # Walk from the faulting pc: the shadow runs with the protected
+        # region lifted (wrong-path faults never raise), so the access
+        # reads through and its dependents see the protected bytes.
+        _walk_spec_path(iss, pc, regs, csrs,
+                        self._state.budget, self._state.observations)
+
+
+class _RetRunner:
+    """Return-stack misspeculation: a shadow RAS predicts returns.
+
+    The shadow mirrors the BPU's semantics exactly
+    (:meth:`repro.boom.bpu.BranchPredictor.push_ras`/``pop_ras``):
+    calls — ``jal``/``jalr`` with a link-register destination — push the
+    return address into a :data:`MODEL_RAS_ENTRIES`-deep circular stack
+    whose top pointer saturates at twice the depth; plain returns
+    (``jalr x0, rs1`` with a link-register source) pop a prediction.
+    When the prediction disagrees with the architectural target, the
+    predicted path runs for the window.
+    """
+
+    __slots__ = ("_state", "_ras", "_top", "_pending")
+
+    def __init__(self, state: _TraceState):
+        self._state = state
+        self._ras = [0] * MODEL_RAS_ENTRIES
+        self._top = 0
+        self._pending = None
+
+    def _push(self, address: int) -> None:
+        self._ras[self._top % MODEL_RAS_ENTRIES] = address
+        self._top = min(self._top + 1, 2 * MODEL_RAS_ENTRIES)
+
+    def _pop(self) -> int | None:
+        if self._top == 0:
+            return None
+        self._top -= 1
+        return self._ras[self._top % MODEL_RAS_ENTRIES]
+
+    def before_step(self, pc, inst) -> None:
+        self._pending = None
+        cls = inst.exec_class
+        if cls is ExecClass.JAL:
+            if inst.rd in _LINK_REGS:
+                self._push((pc + 4) & _M64)
+            return
+        if cls is not ExecClass.JALR:
+            return
+        predicted = None
+        if inst.rd == 0 and inst.rs1 in _LINK_REGS:
+            predicted = self._pop()
+        iss = self._state.iss
+        actual = (iss.regs[inst.rs1] + to_signed(inst.imm, 64)) & _M64 & ~1
+        if inst.rd in _LINK_REGS:
+            self._push((pc + 4) & _M64)
+        if predicted is not None and predicted != actual:
+            self._pending = (predicted, list(iss.regs), dict(iss.csrs))
+
+    def after_step(self, pc, inst) -> None:
+        pending, self._pending = self._pending, None
+        if pending is None:
+            return
+        predicted, regs, csrs = pending
+        _walk_spec_path(self._state.iss, predicted, regs, csrs,
+                        self._state.budget, self._state.observations)
+
+
+@dataclass(frozen=True)
+class ExecutionClause:
+    """One composable speculation mechanism of the contract model.
+
+    ``runner`` is a factory: called with the run's :class:`_TraceState`
+    it returns an object with ``before_step(pc, inst)`` /
+    ``after_step(pc, inst)`` hooks the trace loop drives around every
+    architectural step.  Speculative observations a runner emits are
+    tagged ``spec-*`` and roll back completely (shadow state only).
+    """
+
+    name: str
+    summary: str
+    runner: type
+
+    def spawn(self, state: _TraceState):
+        return self.runner(state)
+
+
+#: The execution-clause registry, in canonical composition order.
+EXECUTION_CLAUSE_REGISTRY: dict[str, ExecutionClause] = {
+    "cond": ExecutionClause(
+        "cond", "conditional-branch misspeculation (Spectre-v1 shape)",
+        _CondRunner),
+    "ssb": ExecutionClause(
+        "ssb", "store-bypass speculation (Spectre-v4 shape)",
+        _SsbRunner),
+    "fault": ExecutionClause(
+        "fault", "fault/exception speculation (Meltdown/MDS shape)",
+        _FaultRunner),
+    "ret": ExecutionClause(
+        "ret", "return-stack misspeculation (RSB/RAS shape)",
+        _RetRunner),
+}
+
+#: Execution-clause member names in canonical (registry) order.
+EXECUTION_CLAUSES = tuple(EXECUTION_CLAUSE_REGISTRY)
+
+#: The *named* clauses, in documentation order: the PR-4 trio plus one
+#: single-member clause per new speculation mechanism.  Any further
+#: composition (``ct-cond+ssb``, ...) is equally valid — see
+#: :func:`parse_clause` / :func:`all_clauses`.
+CLAUSES = ("ct-seq", "ct-cond", "ct-ssb", "ct-fault", "ct-ret", "arch-seq")
+
+#: Finding kind reported for a violation of each named clause.
+CONTRACT_KINDS = {clause: contract_kind(clause) for clause in CLAUSES}
 
 
 #: Default capacity of a :class:`GoldenTraceMemo` (entries).
@@ -80,9 +480,9 @@ class GoldenTraceMemo:
     from the memo instead of re-running the ISS.  Re-requests are
     common: ``both``-mode campaigns re-examine stored findings, the
     minimizer asserts its predicate on the unmodified program before
-    trimming, replay re-runs every persisted finding, and ``ct-cond``
-    detection computes a ``ct-seq`` architectural view whose trace any
-    later ct-seq request for the same input reuses.
+    trimming, replay re-runs every persisted finding, and speculative
+    clauses' detection computes a sequential architectural view whose
+    trace any later ``ct-seq`` request for the same input reuses.
 
     ``hits``/``misses`` are cumulative counters; the online phase folds
     their deltas into :class:`~repro.core.online.OnlineStats` so the
@@ -108,7 +508,9 @@ class GoldenTraceMemo:
 
     @staticmethod
     def key(program: TestProgram, clause: str, base_address: int,
-            line_bytes: int, max_spec_window: int) -> tuple:
+            line_bytes: int, max_spec_window: int,
+            protected_base: int = 0, protected_size: int = 0,
+            probe_stale_stores: bool = False) -> tuple:
         """The memo key: program bytes + full input tuple + clause/geometry."""
         return (
             program.to_bytes(),
@@ -120,6 +522,9 @@ class GoldenTraceMemo:
             base_address,
             line_bytes,
             max_spec_window,
+            protected_base,
+            protected_size,
+            probe_stale_stores,
         )
 
     def trace(
@@ -129,10 +534,19 @@ class GoldenTraceMemo:
         base_address: int = 0x8000_0000,
         line_bytes: int = 16,
         max_spec_window: int = DEFAULT_SPEC_WINDOW,
+        protected_base: int = 0,
+        protected_size: int = 0,
+        probe_stale_stores: bool = False,
     ) -> ContractTrace:
-        """:func:`contract_trace`, memoised."""
+        """:func:`contract_trace`, memoised.
+
+        The clause name is canonicalised before keying, so every
+        spelling of a composition shares one entry.
+        """
+        clause = canonicalize_clause(clause)
         key = self.key(program, clause, base_address, line_bytes,
-                       max_spec_window)
+                       max_spec_window, protected_base, protected_size,
+                       probe_stale_stores)
         entries = self._entries
         hit = entries.get(key)
         if hit is not None:
@@ -144,6 +558,8 @@ class GoldenTraceMemo:
         value = trace_fn(
             program, clause=clause, base_address=base_address,
             line_bytes=line_bytes, max_spec_window=max_spec_window,
+            protected_base=protected_base, protected_size=protected_size,
+            probe_stale_stores=probe_stale_stores,
         )
         entries[key] = value
         if len(entries) > self.capacity:
@@ -160,18 +576,25 @@ class ContractTrace:
 
     ``observations`` is the attacker-visible trace under the clause:
     ``("pc", pc)`` / ``("load", address)`` / ``("store", address)`` for
-    committed execution, ``("val", value)`` after loads under
-    ``arch-seq``, and ``("spec-pc", pc)`` / ``("spec-load", address)`` /
-    ``("spec-store", address)`` for the simulated wrong paths under
-    ``ct-cond``.  ``accessed_lines`` holds the cache-line base addresses
-    the *architectural* execution touched — the contract detector
-    subtracts them from the hardware-touched lines to find transient
-    residue worth planting secrets into.
+    committed execution, ``("val", value)`` after loads under an
+    ``arch`` observation clause, ``("fault", address)`` when the run
+    ends in an architectural access fault, and ``("spec-pc", pc)`` /
+    ``("spec-load", address)`` / ``("spec-store", address)`` for the
+    simulated wrong paths of the active execution clauses.
+    ``accessed_lines`` holds the cache-line base addresses the
+    *architectural* execution touched — the contract detector subtracts
+    them from the hardware-touched lines to find transient residue worth
+    planting secrets into.  ``stale_store_lines`` (collected only under
+    ``probe_stale_stores``) holds line bases whose first architectural
+    access was a *store*: their pre-store bytes never reach committed
+    state, so a store-bypassing load is the only thing a planted secret
+    there could influence.
     """
 
     clause: str
     observations: tuple[tuple, ...]
     accessed_lines: frozenset[int]
+    stale_store_lines: frozenset[int] = frozenset()
 
     def key(self) -> int:
         """Process-stable input-class id."""
@@ -191,7 +614,9 @@ class _ShadowMemory(SparseMemory):
     background fill); writes land in this object only, so a simulated
     misspeculated path can store freely without the base memory — or
     the architectural execution that continues from it — ever seeing
-    the effect.
+    the effect.  Pre-seeding the buffer (``stale_bytes``) makes the
+    wrong path see values the architectural memory no longer holds —
+    the store-bypass clause's view of not-yet-performed stores.
     """
 
     def __init__(self, base: SparseMemory):
@@ -204,13 +629,6 @@ class _ShadowMemory(SparseMemory):
         if buffered is not None:
             return buffered
         return self._base.read_byte(address)
-
-
-def _build_iss(program: TestProgram, base_address: int) -> Iss:
-    """A fresh ISS loaded exactly the way the OoO core loads a program
-    (with the pre-decoded fetch fast path armed — see
-    :meth:`repro.golden.iss.Iss.for_program`)."""
-    return Iss.for_program(program, base_address=base_address)
 
 
 def _lines_of(address: int, size: int, line_bytes: int) -> tuple[int, ...]:
@@ -226,6 +644,7 @@ def _walk_spec_path(
     csrs: dict[int, int],
     budget: int,
     observations: list[tuple],
+    stale_bytes: dict[int, int] | None = None,
 ) -> None:
     """Simulate one misspeculated path; everything rolls back.
 
@@ -233,9 +652,15 @@ def _walk_spec_path(
     space and on a :class:`_ShadowMemory`, so it can load, store, and
     even redirect control flow without leaving any architectural trace
     — mirroring how the hardware squashes the same path.  Only the
-    ``spec-*`` observations escape.
+    ``spec-*`` observations escape.  The shadow never faults: a
+    squashed instruction's exception is dropped with it, so protected
+    accesses on a wrong path read through (the fault clause's transient
+    window is built from exactly this).
     """
-    shadow = Iss(_ShadowMemory(iss.memory),
+    memory = _ShadowMemory(iss.memory)
+    if stale_bytes:
+        memory._bytes.update(stale_bytes)
+    shadow = Iss(memory,
                  IssConfig(base_address=iss.config.base_address,
                            max_steps=budget))
     shadow.pc = start_pc
@@ -246,7 +671,13 @@ def _walk_spec_path(
         # The parent's pre-decoded image is valid through the shadow
         # memory too (reads fall through); the shadow's own wrong-path
         # stores into the code region flip its private clean flag.
-        shadow.attach_predecoded(iss._decoded, iss._decoded_base)
+        # A stale-byte pre-seed over the code region would break the
+        # guarantee, so it drops the fast path.
+        if not stale_bytes or not any(
+            iss._decoded_base <= byte < iss._program_end
+            for byte in stale_bytes
+        ):
+            shadow.attach_predecoded(iss._decoded, iss._decoded_base)
 
     def observe(kind: str, address: int, value: int, size: int) -> None:
         observations.append((f"spec-{kind}", address))
@@ -265,62 +696,86 @@ def contract_trace(
     base_address: int = 0x8000_0000,
     line_bytes: int = 16,
     max_spec_window: int = DEFAULT_SPEC_WINDOW,
+    protected_base: int = 0,
+    protected_size: int = 0,
+    probe_stale_stores: bool = False,
 ) -> ContractTrace:
-    """Run ``program`` on the golden ISS under an observation clause.
+    """Run ``program`` on the golden ISS under a contract clause.
 
     ``base_address`` and ``line_bytes`` must match the hardware
     configuration so architectural line accounting lines up with the
-    hardware-trace collector's.  Purely deterministic: same program,
-    same trace, in any process.
+    hardware-trace collector's; ``protected_base``/``protected_size``
+    arm the architectural fault region the same way the hardware's is
+    armed (zero size disables it).  Purely deterministic: same program,
+    same trace, in any process — and canonical-equal clause spellings
+    produce identical traces.
     """
-    if clause not in CLAUSES:
-        raise ContractError(
-            f"unknown observation clause {clause!r}; implemented clauses "
-            f"are {', '.join(CLAUSES)}"
-        )
+    observation, execution = parse_clause(clause)
+    clause = canonical_clause(observation, execution)
     if max_spec_window < 1:
         raise ContractError("max_spec_window must be >= 1")
 
-    iss = _build_iss(program, base_address)
+    iss = Iss.for_program(program, base_address=base_address,
+                          protected_base=protected_base,
+                          protected_size=protected_size)
     observations: list[tuple] = []
     accessed_lines: set[int] = set()
+    arch_values = observation == "arch"
+    seen_bytes: set[int] = set()
+    first_store_bytes: set[int] = set()
 
-    def observe(kind: str, address: int, value: int, size: int) -> None:
-        observations.append((kind, address))
-        accessed_lines.update(_lines_of(address, size, line_bytes))
-        if clause == "arch-seq" and kind == "load":
-            observations.append(("val", value))
+    if probe_stale_stores:
+        def observe(kind: str, address: int, value: int, size: int) -> None:
+            observations.append((kind, address))
+            accessed_lines.update(_lines_of(address, size, line_bytes))
+            is_store = kind == "store"
+            for offset in range(size):
+                byte = (address + offset) & _M64
+                if byte not in seen_bytes:
+                    seen_bytes.add(byte)
+                    if is_store:
+                        first_store_bytes.add(byte)
+            if arch_values and kind == "load":
+                observations.append(("val", value))
+    else:
+        def observe(kind: str, address: int, value: int, size: int) -> None:
+            observations.append((kind, address))
+            accessed_lines.update(_lines_of(address, size, line_bytes))
+            if arch_values and kind == "load":
+                observations.append(("val", value))
 
     iss.on_access = observe
-    speculative = clause == "ct-cond"
-    for _ in range(iss.config.max_steps):
+    state = _TraceState(iss, observations, max_spec_window)
+    runners = [EXECUTION_CLAUSE_REGISTRY[name].spawn(state)
+               for name in execution]
+    for step_index in range(iss.config.max_steps):
         if iss.halted or not iss._pc_in_program():
             break
         pc = iss.pc
-        at_branch = False
-        if speculative:
-            # Only the speculative clause needs to peek at the next
-            # instruction (the cheaper clauses just let step() decode);
-            # the peek shares step()'s pre-decoded fast path.
+        if runners:
+            # Only execution clauses need to peek at the next
+            # instruction (the sequential clauses just let step()
+            # decode); the peek shares step()'s pre-decoded fast path.
             inst = iss.peek_decode()
-            at_branch = inst.exec_class is ExecClass.BRANCH
-            if at_branch:
-                # Decide the wrong path *before* stepping: the
-                # architectural step consumes the source registers.
-                taken_target = (pc + to_signed(inst.imm, 64)) & _M64
-                spec_regs = list(iss.regs)
-                spec_csrs = dict(iss.csrs)
+            state.step_index = step_index
+            for runner in runners:
+                runner.before_step(pc, inst)
         observations.append(("pc", pc))
         iss.step()
-        if at_branch:
-            arch_next = iss.pc
-            fallthrough = (pc + 4) & _M64
-            wrong_pc = fallthrough if arch_next != fallthrough else taken_target
-            if wrong_pc != arch_next:
-                _walk_spec_path(iss, wrong_pc, spec_regs, spec_csrs,
-                                max_spec_window, observations)
+        if iss.faulted:
+            # The fault itself is architecturally visible (the program
+            # crashes); which address faulted is part of the committed
+            # trace under every clause.
+            observations.append(("fault", iss.fault_address))
+        if runners:
+            for runner in runners:
+                runner.after_step(pc, inst)
+    stale_store_lines = frozenset(
+        byte for byte in first_store_bytes if not byte & (line_bytes - 1)
+    )
     return ContractTrace(
         clause=clause,
         observations=tuple(observations),
         accessed_lines=frozenset(accessed_lines),
+        stale_store_lines=stale_store_lines,
     )

@@ -16,9 +16,14 @@ over boosted input classes.  For one fuzzer-generated program:
    iteration hot path close to plain simulation cost.
 2. **Boosted input generation.**  Plant differing *secret* bytes at the
    transient-residue lines (addresses the architectural execution never
-   reads) to build ``inputs_per_class - 1`` variant inputs.  By
-   construction the variants sit in the base input's contract class
-   under ``ct-seq``/``arch-seq``; under ``ct-cond`` the clause itself
+   reads) to build ``inputs_per_class - 1`` variant inputs.  When the
+   hardware speculates past in-flight stores (``probe_stale_stores``),
+   lines whose first architectural access was a *store* join the pool:
+   their pre-store bytes are architecturally dead, but a store-bypassing
+   load reads exactly those.  By construction the variants sit in the
+   base input's contract class under execution-free clauses
+   (``ct-seq``/``arch-seq``); under clauses with execution members
+   (``ct-cond``, ``ct-ssb``, compositions, ...) the clause itself
    decides (a model-visible speculative access splits the class — that
    leak is contract-allowed).
 3. **Relational check.**  Partition base + variants by contract trace;
@@ -38,12 +43,13 @@ from dataclasses import dataclass
 
 from repro.boom.core import CoreResult
 from repro.contracts.clauses import (
-    CLAUSES,
-    CONTRACT_KINDS,
     DEFAULT_SPEC_WINDOW,
     ContractError,
     ContractTrace,
     GoldenTraceMemo,
+    canonicalize_clause,
+    contract_kind,
+    parse_clause,
 )
 from repro.contracts.hwtrace import HardwareTrace, HardwareTraceCollector
 from repro.fuzz.input import TestProgram
@@ -117,22 +123,30 @@ class ContractDetector:
         base_address: int = 0x8000_0000,
         line_bytes: int = 16,
         memo: GoldenTraceMemo | None = None,
+        protected_base: int = 0,
+        protected_size: int = 0,
+        probe_stale_stores: bool = False,
     ):
-        if clause not in CLAUSES:
-            raise ContractError(
-                f"unknown observation clause {clause!r}; implemented "
-                f"clauses are {', '.join(CLAUSES)}"
-            )
+        """``protected_base``/``protected_size`` mirror the hardware's
+        fault region into the golden model (zero size disables it);
+        ``probe_stale_stores`` extends the secret-planting pool to
+        write-before-read lines when the hardware bypasses stores."""
         if inputs_per_class < 2:
             raise ContractError("inputs_per_class must be >= 2")
         self.run_hardware = run_hardware
         self.collector = collector
-        self.clause = clause
-        self.kind = CONTRACT_KINDS[clause]
+        # parse_clause validates the name (and raises ContractError with
+        # the full grammar for unknown clauses or members).
+        self._execution = parse_clause(clause)[1]
+        self.clause = canonicalize_clause(clause)
+        self.kind = contract_kind(clause)
         self.inputs_per_class = inputs_per_class
         self.max_spec_window = max_spec_window
         self.base_address = base_address
         self.line_bytes = line_bytes
+        self.protected_base = protected_base
+        self.protected_size = protected_size
+        self.probe_stale_stores = probe_stale_stores
         #: Cumulative extra hardware runs (variants) this detector made.
         self.variant_runs = 0
         #: Cumulative trace events examined by variant-run collection.
@@ -146,13 +160,17 @@ class ContractDetector:
 
     # -- internals ----------------------------------------------------------
 
-    def _model_trace(self, program: TestProgram) -> ContractTrace:
+    def _model_trace(self, program: TestProgram, clause: str | None = None,
+                     probe_stale_stores: bool = False) -> ContractTrace:
         return self.memo.trace(
             program,
-            clause=self.clause,
+            clause=self.clause if clause is None else clause,
             base_address=self.base_address,
             line_bytes=self.line_bytes,
             max_spec_window=self.max_spec_window,
+            protected_base=self.protected_base,
+            protected_size=self.protected_size,
+            probe_stale_stores=probe_stale_stores,
         )
 
     def _candidate_lines(self, hardware: HardwareTrace,
@@ -160,14 +178,21 @@ class ContractDetector:
                          program: TestProgram) -> list[int]:
         """Transient-residue lines: hardware-touched, architecture-silent.
 
-        The code region is excluded — planting bytes there would rewrite
-        the program itself — and the pool is capped so a pathological
-        run cannot make variant generation arbitrarily expensive.
+        Under ``probe_stale_stores`` the pool additionally holds
+        hardware-touched lines whose first architectural access was a
+        store: the plant there only changes the *pre-store* byte a
+        bypassing load could read, never committed state.  The code
+        region is excluded — planting bytes there would rewrite the
+        program itself — and the pool is capped so a pathological run
+        cannot make variant generation arbitrarily expensive.
         """
         code_start = self.base_address & ~(self.line_bytes - 1)
         code_end = self.base_address + 4 * len(program.words)
+        pool = hardware.lines - model.accessed_lines
+        if self.probe_stale_stores:
+            pool = pool | (model.stale_store_lines & hardware.lines)
         candidates = sorted(
-            line for line in hardware.lines - model.accessed_lines
+            line for line in pool
             if not code_start <= line < code_end
         )
         return candidates[:MAX_SECRET_LINES]
@@ -218,22 +243,25 @@ class ContractDetector:
             result = self.run_hardware(program)
             self.variant_runs += 1
         base_hw = self.collector.collect(result)
-        if self.clause == "ct-cond":
+        speculative = bool(self._execution)
+        if speculative:
             # The residue filter only needs architectural line
-            # accounting, which is clause-independent — run it at
-            # ct-seq cost so residue-free programs (the common case in
-            # a long campaign) never pay the per-branch wrong-path
-            # simulation of the full ct-cond trace.
-            arch_view = self.memo.trace(
+            # accounting, which is execution-clause-independent — run it
+            # at ct-seq cost so residue-free programs (the common case
+            # in a long campaign) never pay the wrong-path simulation of
+            # the full clause trace.
+            arch_view = self._model_trace(
                 program, clause="ct-seq",
-                base_address=self.base_address, line_bytes=self.line_bytes,
+                probe_stale_stores=self.probe_stale_stores,
             )
             lines = self._candidate_lines(base_hw, arch_view, program)
             if not lines:
                 return []
             base_model = self._model_trace(program)
         else:
-            base_model = self._model_trace(program)
+            base_model = self._model_trace(
+                program, probe_stale_stores=self.probe_stale_stores,
+            )
             lines = self._candidate_lines(base_hw, base_model, program)
             if not lines:
                 return []  # no transient residue: nothing to distinguish
@@ -246,18 +274,20 @@ class ContractDetector:
             self.variant_runs += 1
             variant_hw = self.collector.collect(variant_result)
             self.events_examined += variant_result.trace.events_examined
-            if self.clause == "ct-cond":
-                # Only the speculative clause can observe the planted
-                # secrets (through the simulated wrong path), so only it
-                # may split the class — the variant needs its own model
-                # run.
+            if speculative:
+                # Only clauses with execution members can observe the
+                # planted secrets (through the simulated wrong paths),
+                # so only they may split the class — the variant needs
+                # its own model run.
                 variant_model = self._model_trace(variant)
             else:
-                # ct-seq / arch-seq observe architectural execution
-                # only, and secrets sit exclusively at lines the
-                # architectural execution never touches (candidate
-                # lines exclude model.accessed_lines), so the variant's
-                # contract trace is the base trace by construction.
+                # Execution-free clauses observe architectural execution
+                # only, and secrets sit exclusively at lines whose
+                # initial bytes committed state never depends on:
+                # residue lines the architecture doesn't touch, or
+                # stale-store lines it overwrites before any read.  The
+                # variant's contract trace is the base trace by
+                # construction.
                 variant_model = base_model
             members.append((f"input-{index}", variant_model, variant_hw))
 

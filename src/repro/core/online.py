@@ -130,12 +130,24 @@ class OnlinePhase:
         )
         self.contract: ContractDetector | None = None
         if detector in ("contract", "both"):
+            # Canonicalize before the membership check so every
+            # spelling of a composed clause ("ct-ssb+cond", ...)
+            # matches the design's canonical supported set.
+            from repro.contracts.clauses import canonicalize_clause
+
+            contract = canonicalize_clause(contract)
             if contract not in core.supported_clauses():
                 raise ValueError(
                     f"contract clause {contract!r} is not supported by "
                     f"the {core.design!r} design (supported: "
                     f"{', '.join(core.supported_clauses())})"
                 )
+            # The detector mirrors the hardware's armed speculation
+            # mechanisms into the golden model: the fault region
+            # geometry, and stale-store probing when stores can be
+            # bypassed.  Designs without the knobs run unmirrored.
+            config = core.config
+            speculation = getattr(config, "speculation", ())
             self.contract = ContractDetector(
                 core.run,
                 HardwareTraceCollector(core.config, signal_names,
@@ -146,6 +158,9 @@ class OnlinePhase:
                 base_address=core.config.base_address,
                 line_bytes=core.config.line_bytes,
                 memo=core.golden_memo(),
+                protected_base=getattr(config, "protected_base", 0),
+                protected_size=getattr(config, "protected_size", 0),
+                probe_stale_stores="ssb" in speculation,
             )
         self.mst = MisspeculationTable()
         self.stats = OnlineStats()

@@ -34,8 +34,10 @@ from repro.boom.config import BoomConfig
 from repro.core.offline import OfflineArtifacts, run_offline
 from repro.core.online import OnlinePhase
 from repro.core.report import CampaignReport
+from repro.fuzz.categories import validate_categories, words_in_categories
 from repro.fuzz.fuzzer import CampaignResult, Fuzzer, FuzzFinding
 from repro.fuzz.input import TestProgram
+from repro.fuzz.mutations import MutationEngine
 from repro.fuzz.seeds import random_seed
 from repro.puts.base import build_put
 from repro.utils.rng import DeterministicRng
@@ -86,6 +88,7 @@ class Specure:
         contract: str = "ct-seq",
         inputs_per_class: int = 3,
         max_spec_window: int = 16,
+        instruction_categories: tuple[str, ...] = (),
         core=None,  # any repro.puts.base.Put backend
         offline: OfflineArtifacts | None = None,
     ):
@@ -119,6 +122,11 @@ class Specure:
         self.contract = contract
         self.inputs_per_class = inputs_per_class
         self.max_spec_window = max_spec_window
+        # Validated eagerly (with did-you-mean) so a typo fails at
+        # construction, not mid-campaign.
+        self.instruction_categories = validate_categories(
+            instruction_categories
+        )
         self.core = core if core is not None else build_put(self.config)
         self._offline: OfflineArtifacts | None = offline
 
@@ -154,15 +162,32 @@ class Specure:
         offline = self.offline()
         online = self.build_online()
         rng = DeterministicRng(self.seed)
+        categories = self.instruction_categories
         seeds: list[TestProgram] = []
         if self.use_special_seeds:
-            seeds.extend(self.core.special_seeds())
+            special = self.core.special_seeds()
+            if categories:
+                # Scoped campaigns keep only seeds made entirely of
+                # in-scope instructions; everything else would be
+                # out-of-scope chaff the mutator can't touch anyway.
+                special = [s for s in special
+                           if words_in_categories(s.words, categories)]
+            seeds.extend(special)
         for index in range(self.random_seed_count):
-            seeds.append(random_seed(rng.fork(0x5EED + index)))
+            seeds.append(random_seed(rng.fork(0x5EED + index),
+                                     categories=categories))
+        fuzz_rng = rng.fork(0xF0)
+        mutator = None
+        if categories:
+            # The scoped engine draws from the same forked stream the
+            # fuzzer's default engine would, just with a scoped pool.
+            mutator = MutationEngine(fuzz_rng.fork(0xA11),
+                                    categories=categories)
         fuzzer = Fuzzer(
             online.evaluate,
             seeds=seeds,
-            rng=rng.fork(0xF0),
+            rng=fuzz_rng,
+            mutator=mutator,
             splice_probability=self.splice_probability,
             mutation_rounds=self.mutation_rounds,
         )
@@ -210,6 +235,7 @@ class Specure:
             contract=self.contract,
             inputs_per_class=self.inputs_per_class,
             max_spec_window=self.max_spec_window,
+            instruction_categories=self.instruction_categories,
             stop_kind=stop_kind,
         )
 

@@ -1,0 +1,93 @@
+"""Instruction-category scoping for seed generation and mutation.
+
+Execution clauses hunt shape-specific leaks — a store-bypass campaign
+wants loads, stores, and slow address chains, not CSR chaff — so
+scenario specs can scope the fuzzer's generative moves to named
+instruction categories.  A category names a set of
+:class:`~repro.isa.instructions.ExecClass` values; scoped generation
+draws only mnemonics from those classes (plus the always-allowed
+classes below), and scoped mutation drops the raw bit/byte/word
+operations that would take a program out of scope.
+
+An empty scope means "unscoped": the historical generator, byte for
+byte — scoping must never perturb unscoped RNG draws, because every
+pinned campaign iteration depends on them.
+"""
+
+from __future__ import annotations
+
+import difflib
+
+from repro.isa.instructions import ExecClass, decode
+
+#: The nameable categories, in canonical order.  "jump" covers both
+#: direct and indirect jumps — the pair is how return-stack gadgets
+#: form, so splitting them would leave neither half useful alone.
+INSTRUCTION_CATEGORIES: dict[str, tuple[ExecClass, ...]] = {
+    "alu": (ExecClass.ALU,),
+    "mul": (ExecClass.MUL,),
+    "div": (ExecClass.DIV,),
+    "load": (ExecClass.LOAD,),
+    "store": (ExecClass.STORE,),
+    "branch": (ExecClass.BRANCH,),
+    "jump": (ExecClass.JAL, ExecClass.JALR),
+    "csr": (ExecClass.CSR,),
+}
+
+#: Classes a scoped program may always contain: SYSTEM (the ``ecall``
+#: halt every program needs) and FENCE (retires as a no-op).
+ALWAYS_ALLOWED = frozenset((ExecClass.SYSTEM, ExecClass.FENCE))
+
+
+class CategoryError(ValueError):
+    """An unknown or malformed instruction-category scope."""
+
+
+def _suggest(name: str) -> str:
+    close = difflib.get_close_matches(name, INSTRUCTION_CATEGORIES, n=1)
+    if close:
+        return f"; did you mean {close[0]!r}?"
+    known = ", ".join(INSTRUCTION_CATEGORIES)
+    return f"; known categories: {known}"
+
+
+def validate_categories(categories) -> tuple[str, ...]:
+    """Normalize a scope to canonical registry order; raise on junk."""
+    seen = []
+    for name in categories:
+        if not isinstance(name, str) or name not in INSTRUCTION_CATEGORIES:
+            raise CategoryError(
+                f"unknown instruction category {name!r}{_suggest(str(name))}"
+            )
+        if name in seen:
+            raise CategoryError(
+                f"instruction category {name!r} listed twice"
+            )
+        seen.append(name)
+    return tuple(
+        name for name in INSTRUCTION_CATEGORIES if name in seen
+    )
+
+
+def allowed_classes(categories) -> frozenset[ExecClass]:
+    """The exec classes a scope admits (every class when unscoped)."""
+    names = validate_categories(categories)
+    if not names:
+        return frozenset(ExecClass)
+    allowed = set(ALWAYS_ALLOWED)
+    for name in names:
+        allowed.update(INSTRUCTION_CATEGORIES[name])
+    return frozenset(allowed)
+
+
+def words_in_categories(words, categories) -> bool:
+    """Do all of ``words`` decode into the scope's exec classes?
+
+    Illegal encodings fail a non-empty scope (scoped generation never
+    emits them); an empty scope admits anything.
+    """
+    names = validate_categories(categories)
+    if not names:
+        return True
+    allowed = allowed_classes(names)
+    return all(decode(word).exec_class in allowed for word in words)

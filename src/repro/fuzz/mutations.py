@@ -13,8 +13,9 @@ encoding.
 
 from __future__ import annotations
 
+from repro.fuzz.categories import allowed_classes, validate_categories
 from repro.fuzz.input import TestProgram
-from repro.isa.instructions import INSTRUCTIONS, ExecClass, encode
+from repro.isa.instructions import INSTRUCTIONS, ExecClass, decode, encode
 from repro.isa.registers import ALL_CSRS
 from repro.utils.rng import DeterministicRng
 
@@ -37,10 +38,36 @@ _GENERATABLE_WEIGHTS = [
     3 if spec.exec_class is ExecClass.CSR else 1 for spec in _GENERATABLE
 ]
 
+#: Scoped (specs, weights) pools, memoized per canonical category tuple.
+_SCOPED_POOLS: dict[tuple[str, ...], tuple[list, list]] = {}
 
-def random_instruction(rng: DeterministicRng) -> int:
-    """One well-formed random instruction word (ISA-aware generation)."""
-    spec = rng.choices(_GENERATABLE, weights=_GENERATABLE_WEIGHTS)[0]
+
+def _generation_pool(categories) -> tuple[list, list]:
+    key = validate_categories(categories)
+    if not key:
+        return _GENERATABLE, _GENERATABLE_WEIGHTS
+    pool = _SCOPED_POOLS.get(key)
+    if pool is None:
+        allowed = allowed_classes(key)
+        specs = [s for s in _GENERATABLE if s.exec_class in allowed]
+        weights = [3 if s.exec_class is ExecClass.CSR else 1 for s in specs]
+        pool = _SCOPED_POOLS[key] = (specs, weights)
+    return pool
+
+
+def random_instruction(rng: DeterministicRng, categories=()) -> int:
+    """One well-formed random instruction word (ISA-aware generation).
+
+    A non-empty ``categories`` scope restricts the mnemonic pool (see
+    :mod:`repro.fuzz.categories`); the unscoped path draws from the
+    full pool with byte-identical RNG consumption to before scoping
+    existed.
+    """
+    if categories:
+        specs, weights = _generation_pool(categories)
+    else:
+        specs, weights = _GENERATABLE, _GENERATABLE_WEIGHTS
+    spec = rng.choices(specs, weights=weights)[0]
     rd = rng.randint(0, 31)
     rs1 = rng.randint(0, 31)
     rs2 = rng.randint(0, 31)
@@ -71,25 +98,45 @@ def random_instruction(rng: DeterministicRng) -> int:
 class MutationEngine:
     """Applies one randomly chosen mutation per call."""
 
-    def __init__(self, rng: DeterministicRng, max_program_words: int = 96):
+    def __init__(self, rng: DeterministicRng, max_program_words: int = 96,
+                 categories=()):
         self.rng = rng
         self.max_program_words = max_program_words
-        self._operations = (
-            self._bit_flip,
-            self._byte_flip,
-            self._word_random,
-            self._word_valid_instruction,
-            self._insert_valid_instruction,
-            self._swap_words,
-            self._delete_word,
-            self._clone_word,
-            self._tweak_immediate,
-            self._mutate_register_init,
-            self._mutate_data_seed,
-        )
-        #: Instruction-aware ops get extra weight — they are what moves a
-        #: hardware fuzzer through architectural state space.
-        self._weights = (2, 2, 1, 4, 4, 1, 1, 1, 3, 2, 1)
+        self.categories = validate_categories(categories)
+        if self.categories:
+            # Scoped engines drop the raw bit/byte/word operations —
+            # arbitrary bit chaos leaves the category scope almost
+            # every time — and scrub stragglers after each mutate().
+            self._allowed = allowed_classes(self.categories)
+            self._operations = (
+                self._word_valid_instruction,
+                self._insert_valid_instruction,
+                self._swap_words,
+                self._delete_word,
+                self._clone_word,
+                self._tweak_immediate,
+                self._mutate_register_init,
+                self._mutate_data_seed,
+            )
+            self._weights = (4, 4, 1, 1, 1, 3, 2, 1)
+        else:
+            self._allowed = None
+            self._operations = (
+                self._bit_flip,
+                self._byte_flip,
+                self._word_random,
+                self._word_valid_instruction,
+                self._insert_valid_instruction,
+                self._swap_words,
+                self._delete_word,
+                self._clone_word,
+                self._tweak_immediate,
+                self._mutate_register_init,
+                self._mutate_data_seed,
+            )
+            #: Instruction-aware ops get extra weight — they are what
+            #: moves a hardware fuzzer through architectural state space.
+            self._weights = (2, 2, 1, 4, 4, 1, 1, 1, 3, 2, 1)
 
     def mutate(self, program: TestProgram, rounds: int = 1) -> TestProgram:
         """Return a mutated copy (``rounds`` stacked mutations)."""
@@ -101,8 +148,17 @@ class MutationEngine:
             )[0]
             operation(mutant)
         if not mutant.words:
-            mutant.words = [random_instruction(self.rng)]
+            mutant.words = [random_instruction(self.rng, self.categories)]
         del mutant.words[self.max_program_words:]
+        if self._allowed is not None:
+            # Scoped scrub: an immediate tweak can mutate a word into a
+            # different (or illegal) encoding — regenerate any word
+            # that left the scope.
+            for index, word in enumerate(mutant.words):
+                if decode(word).exec_class not in self._allowed:
+                    mutant.words[index] = random_instruction(
+                        self.rng, self.categories
+                    )
         return mutant
 
     def splice(self, first: TestProgram, second: TestProgram) -> TestProgram:
@@ -133,11 +189,13 @@ class MutationEngine:
         program.words[self._pick_index(program)] = self.rng.randbits(32)
 
     def _word_valid_instruction(self, program: TestProgram) -> None:
-        program.words[self._pick_index(program)] = random_instruction(self.rng)
+        program.words[self._pick_index(program)] = random_instruction(
+            self.rng, self.categories
+        )
 
     def _insert_valid_instruction(self, program: TestProgram) -> None:
         index = self.rng.randint(0, len(program.words))
-        program.words.insert(index, random_instruction(self.rng))
+        program.words.insert(index, random_instruction(self.rng, self.categories))
 
     def _swap_words(self, program: TestProgram) -> None:
         if len(program.words) < 2:

@@ -18,6 +18,23 @@ wrong-path load leaves cache residue:
   slow chain; the return-address stack predicts the original site, which
   executes transiently.
 
+Three further gadget seeds ride behind the armed speculation mechanisms
+(:attr:`repro.boom.config.BoomConfig.speculation`) — each targets one
+execution clause of :mod:`repro.contracts.clauses`:
+
+* :func:`store_bypass_seed` ("ssb") — a load issues past an older store
+  whose address resolves through a slow division chain, reads the
+  *stale* pre-store memory, and leaves value-dependent residue before
+  the memory-order squash replays it: Spectre-v4.
+* :func:`meltdown_seed` ("fault") — a protected-region load executes
+  transiently while its fault defers to the commit head; a dependent
+  load encodes the protected value into cache residue: Meltdown-shape.
+* :func:`ret_leak_seed` ("ret") — a corrupted return address sends the
+  RAS-predicted path through a value-dependent load gadget the
+  architectural execution never runs: return-stack misspeculation with
+  *leaking* wrong-path residue (unlike :func:`rsb_seed`, whose fixed
+  transient load is value-independent).
+
 Random seeds mix ISA-aware instruction generation with raw random words
 (pure random 32-bit words are ~99 % illegal encodings and exercise
 nothing).
@@ -31,6 +48,10 @@ from repro.isa.assembler import assemble
 from repro.utils.rng import DeterministicRng
 
 _DATA = 0x8100_0000
+
+#: The architecturally protected region ("fault" speculation) — matches
+#: :attr:`repro.boom.config.BoomConfig.protected_base`.
+_PROTECTED = 0x8180_0000
 
 
 def _context(program: TestProgram) -> TestProgram:
@@ -130,16 +151,116 @@ def rsb_seed() -> TestProgram:
     return _context(TestProgram(words=words, label="seed:rsb"))
 
 
-def special_seeds() -> list[TestProgram]:
-    """The paper's special seeds, in a stable order."""
-    return [mispredict_seed(), bti_seed(), rsb_seed()]
+def store_bypass_seed() -> TestProgram:
+    """Spectre-v4: a load bypasses an older unresolved store.
+
+    The store's address hangs off a division chain, so the younger load
+    from the same address issues first (when the core arms ``ssb``),
+    reads the *stale* pre-store memory, and a dependent load turns the
+    stale value into cache residue before the memory-order violation
+    squashes and replays it.  Architecturally the load always sees the
+    stored ``s4`` payload.
+    """
+    words = assemble(
+        """
+        div  t0, s3, s2      # slow: 3/5 = 0
+        div  t0, t0, s2      # slower still: 0
+        add  t1, s0, t0      # t1 = s0 — store address, resolved late
+        sd   s4, 0(t1)       # store whose address is long unknown
+        ld   t2, 0(s0)       # bypassing load: reads stale memory
+        slli t3, t2, 3
+        add  t3, s5, t3
+        ld   t4, 0(t3)       # transient: stale-value-dependent residue
+        ecall
+        """
+    )
+    return _context(TestProgram(words=words, label="seed:store-bypass"))
 
 
-def random_seed(rng: DeterministicRng, length: int = 24) -> TestProgram:
-    """A random seed: ISA-aware instructions with some raw-word chaos."""
+def meltdown_seed() -> TestProgram:
+    """Meltdown-shape: a faulting load's value leaks transiently.
+
+    ``s7`` points into the protected region; the load executes
+    transiently while its fault stalls at the commit head, and the
+    dependent load encodes the protected value into a cache line the
+    fault then fails to erase.
+    """
+    words = assemble(
+        """
+        ld   t2, 0(s7)       # protected: faults at commit, reads now
+        slli t3, t2, 3
+        add  t3, s5, t3
+        ld   t4, 0(t3)       # transient: protected-value residue
+        ecall
+        """
+    )
+    program = _context(TestProgram(words=words, label="seed:meltdown"))
+    program.reg_init[23] = _PROTECTED  # s7
+    return program
+
+
+def ret_leak_seed() -> TestProgram:
+    """Return misspeculation whose wrong path leaks a memory value.
+
+    The callee corrupts ``ra`` through a slow chain, so the RAS keeps
+    predicting the original return site — a gadget that loads a cold
+    line and a second line indexed by the loaded value.  The actual
+    return lands past the gadget; architectural execution never touches
+    either line.
+    """
+    words = assemble(
+        """
+        jal  ra, func        # 0:  call (RAS push 4)
+        ld   t2, 0(s6)       # 4:  transient: predicted return path
+        slli t3, t2, 3       # 8
+        add  t3, s5, t3      # 12
+        ld   t4, 0(t3)       # 16: transient: value-dependent residue
+        jal  zero, end       # 20
+        sd   s4, 8(s0)       # 24: the corrupted return lands here
+        jal  zero, end       # 28
+    func:
+        div  t5, s2, s2      # 32: slow 1
+        div  t5, t5, s2      # 36: slower 0 — holds the window open
+        addi t5, t5, 20      # 40: 20
+        add  ra, ra, t5      # 44: ra = 24 (slow, data-dependent)
+        jalr zero, 0(ra)     # 48: return — RAS predicts 4, actual 24
+    end:
+        ecall                # 52
+        """
+    )
+    return _context(TestProgram(words=words, label="seed:ret-leak"))
+
+
+def special_seeds(speculation: tuple[str, ...] = ()) -> list[TestProgram]:
+    """The paper's special seeds, in a stable order.
+
+    The base trio is unconditional; each armed speculation mechanism
+    appends its gadget seed behind them (in ``ssb``/``fault``/``ret``
+    order), so unarmed campaigns see the exact historical corpus.
+    """
+    seeds = [mispredict_seed(), bti_seed(), rsb_seed()]
+    if "ssb" in speculation:
+        seeds.append(store_bypass_seed())
+    if "fault" in speculation:
+        seeds.append(meltdown_seed())
+    if "ret" in speculation:
+        seeds.append(ret_leak_seed())
+    return seeds
+
+
+def random_seed(rng: DeterministicRng, length: int = 24,
+                categories: tuple[str, ...] = ()) -> TestProgram:
+    """A random seed: ISA-aware instructions with some raw-word chaos.
+
+    A non-empty category scope drops the raw-word chaos entirely (raw
+    words are out of every scope) and draws scoped instructions only;
+    the unscoped path keeps its historical RNG consumption exactly.
+    """
     words = []
     for _ in range(length):
-        if rng.coin(0.7):
+        if categories:
+            words.append(random_instruction(rng, categories))
+        elif rng.coin(0.7):
             words.append(random_instruction(rng))
         else:
             words.append(rng.randbits(32))

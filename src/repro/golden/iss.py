@@ -48,6 +48,12 @@ _ACCESS = {
 }
 
 
+def access_size(mnemonic: str) -> int:
+    """Bytes moved by a load/store mnemonic (shared access-size table)."""
+    spec = _ACCESS[mnemonic]
+    return spec[0] if isinstance(spec, tuple) else spec
+
+
 @dataclass(frozen=True)
 class CommitRecord:
     """One architecturally committed instruction, golden-trace style."""
@@ -64,10 +70,19 @@ class CommitRecord:
 
 @dataclass
 class IssConfig:
-    """Execution bounds for one ISS run."""
+    """Execution bounds for one ISS run.
+
+    A non-zero ``protected_size`` arms an access-fault region at
+    ``protected_base``: any architectural load or store overlapping it
+    halts the machine with :attr:`Iss.faulted` set and **no** effects —
+    no register write, no memory write, no PC advance — mirroring a
+    precise exception raised at commit.
+    """
 
     base_address: int = 0x8000_0000
     max_steps: int = 10_000
+    protected_base: int = 0
+    protected_size: int = 0
 
 
 class Iss:
@@ -88,6 +103,11 @@ class Iss:
         self.pc = self.config.base_address
         self.csrs: dict[int, int] = {spec.address: 0 for spec in ALL_CSRS}
         self.halted = False
+        #: Set (with :attr:`fault_address`) when the run ended in an
+        #: access fault on the protected region; the faulting
+        #: instruction has no architectural effects.
+        self.faulted = False
+        self.fault_address: int | None = None
         self.instret = 0
         self._program_end = self.config.base_address
         #: Pre-decoded fetch fast path (see :meth:`attach_predecoded`):
@@ -140,14 +160,17 @@ class Iss:
 
     @classmethod
     def for_program(cls, program, base_address: int = 0x8000_0000,
-                    max_steps: int | None = None) -> "Iss":
+                    max_steps: int | None = None,
+                    protected_base: int = 0,
+                    protected_size: int = 0) -> "Iss":
         """A fresh ISS loaded exactly the way the OoO core loads a
         :class:`~repro.fuzz.input.TestProgram`: background fill from the
         program's data seed, instruction words at ``base_address``, the
         memory overlay applied on top, registers from ``reg_init`` — and
         the pre-decoded fetch fast path armed (unless the overlay
         rewrites the code region).  ``max_steps`` defaults to the
-        program's own cycle budget.
+        program's own cycle budget; ``protected_base``/``protected_size``
+        arm the access-fault region (see :class:`IssConfig`).
         """
         memory = SparseMemory(fill_seed=program.data_seed)
         memory.load_words(base_address, program.words)
@@ -155,7 +178,9 @@ class Iss:
             memory.write_byte(address, value)
         steps = max(program.max_cycles, 1) if max_steps is None else max_steps
         iss = cls(memory, IssConfig(base_address=base_address,
-                                    max_steps=steps))
+                                    max_steps=steps,
+                                    protected_base=protected_base,
+                                    protected_size=protected_size))
         iss.pc = base_address
         iss._program_end = base_address + 4 * len(program.words)
         iss.regs = list(program.reg_init)
@@ -206,7 +231,9 @@ class Iss:
         pc = self.pc
         inst = self.peek_decode()
         record = self._execute(inst, pc)
-        self.instret += 1
+        if not self.faulted:
+            # A faulting access never retires.
+            self.instret += 1
         return record
 
     # ------------------------------------------------------------------
@@ -233,6 +260,8 @@ class Iss:
         elif cls is ExecClass.LOAD:
             address = (self.regs[inst.rs1] + to_signed(inst.imm, 64)) & _M64
             size, signed = _ACCESS[inst.mnemonic]
+            if self._faulting(address, size):
+                return self._raise_fault(pc, inst, address)
             rd_value = self.memory.read(address, size, signed=signed) & _M64
             if self.on_access is not None:
                 self.on_access("load", address, rd_value, size)
@@ -241,6 +270,8 @@ class Iss:
         elif cls is ExecClass.STORE:
             store_address = (self.regs[inst.rs1] + to_signed(inst.imm, 64)) & _M64
             size = _ACCESS[inst.mnemonic]
+            if self._faulting(store_address, size):
+                return self._raise_fault(pc, inst, store_address)
             store_value = truncate(self.regs[inst.rs2], 8 * size)
             if self.on_access is not None:
                 self.on_access("store", store_address, store_value, size)
@@ -278,6 +309,21 @@ class Iss:
             csr=csr_addr, csr_value=csr_value,
             store_address=store_address, store_value=store_value,
         )
+
+    def _faulting(self, address: int, size: int) -> bool:
+        psize = self.config.protected_size
+        if psize <= 0:
+            return False
+        pbase = self.config.protected_base
+        return address < pbase + psize and address + size > pbase
+
+    def _raise_fault(self, pc: int, inst: DecodedInstruction,
+                     address: int) -> CommitRecord:
+        """Halt on an access fault: no effects, PC stays at the fault."""
+        self.halted = True
+        self.faulted = True
+        self.fault_address = address
+        return CommitRecord(pc=pc, word=inst.word, rd=None, rd_value=None)
 
     def _alu(self, inst: DecodedInstruction, pc: int) -> int:
         return alu_value(inst, self.regs[inst.rs1], self.regs[inst.rs2], pc)

@@ -244,6 +244,7 @@ class ShardSpec:
     contract: str = "ct-seq"
     inputs_per_class: int = 3
     max_spec_window: int = 16
+    instruction_categories: tuple[str, ...] = ()
     stop_kind: str | None = None
 
 
@@ -264,6 +265,7 @@ def _run_shard(spec: ShardSpec) -> CampaignReport:
         contract=spec.contract,
         inputs_per_class=spec.inputs_per_class,
         max_spec_window=spec.max_spec_window,
+        instruction_categories=spec.instruction_categories,
     )
     deadline = (
         None if spec.seconds is None else time.monotonic() + spec.seconds
@@ -452,6 +454,7 @@ def run_sharded_campaign(
     contract: str = "ct-seq",
     inputs_per_class: int = 3,
     max_spec_window: int = 16,
+    instruction_categories: tuple[str, ...] = (),
     stop_kind: str | None = None,
 ) -> CampaignReport:
     """Run ``shards`` independent campaigns and merge their reports.
@@ -478,6 +481,7 @@ def run_sharded_campaign(
             contract=contract,
             inputs_per_class=inputs_per_class,
             max_spec_window=max_spec_window,
+            instruction_categories=tuple(instruction_categories),
             stop_kind=stop_kind,
         )
         for shard in range(shards)

@@ -94,10 +94,33 @@ PR6_RTL_BASELINE: dict = {
                    "reference container",
 }
 
+#: The composable-execution-clause introduction figure
+#: (``BENCH_pr7.json``).  One relational-testing iteration under a
+#: *composed* clause (``ct-cond+ssb`` on the store-bypass-armed core):
+#: hardware run with the ssb mechanism live + golden-ISS trace
+#: simulating both wrong-path families + stale-store-probed variant
+#: runs.  The registry scenario is sharded; the pinned protocol runs
+#: one 40-iteration campaign so the figure is a per-iteration hot-path
+#: number, not an executor number (scaling has its own gate).
+PR7_COMPOSED_BASELINE: dict = {
+    "entries": {
+        "composed-clauses@40it": {
+            "scenario": "composed-clauses",
+            "protocol": {"mode": "iterations", "value": 40},
+            "iters_per_sec": 14.12,
+            "events_examined_per_iter": 6690.1,
+            "peak_rss_kb": 40200,
+        },
+    },
+    "measured_at": "PR 7 (composable execution clauses introduction), "
+                   "reference container",
+}
+
 #: Baseline per bench-artifact tag (``BENCH_<tag>.json``).
 BASELINES: dict[str, dict] = {
     "pr3": PRE_PR_BASELINE,
     "pr4": PR4_CONTRACT_BASELINE,
     "pr5": PR5_BASELINE,
     "pr6": PR6_RTL_BASELINE,
+    "pr7": PR7_COMPOSED_BASELINE,
 }

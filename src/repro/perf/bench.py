@@ -301,9 +301,10 @@ def run_scaling_bench(
                 splice_probability=spec.splice_probability,
                 mutation_rounds=spec.mutation_rounds,
                 detector=spec.detector,
-                contract=spec.contract,
+                contract=spec.effective_contract(),
                 inputs_per_class=spec.inputs_per_class,
                 max_spec_window=spec.max_spec_window,
+                instruction_categories=spec.instruction_categories,
             )
             for shard in range(shards)
         ]

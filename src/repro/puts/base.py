@@ -177,7 +177,14 @@ class Put(ABC):
         matches this design's ISA."""
 
     def supported_clauses(self) -> tuple[str, ...]:
-        """Observation clauses this design's golden model implements."""
+        """Contract clauses this design's golden model implements.
+
+        Names are canonical clause spellings (see
+        :func:`repro.contracts.clauses.canonicalize_clause`); a design
+        whose model simulates every execution clause should return
+        :func:`repro.contracts.clauses.all_clauses` instead of this
+        conservative single-member default set.
+        """
         from repro.contracts.clauses import CLAUSES
 
         return CLAUSES

@@ -230,13 +230,18 @@ def spec_cpu_contract_trace(
     base_address: int = 0x8000_0000,
     line_bytes: int = 16,
     max_spec_window: int = 16,
+    protected_base: int = 0,
+    protected_size: int = 0,
+    probe_stale_stores: bool = False,
 ) -> ContractTrace:
     """The architectural observation trace SPEC_CPU *should* expose.
 
     A sequential interpreter of exactly the RTL's ISA subset and halt
-    rules; ``max_spec_window`` is accepted for signature compatibility
-    (there is no wrong-path simulation — on this PUT the hardware runs
-    the wrong paths, which is the whole point).
+    rules; ``max_spec_window``, the protected-region geometry, and
+    ``probe_stale_stores`` are accepted for signature compatibility
+    with the full golden model (there is no wrong-path simulation, no
+    fault region, and no store bypass — this PUT supports only the
+    execution-free clauses, so the knobs are inert).
     """
     if clause not in SPEC_CPU_CLAUSES:
         raise ContractError(

@@ -111,6 +111,104 @@ _BUILTIN_SCENARIOS: tuple[ScenarioSpec, ...] = (
         iterations=150,
     ),
     ScenarioSpec(
+        name="spectre-ssb",
+        description="Spectre-v4 hunt: store-bypass speculation armed, "
+                    "sequential-model contract, generation scoped to the "
+                    "alu/div/load/store gadget shape",
+        vulns=(),
+        detector="contract",
+        contract="ct-seq",
+        speculation=("ssb",),
+        instruction_categories=("alu", "div", "load", "store"),
+        seed=3,
+        iterations=120,
+        stop_kind="contract_ct_seq",
+    ),
+    ScenarioSpec(
+        name="spectre-ssb-ablation",
+        description="The same armed core under ct-seq+ssb: store-bypass "
+                    "misspeculation is contract-allowed, so the seeded "
+                    "v4 leak stops counting as a violation",
+        vulns=(),
+        detector="contract",
+        contract="ct-seq",
+        execution_clauses=("ssb",),
+        speculation=("ssb",),
+        instruction_categories=("alu", "div", "load", "store"),
+        seed=3,
+        iterations=40,
+    ),
+    ScenarioSpec(
+        name="meltdown",
+        description="Fault-speculation hunt: transient protected-region "
+                    "loads armed, sequential-model contract, generation "
+                    "scoped to alu/load gadgets",
+        vulns=(),
+        detector="contract",
+        contract="ct-seq",
+        speculation=("fault",),
+        instruction_categories=("alu", "load"),
+        seed=3,
+        iterations=120,
+        stop_kind="contract_ct_seq",
+    ),
+    ScenarioSpec(
+        name="meltdown-ablation",
+        description="The same armed core under ct-seq+fault: the "
+                    "transient faulting load is contract-allowed, so the "
+                    "Meltdown-style leak stops counting as a violation",
+        vulns=(),
+        detector="contract",
+        contract="ct-seq",
+        execution_clauses=("fault",),
+        speculation=("fault",),
+        instruction_categories=("alu", "load"),
+        seed=3,
+        iterations=40,
+    ),
+    ScenarioSpec(
+        name="spectre-rsb",
+        description="Return-stack hunt: RAS-misprediction seed corpus "
+                    "armed, sequential-model contract, generation scoped "
+                    "to alu/div/load/store/jump gadgets",
+        vulns=(),
+        detector="contract",
+        contract="ct-seq",
+        speculation=("ret",),
+        instruction_categories=("alu", "div", "load", "store", "jump"),
+        seed=3,
+        iterations=120,
+        stop_kind="contract_ct_seq",
+    ),
+    ScenarioSpec(
+        name="spectre-rsb-ablation",
+        description="The same hunt under ct-seq+ret: return-stack "
+                    "misspeculation is contract-allowed, so the seeded "
+                    "RSB leak stops counting as a violation",
+        vulns=(),
+        detector="contract",
+        contract="ct-seq",
+        execution_clauses=("ret",),
+        speculation=("ret",),
+        instruction_categories=("alu", "div", "load", "store", "jump"),
+        seed=3,
+        iterations=40,
+    ),
+    ScenarioSpec(
+        name="composed-clauses",
+        description="Clause composition across shards: ct-cond+ssb "
+                    "contract-allows branch and store-bypass speculation "
+                    "together on the ssb-armed core",
+        vulns=(),
+        detector="contract",
+        contract="ct-cond",
+        execution_clauses=("ssb",),
+        speculation=("ssb",),
+        seed=11,
+        iterations=60,
+        shards=2,
+    ),
+    ScenarioSpec(
         name="spec-cpu-quickstart",
         description="The Verilog route in one minute: elaborate the "
                     "speculative RTL core and run a short LP-guided "
@@ -201,7 +299,7 @@ def render_scenarios() -> str:
         if spec.detector == "ift":
             detector = "ift"
         else:
-            detector = f"{spec.detector}:{spec.contract}"
+            detector = f"{spec.detector}:{spec.effective_contract()}"
         rows.append([
             name,
             spec.design,

@@ -22,10 +22,18 @@ import json
 from dataclasses import asdict, dataclass, fields, replace
 from pathlib import Path
 
-from repro.boom.config import BoomConfig
+from repro.boom.config import SPECULATION_MECHANISMS, BoomConfig
 from repro.boom.vulns import VulnConfig
-from repro.contracts.clauses import CLAUSES, CONTRACT_KINDS
+from repro.contracts.clauses import (
+    EXECUTION_CLAUSES,
+    ContractError,
+    all_clauses,
+    compose_clause,
+    contract_kind,
+    parse_clause,
+)
 from repro.core.online import DETECTORS
+from repro.fuzz.categories import CategoryError, validate_categories
 from repro.puts.spec_cpu import SPEC_CPU_CLAUSES
 
 #: PUT design presets: the BOOM model sizes
@@ -36,11 +44,15 @@ DESIGNS = ("small", "medium", "large", "spec-cpu")
 COVERAGES = ("lp", "code")
 #: Armable vulnerability emulation hooks (paper §4.2).
 VULN_HOOKS = ("mwait", "zenbleed")
-#: Finding kinds a stop condition may wait for: the IFT vulnerability
-#: kinds plus one contract-violation kind per observation clause.
-STOP_KINDS = (
-    "mwait", "zenbleed", "spectre_v1", "spectre_v2", "direct",
-) + tuple(CONTRACT_KINDS[clause] for clause in CLAUSES)
+#: Finding kinds the IFT pathway produces.
+IFT_STOP_KINDS = ("mwait", "zenbleed", "spectre_v1", "spectre_v2", "direct")
+#: Every finding kind a stop condition may wait for: the IFT kinds plus
+#: one contract-violation kind per composable clause.  Which contract
+#: kind a given scenario can actually fire is checked per spec against
+#: :meth:`ScenarioSpec.effective_contract`, not this flat set.
+STOP_KINDS = IFT_STOP_KINDS + tuple(
+    contract_kind(clause) for clause in all_clauses()
+)
 
 _SHARD_STRIDE_REMOVED = (
     "the 'shard_stride' scenario knob has been removed: per-shard seeds "
@@ -74,9 +86,19 @@ class ScenarioSpec:
       the mutation engine;
     * **detection** — ``detector`` picks the pathway (``ift``,
       ``contract``, or ``both`` for cross-validation), ``contract``
-      the observation clause, and ``inputs_per_class`` /
-      ``max_spec_window`` the relational-testing depth
-      (:mod:`repro.contracts`);
+      the base clause, ``execution_clauses`` extra execution members
+      composed into it (see :meth:`effective_contract`), and
+      ``inputs_per_class`` / ``max_spec_window`` the relational-testing
+      depth (:mod:`repro.contracts`);
+    * **speculation** — ``speculation`` arms hardware speculation
+      mechanisms (:data:`~repro.boom.config.SPECULATION_MECHANISMS`) on
+      the PUT: a *catching* scenario arms a mechanism while keeping a
+      sequential-model contract, an *ablation* scenario arms it **and**
+      contract-allows it via ``execution_clauses``;
+    * **generation scope** — ``instruction_categories`` restricts seed
+      generation and mutation to named instruction categories
+      (:mod:`repro.fuzz.categories`), steering campaigns at the gadget
+      shapes a clause needs;
     * **campaign shape** — ``iterations`` per shard and ``shards``
       (``iterations = 0`` runs the offline phase only); per-shard seeds
       are hash-derived (:func:`repro.harness.parallel.shard_seed`), and
@@ -103,8 +125,13 @@ class ScenarioSpec:
     # Detection pathway.
     detector: str = "ift"
     contract: str = "ct-seq"
+    execution_clauses: tuple[str, ...] = ()
     inputs_per_class: int = 3
     max_spec_window: int = 16
+    # Hardware speculation mechanisms to arm on the PUT.
+    speculation: tuple[str, ...] = ()
+    # Generation scope (empty: every instruction category).
+    instruction_categories: tuple[str, ...] = ()
     # Campaign shape.
     iterations: int = 100
     shards: int = 1
@@ -113,6 +140,11 @@ class ScenarioSpec:
 
     def __post_init__(self):
         object.__setattr__(self, "vulns", tuple(self.vulns))
+        object.__setattr__(self, "execution_clauses",
+                           tuple(self.execution_clauses))
+        object.__setattr__(self, "speculation", tuple(self.speculation))
+        object.__setattr__(self, "instruction_categories",
+                           tuple(self.instruction_categories))
         self._validate()
 
     # -- validation ---------------------------------------------------------
@@ -188,11 +220,51 @@ class ScenarioSpec:
                 f"got {self.detector!r}{_suggest(str(self.detector), DETECTORS)}"
             )
         self._expect_type("contract", str)
-        if self.contract not in CLAUSES:
+        try:
+            parse_clause(self.contract)
+        except ContractError as error:
+            self._fail(f"invalid contract clause: {error}")
+        for member in self.execution_clauses:
+            if member not in EXECUTION_CLAUSES:
+                self._fail(
+                    f"unknown execution clause {member!r}; composable "
+                    f"members are {', '.join(EXECUTION_CLAUSES)}"
+                    f"{_suggest(str(member), EXECUTION_CLAUSES)}"
+                )
+        if len(set(self.execution_clauses)) != len(self.execution_clauses):
             self._fail(
-                f"contract must be one of {', '.join(CLAUSES)}; "
-                f"got {self.contract!r}{_suggest(str(self.contract), CLAUSES)}"
+                f"execution_clauses lists a member twice: "
+                f"{list(self.execution_clauses)}"
             )
+        try:
+            effective = compose_clause(self.contract, self.execution_clauses)
+        except ContractError as error:
+            self._fail(f"invalid clause composition: {error}")
+        for mechanism in self.speculation:
+            if mechanism not in SPECULATION_MECHANISMS:
+                self._fail(
+                    f"unknown speculation mechanism {mechanism!r}; armable "
+                    f"mechanisms are {', '.join(SPECULATION_MECHANISMS)}"
+                    f"{_suggest(str(mechanism), SPECULATION_MECHANISMS)}"
+                )
+        if len(set(self.speculation)) != len(self.speculation):
+            self._fail(
+                f"speculation lists a mechanism twice: "
+                f"{list(self.speculation)}"
+            )
+        _, effective_members = parse_clause(effective)
+        for member in effective_members:
+            if member in SPECULATION_MECHANISMS \
+                    and member not in self.speculation:
+                self._fail(
+                    f"the contract allows {member!r} speculation the "
+                    f"hardware never performs; add {member!r} to "
+                    f"speculation = [...] (or drop the clause)"
+                )
+        try:
+            validate_categories(self.instruction_categories)
+        except CategoryError as error:
+            self._fail(str(error))
         self._expect_type("inputs_per_class", int)
         if self.inputs_per_class < 2:
             self._fail("inputs_per_class must be >= 2 (an input class "
@@ -220,12 +292,23 @@ class ScenarioSpec:
                     "the 'spec-cpu' design has no vulnerability emulation "
                     "hooks; set vulns = []"
                 )
+            if self.speculation:
+                self._fail(
+                    "the 'spec-cpu' design has no armable speculation "
+                    "mechanisms; set speculation = []"
+                )
+            if self.instruction_categories:
+                self._fail(
+                    "the 'spec-cpu' fuzz route does not implement "
+                    "instruction-category scoping; set "
+                    "instruction_categories = []"
+                )
             if self.detector in ("contract", "both") \
-                    and self.contract not in SPEC_CPU_CLAUSES:
+                    and self.effective_contract() not in SPEC_CPU_CLAUSES:
                 self._fail(
                     f"the 'spec-cpu' golden model implements only the "
                     f"{', '.join(SPEC_CPU_CLAUSES)} clauses; "
-                    f"got contract = {self.contract!r}"
+                    f"got contract = {self.effective_contract()!r}"
                 )
         if self.stop_kind is not None and \
                 self.stop_kind.startswith("contract_"):
@@ -235,19 +318,19 @@ class ScenarioSpec:
                     f"violation, but detector = 'ift' never produces one; "
                     f"set detector = 'contract' or 'both'"
                 )
-            expected = CONTRACT_KINDS[self.contract]
+            expected = contract_kind(self.effective_contract())
             if self.stop_kind != expected:
                 self._fail(
                     f"stop_kind {self.stop_kind!r} cannot fire: the "
-                    f"{self.contract!r} clause reports violations as "
-                    f"{expected!r}"
+                    f"{self.effective_contract()!r} clause reports "
+                    f"violations as {expected!r}"
                 )
         elif self.stop_kind is not None and self.detector == "contract":
             self._fail(
                 f"stop_kind {self.stop_kind!r} waits for an IFT finding, "
                 f"but detector = 'contract' never produces one; set "
                 f"detector = 'ift' or 'both', or stop on "
-                f"{CONTRACT_KINDS[self.contract]!r}"
+                f"{contract_kind(self.effective_contract())!r}"
             )
 
     # -- construction -------------------------------------------------------
@@ -286,13 +369,19 @@ class ScenarioSpec:
                 f"'name' key"
             )
         payload = dict(data)
-        if "vulns" in payload:
-            if not isinstance(payload["vulns"], (list, tuple)):
-                raise ScenarioError(
-                    f"scenario {payload.get('name')!r}: vulns must be an "
-                    f"array of hook names, got {payload['vulns']!r}"
-                )
-            payload["vulns"] = tuple(payload["vulns"])
+        for key, what in (
+            ("vulns", "hook names"),
+            ("execution_clauses", "execution clause members"),
+            ("speculation", "speculation mechanisms"),
+            ("instruction_categories", "instruction category names"),
+        ):
+            if key in payload:
+                if not isinstance(payload[key], (list, tuple)):
+                    raise ScenarioError(
+                        f"scenario {payload.get('name')!r}: {key} must be "
+                        f"an array of {what}, got {payload[key]!r}"
+                    )
+                payload[key] = tuple(payload[key])
         try:
             return cls(**payload)
         except ScenarioError as error:
@@ -354,6 +443,14 @@ class ScenarioSpec:
         has no null, and absence already means 'run the full budget')."""
         data = asdict(self)
         data["vulns"] = list(self.vulns)
+        # The composable-clause knobs default to empty; omitting them
+        # keeps pre-existing scenario files' serialised form stable.
+        for key in ("execution_clauses", "speculation",
+                    "instruction_categories"):
+            if data[key]:
+                data[key] = list(data[key])
+            else:
+                del data[key]
         if data["stop_kind"] is None:
             del data["stop_kind"]
         return data
@@ -387,6 +484,12 @@ class ScenarioSpec:
             zenbleed="zenbleed" in self.vulns,
         )
 
+    def effective_contract(self) -> str:
+        """The canonical clause the detector actually enforces: the base
+        ``contract`` with every ``execution_clauses`` member composed in
+        (``"ct-cond"`` + ``("ssb",)`` → ``"ct-cond+ssb"``)."""
+        return compose_clause(self.contract, self.execution_clauses)
+
     def build_config(self):
         """The PUT configuration this scenario fuzzes
         (:class:`BoomConfig` or :class:`~repro.puts.rtl.RtlPutConfig`)."""
@@ -395,7 +498,18 @@ class ScenarioSpec:
 
             return RtlPutConfig()
         preset = getattr(BoomConfig, self.design)
-        return preset(self.vuln_config())
+        config = preset(self.vuln_config())
+        if self.speculation:
+            # Arm the scenario's speculation mechanisms; the fault
+            # mechanism needs a non-empty protected region to fault on
+            # (one cache line is enough for the transient-access gadget).
+            config = replace(
+                config,
+                speculation=self.speculation,
+                protected_size=64 if "fault" in self.speculation
+                else config.protected_size,
+            )
+        return config
 
     def build_specure(self, seed: int | None = None, core=None, offline=None):
         """A :class:`~repro.core.specure.Specure` wired per this spec.
@@ -421,9 +535,10 @@ class ScenarioSpec:
             splice_probability=self.splice_probability,
             mutation_rounds=self.mutation_rounds,
             detector=self.detector,
-            contract=self.contract,
+            contract=self.effective_contract(),
             inputs_per_class=self.inputs_per_class,
             max_spec_window=self.max_spec_window,
+            instruction_categories=self.instruction_categories,
         )
 
     def stop_predicate(self):

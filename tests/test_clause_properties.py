@@ -1,0 +1,162 @@
+"""Property tests for the composable execution clauses.
+
+The contract model's execution clauses (cond, ssb, fault, ret) simulate
+wrong paths on the golden ISS.  Three invariants make them safe to
+compose freely:
+
+* **Committed subsequence:** under any clause combination, the
+  committed (non-``spec-*``) observation subsequence equals the plain
+  ``ct-seq`` trace — execution clauses only *add* wrong-path
+  observations, they never disturb the architectural path.
+* **Order independence:** composition is a set, not a sequence — every
+  spelling of the same member set canonicalizes to one clause name and
+  produces byte-identical traces (and therefore equal input-class keys).
+* **No architectural leak:** wrong-path simulation runs on shadow
+  state only; under ``arch-*`` observation (which records loaded
+  *values*) the committed trace still matches the sequential model,
+  so no wrong-path store or register write ever reaches committed
+  execution.
+
+All properties run under hypothesis with deterministic program
+generators, plus deterministic checks on the crafted gadget seeds the
+speculation mechanisms ship with.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.contracts.clauses import (
+    EXECUTION_CLAUSES,
+    all_clauses,
+    canonicalize_clause,
+    compose_clause,
+    contract_kind,
+    contract_trace,
+    parse_clause,
+)
+from repro.fuzz.mutations import MutationEngine
+from repro.fuzz.seeds import special_seeds
+from repro.fuzz.seeds import random_seed
+from repro.utils.rng import DeterministicRng
+
+seeds_strategy = st.integers(min_value=0, max_value=10**6)
+members_strategy = st.sampled_from(EXECUTION_CLAUSES)
+
+#: Every crafted speculative seed, including the PR-7 gadget trio.
+GADGET_SEEDS = special_seeds(("ssb", "fault", "ret"))
+#: The armed fault-region geometry the meltdown gadget needs.
+PROTECTED = {"protected_base": 0x8180_0000, "protected_size": 64}
+ALL_MEMBERS = "ct-" + "+".join(EXECUTION_CLAUSES)
+
+
+def generate_program(seed: int):
+    rng = DeterministicRng(seed)
+    program = random_seed(rng, length=rng.randint(6, 30))
+    return MutationEngine(rng.fork(1)).mutate(program,
+                                              rounds=rng.randint(1, 3))
+
+
+class TestCommittedSubsequence:
+    """Execution clauses never disturb the architectural path."""
+
+    @given(seeds_strategy, members_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_single_member_committed_matches_ct_seq(self, seed, member):
+        program = generate_program(seed)
+        seq = contract_trace(program, "ct-seq", **PROTECTED)
+        spec = contract_trace(program, compose_clause("ct-seq", (member,)),
+                              **PROTECTED)
+        assert spec.committed() == seq.observations
+
+    @given(seeds_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_full_composition_committed_matches_ct_seq(self, seed):
+        program = generate_program(seed)
+        seq = contract_trace(program, "ct-seq", **PROTECTED)
+        spec = contract_trace(program, ALL_MEMBERS, **PROTECTED)
+        assert spec.committed() == seq.observations
+        # Clauses add observations; they never drop committed ones.
+        assert len(spec.observations) >= len(seq.observations)
+
+    @pytest.mark.parametrize("program", GADGET_SEEDS,
+                             ids=[s.label for s in GADGET_SEEDS])
+    def test_gadget_seeds_committed_matches_ct_seq(self, program):
+        seq = contract_trace(program, "ct-seq", **PROTECTED)
+        spec = contract_trace(program, ALL_MEMBERS, **PROTECTED)
+        assert spec.committed() == seq.observations
+
+
+class TestOrderIndependence:
+    """Clause composition is a set: A+B == B+A, byte for byte."""
+
+    @given(seeds_strategy, members_strategy, members_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_pairwise_order_independent(self, seed, first, second):
+        assume(first != second)
+        program = generate_program(seed)
+        forward = contract_trace(program, f"ct-{first}+{second}")
+        backward = contract_trace(program, f"ct-{second}+{first}")
+        assert forward.clause == backward.clause
+        assert forward.observations == backward.observations
+        assert forward.key() == backward.key()
+        assert forward.accessed_lines == backward.accessed_lines
+
+    @given(st.permutations(EXECUTION_CLAUSES))
+    @settings(max_examples=24, deadline=None)
+    def test_spellings_canonicalize_to_one_name(self, order):
+        spelled = "ct-" + "+".join(order)
+        assert canonicalize_clause(spelled) == ALL_MEMBERS
+        assert contract_kind(spelled) == contract_kind(ALL_MEMBERS)
+
+    @pytest.mark.parametrize("program", GADGET_SEEDS,
+                             ids=[s.label for s in GADGET_SEEDS])
+    def test_gadget_seeds_order_independent(self, program):
+        forward = contract_trace(program, "ct-ssb+fault+ret", **PROTECTED)
+        backward = contract_trace(program, "ct-ret+fault+ssb", **PROTECTED)
+        assert forward.observations == backward.observations
+        assert forward.key() == backward.key()
+
+    def test_all_clauses_are_canonical_and_closed(self):
+        names = all_clauses()
+        # 2 observation clauses x 2^len(EXECUTION_CLAUSES) member sets.
+        assert len(names) == 2 * 2 ** len(EXECUTION_CLAUSES)
+        assert len(set(names)) == len(names)
+        for name in names:
+            assert canonicalize_clause(name) == name
+            observation, execution = parse_clause(name)
+            assert compose_clause(f"{observation}-seq", execution) == name
+
+
+class TestWrongPathNoArchLeak:
+    """Wrong-path stores and loads stay on shadow state only."""
+
+    @given(seeds_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_arch_values_unaffected_by_wrong_paths(self, seed):
+        program = generate_program(seed)
+        # arch-* observation records committed load *values*, so any
+        # wrong-path write that escaped into architectural state would
+        # show up as a differing ("val", ...) entry.
+        seq = contract_trace(program, "arch-seq", **PROTECTED)
+        spec = contract_trace(program, "arch-" + "+".join(EXECUTION_CLAUSES),
+                              **PROTECTED)
+        assert spec.committed() == seq.observations
+
+    @pytest.mark.parametrize("program", GADGET_SEEDS,
+                             ids=[s.label for s in GADGET_SEEDS])
+    def test_gadget_seed_values_unaffected(self, program):
+        seq = contract_trace(program, "arch-seq", **PROTECTED)
+        spec = contract_trace(program, "arch-" + "+".join(EXECUTION_CLAUSES),
+                              **PROTECTED)
+        assert spec.committed() == seq.observations
+
+    @given(seeds_strategy, members_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_spec_observations_are_tagged(self, seed, member):
+        program = generate_program(seed)
+        spec = contract_trace(program, compose_clause("ct-seq", (member,)),
+                              **PROTECTED)
+        committed_kinds = {"pc", "load", "store", "fault", "val"}
+        for kind, *_ in spec.observations:
+            assert kind in committed_kinds or kind.startswith("spec-")

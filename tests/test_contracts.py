@@ -31,8 +31,10 @@ DATA = 0x8100_0000
 
 class TestClauses:
     def test_unknown_clause_rejected(self):
-        with pytest.raises(ContractError, match="unknown observation clause"):
+        with pytest.raises(ContractError, match="unknown execution clause"):
             contract_trace(mispredict_seed(), clause="ct-bogus")
+        with pytest.raises(ContractError, match="unknown observation clause"):
+            contract_trace(mispredict_seed(), clause="bogus-seq")
 
     def test_kind_per_clause(self):
         assert CONTRACT_KINDS["ct-seq"] == "contract_ct_seq"
@@ -201,7 +203,7 @@ class TestContractDetector:
         return ContractDetector(core.run, collector, clause=clause)
 
     def test_validation(self, core, collector):
-        with pytest.raises(ContractError, match="unknown observation clause"):
+        with pytest.raises(ContractError, match="unknown contract clause"):
             ContractDetector(core.run, collector, clause="nope")
         with pytest.raises(ContractError, match="inputs_per_class"):
             ContractDetector(core.run, collector, inputs_per_class=1)

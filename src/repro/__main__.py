@@ -11,6 +11,13 @@ Subcommands:
     contract detector on any scenario.
 ``list-scenarios``
     Print the scenario registry.
+``analyze <target>``
+    Static analysis (no fuzzing): RTL lint plus IFG taint reachability
+    over a registered design (``listing-1``/``pipeline-cpu``/
+    ``spec-cpu``/``small``/``medium``/``large``), a scenario name, or a
+    ``.toml``/``.json`` scenario file.  ``--format json`` emits the
+    machine-readable report; ``--fail-on warn|error`` sets the severity
+    at which active findings fail the command (exit 1).
 ``resume <dir>``
     Continue an interrupted campaign; completed shards load from the
     store, so the final report is byte-identical to an uninterrupted run.
@@ -143,6 +150,62 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_list_scenarios(_args: argparse.Namespace) -> int:
     print(render_scenarios())
     return 0
+
+
+#: Registered Verilog designs ``analyze`` accepts by name:
+#: source constant attribute on :mod:`repro.rtl.designs`, plus the
+#: explicit architectural-register names for designs whose registers
+#: don't follow the ISA ``x<N>`` convention.
+_ANALYZE_RTL = {
+    "listing-1": ("LISTING_1", None),
+    "pipeline-cpu": ("PIPELINE_CPU", ["acc", "r0", "r1", "r2", "r3"]),
+    "spec-cpu": ("SPEC_CPU", None),
+}
+
+
+def _analyze_target(target: str):
+    """Resolve an ``analyze`` target to ``(name, model, source_text,
+    arch_names)``.
+
+    Registered design names win; anything else resolves through the
+    scenario registry (name or ``.toml``/``.json`` path), analysing the
+    scenario's PUT exactly as its campaigns would see it.
+    """
+    if target in _ANALYZE_RTL:
+        from repro.rtl import designs
+        from repro.rtl.elaborate import elaborate
+        from repro.rtl.parser import parse
+
+        attribute, arch_names = _ANALYZE_RTL[target]
+        source = getattr(designs, attribute)
+        return target, elaborate(parse(source)), source, arch_names
+    if target in ("small", "medium", "large"):
+        from repro.boom.netlist import build_boom_netlist
+
+        config = getattr(BoomConfig, target)(VulnConfig.all())
+        return f"boom-{target}", build_boom_netlist(config), None, None
+
+    from repro.puts.base import build_put, design_of
+
+    spec = resolve_scenario(target)
+    config = spec.build_config()
+    put = build_put(config)
+    return design_of(config), put.offline_model(), put.static_source(), None
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_model
+
+    name, model, source, arch_names = _analyze_target(args.target)
+    report = analyze_model(model, name=name, source_text=source,
+                           arch_names=arch_names)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 1 if report.failed(args.fail_on) else 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -314,6 +377,22 @@ def main(argv: list[str] | None = None) -> int:
         "list-scenarios", help="print the scenario registry"
     )
     listing.set_defaults(handler=cmd_list_scenarios)
+
+    analyze = commands.add_parser(
+        "analyze", help="static analysis: RTL lint + taint reachability"
+    )
+    analyze.add_argument(
+        "target",
+        help="design name (listing-1, pipeline-cpu, spec-cpu, small, "
+             "medium, large), scenario name, or scenario-file path")
+    analyze.add_argument("--format", choices=("text", "json"),
+                         default="text",
+                         help="report format (default: text)")
+    analyze.add_argument("--fail-on", choices=("warn", "error"),
+                         default="error", metavar="SEVERITY",
+                         help="exit 1 when an active finding reaches this "
+                              "severity (warn|error, default: error)")
+    analyze.set_defaults(handler=cmd_analyze)
 
     bench = commands.add_parser(
         "bench", help="measure the per-iteration hot path of scenarios"

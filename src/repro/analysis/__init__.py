@@ -1,0 +1,61 @@
+"""Static analysis: RTL lint and IFG taint reachability.
+
+The offline phase (paper §3.1) enumerates potential leakage channels
+but never judges them, and the Verilog PUT route accepts any design
+that parses.  This package adds the missing static pre-judgement:
+
+* :mod:`repro.analysis.lint` — a pass framework over elaborated Verilog
+  designs and programmatic netlists, with a catalogue of structural
+  checks (undriven signals, multiple drivers, width mismatches,
+  inferred latches, combinational loops, unreachable branches,
+  non-resettable state, dead signals);
+* :mod:`repro.analysis.taint` — a classifier labelling every PDLC as
+  speculative-reachable, flush-gated, or provably-dead via
+  constant-folding edge refinement and squash-clean source analysis;
+  provably-dead channels can be pruned from LP coverage (the opt-in
+  ``static_prune`` scenario knob);
+* :mod:`repro.analysis.report` — the ``python -m repro analyze`` front
+  door assembling both engines into one text/JSON report;
+* :mod:`repro.analysis.pylint_determinism` — the repo's own
+  determinism self-lint (the PR 6 ``PYTHONHASHSEED`` bug class).
+
+See ``docs/analysis.md`` for the check catalogue and the
+adding-a-check guide.
+"""
+
+from repro.analysis.diagnostics import (
+    SEVERITIES,
+    Diagnostic,
+    Waiver,
+    apply_waivers,
+    parse_flush_overrides,
+    parse_waivers,
+)
+from repro.analysis.lint import CHECKS, lint_design, lint_netlist
+from repro.analysis.report import StaticReport, analyze_model
+from repro.analysis.taint import (
+    DEAD,
+    FLUSH_GATED,
+    SPECULATIVE,
+    StaticClassification,
+    classify_pdlc,
+)
+
+__all__ = [
+    "SEVERITIES",
+    "Diagnostic",
+    "Waiver",
+    "apply_waivers",
+    "parse_flush_overrides",
+    "parse_waivers",
+    "CHECKS",
+    "lint_design",
+    "lint_netlist",
+    "StaticReport",
+    "analyze_model",
+    "DEAD",
+    "FLUSH_GATED",
+    "SPECULATIVE",
+    "StaticClassification",
+    "classify_pdlc",
+]

@@ -1,0 +1,141 @@
+"""Diagnostics and waivers for the static-analysis passes.
+
+Every lint finding is a :class:`Diagnostic` carrying a stable check id
+(the contract CI and regression tests pin against), a severity, the
+implicated signal, and the source construct that produced it.
+
+Intentional constructs are silenced with *waivers*.  Verilog designs
+declare them inline as comment pragmas::
+
+    // repro-lint: waive <check-id> <signal-glob> [reason...]
+
+matched against the *leaf* (last dotted component) of the implicated
+signal name with ``fnmatch`` glob semantics.  Programmatic netlists
+declare the same triple via :meth:`repro.rtl.netlist.Netlist.waive`.
+
+A second pragma family feeds the taint classifier
+(:mod:`repro.analysis.taint`)::
+
+    // repro-analyze: flush <signal-name>
+
+naming an additional squash/flush strobe beyond the built-in leaf-name
+heuristic.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from fnmatch import fnmatchcase
+
+#: Severities, in increasing order of badness.
+SEVERITIES = ("warn", "error")
+
+
+def severity_at_least(severity: str, threshold: str) -> bool:
+    """True when ``severity`` is at or above ``threshold``."""
+    return SEVERITIES.index(severity) >= SEVERITIES.index(threshold)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    ``construct`` names the source construct the finding anchors to
+    (e.g. ``assign q = ...`` or ``always @(posedge clk)``); ``waived``
+    marks findings silenced by a matching waiver (kept, not dropped, so
+    reports can count them and tests can pin that the underlying
+    finding still exists).
+    """
+
+    check: str
+    severity: str
+    signal: str
+    construct: str
+    message: str
+    waived: bool = False
+    waive_reason: str = ""
+
+    @property
+    def leaf(self) -> str:
+        """The last dotted component of the implicated signal."""
+        return self.signal.rsplit(".", 1)[-1]
+
+    def render(self) -> str:
+        tag = " (waived)" if self.waived else ""
+        return (
+            f"[{self.severity}] {self.check}: {self.signal} — "
+            f"{self.message} ({self.construct}){tag}"
+        )
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One waiver declaration: silence ``check`` findings on ``pattern``."""
+
+    check: str
+    pattern: str
+    reason: str = ""
+
+    def matches(self, diagnostic: Diagnostic) -> bool:
+        return (
+            diagnostic.check == self.check
+            and fnmatchcase(diagnostic.leaf, self.pattern)
+        )
+
+
+_WAIVE_RE = re.compile(
+    r"//\s*repro-lint:\s*waive\s+(?P<check>\S+)\s+(?P<pattern>\S+)"
+    r"(?:\s+(?P<reason>.*\S))?\s*$"
+)
+_FLUSH_RE = re.compile(
+    r"//\s*repro-analyze:\s*flush\s+(?P<name>\S+)\s*$"
+)
+
+
+def parse_waivers(source_text: str) -> list[Waiver]:
+    """Extract ``// repro-lint: waive ...`` pragmas from Verilog source.
+
+    The Verilog lexer strips comments, so pragmas are parsed from the
+    raw text; order follows source order (deterministic reports).
+    """
+    waivers = []
+    for line in source_text.splitlines():
+        match = _WAIVE_RE.search(line)
+        if match:
+            waivers.append(Waiver(
+                check=match.group("check"),
+                pattern=match.group("pattern"),
+                reason=match.group("reason") or "",
+            ))
+    return waivers
+
+
+def parse_flush_overrides(source_text: str) -> list[str]:
+    """Extract ``// repro-analyze: flush <name>`` pragma names."""
+    return [
+        match.group("name")
+        for line in source_text.splitlines()
+        if (match := _FLUSH_RE.search(line))
+    ]
+
+
+def apply_waivers(
+    diagnostics: list[Diagnostic], waivers: list[Waiver]
+) -> list[Diagnostic]:
+    """Mark every diagnostic matched by a waiver (first match wins)."""
+    out = []
+    for diagnostic in diagnostics:
+        for waiver in waivers:
+            if waiver.matches(diagnostic):
+                diagnostic = replace(
+                    diagnostic, waived=True, waive_reason=waiver.reason
+                )
+                break
+        out.append(diagnostic)
+    return out
+
+
+def active(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    """The unwaived findings (what ``--fail-on`` gates against)."""
+    return [d for d in diagnostics if not d.waived]

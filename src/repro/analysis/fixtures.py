@@ -1,0 +1,169 @@
+"""Seeded-defect fixtures for the static-analysis engines.
+
+Each entry in :data:`LINT_FIXTURES` is a tiny Verilog design built to
+trigger *exactly one* lint check — the CI fixture matrix asserts every
+fixture flags its own check id and nothing else, guarding both the
+detection (no false negatives on the seeded defect) and the precision
+(no false positives from the other passes) of the catalogue.
+
+The taint fixtures are separate because they intentionally carry lint
+warnings (``deadpath`` contains an unreachable branch — that is the
+point) and exercise the classifier instead:
+
+* :data:`DEADPATH_FIXTURE` — the only source→dest path runs through a
+  ``1'b0 ? ...`` ternary that constant-folds away, so the PDLC exists
+  in the full IFG but is provably-dead in the refined graph;
+* :data:`FLUSHY_FIXTURE` — two sources feed the same architectural
+  register, one squash-cleaned (``flush-gated``), one surviving
+  (``speculative-reachable``).
+
+The Python snippets at the bottom seed the determinism self-lint
+(:mod:`repro.analysis.pylint_determinism`): the set-iteration one is
+the pre-PR6 IFG-builder bug that made PDLC ids depend on
+``PYTHONHASHSEED``.
+"""
+
+LINT_FIXTURES = {
+    "undriven-signal": """
+module undriven(input clk, output o);
+  wire u;
+  assign o = u;
+endmodule
+""",
+    "multi-driven": """
+module multidriven(input a, input b, output o);
+  wire t;
+  assign t = a;
+  assign t = b;
+  assign o = t;
+endmodule
+""",
+    "width-mismatch": """
+module widthmismatch(input clk, output [7:0] o);
+  wire [7:0] w;
+  assign w = 4'd3;
+  assign o = w;
+endmodule
+""",
+    "inferred-latch": """
+module latchy(input en, input d, output q);
+  assign q = en ? d : q;
+endmodule
+""",
+    "comb-loop": """
+module loopy(input clk, output o);
+  wire a;
+  wire b;
+  assign a = b;
+  assign b = a;
+  assign o = a;
+endmodule
+""",
+    "unreachable-branch": """
+module unreachable(input a, input b, output y);
+  assign y = 1'b0 ? a : b;
+endmodule
+""",
+    "no-reset-state": """
+module noreset(input clk, input rst, input d, output o);
+  reg a;
+  reg b;
+  always @(posedge clk) begin
+    if (rst) begin
+      a <= 1'b0;
+    end else begin
+      a <= d;
+    end
+    b <= d;
+  end
+  assign o = a ^ b;
+endmodule
+""",
+    "dead-signal": """
+module deadsig(input clk, input d, output o);
+  reg dead_r;
+  reg live_r;
+  always @(posedge clk) begin
+    dead_r <= d;
+    live_r <= d;
+  end
+  assign o = live_r;
+endmodule
+""",
+}
+
+#: The PDLC (micro -> x1) exists in the syntactic IFG but its only path
+#: runs through ``blocked``, which constant-folds to ``8'd0`` — the
+#: refined graph has no path, so the channel is provably-dead.
+DEADPATH_FIXTURE = """
+module deadpath(input clk, input [7:0] d, output [7:0] o);
+  reg [7:0] micro;
+  reg [7:0] x1;
+  wire [7:0] blocked;
+  assign blocked = 1'b0 ? micro : 8'd0;
+  always @(posedge clk) begin
+    micro <= d;
+    x1 <= blocked;
+  end
+  assign o = x1;
+endmodule
+"""
+
+#: ``v`` is wiped when ``flush`` asserts (flush-gated source);
+#: ``persist`` survives a squash (speculative-reachable source).
+FLUSHY_FIXTURE = """
+module flushy(input clk, input go, input [7:0] d, output [7:0] o);
+  wire flush;
+  reg v;
+  reg persist;
+  reg [7:0] x1;
+  assign flush = go;
+  always @(posedge clk) begin
+    v <= d[0] && !flush;
+    persist <= d[0];
+    if (v) begin
+      x1 <= 8'd1;
+    end
+    if (persist) begin
+      x1 <= 8'd2;
+    end
+  end
+  assign o = x1;
+endmodule
+"""
+
+#: The pre-PR6 IFG-builder defect: iterating a set() of identifiers
+#: makes edge insertion order (and therefore PDLC ids) depend on
+#: PYTHONHASHSEED.  Seeds D001.
+DETERMINISM_SET_ITERATION = '''\
+def add_comb_edges(ifg, assigns):
+    for assign in assigns:
+        for source in set(expr_identifiers(assign.value)):
+            ifg.add_edge(source, assign.target)
+'''
+
+#: Unseeded module-level randomness: irreproducible campaigns.
+#: Seeds D002.
+DETERMINISM_UNSEEDED_RANDOM = '''\
+import random
+
+
+def pick_seed_program(programs):
+    return random.choice(programs)
+'''
+
+#: The PR 6 fix idiom: first-occurrence dedup without set iteration and
+#: an explicitly seeded generator.  Must lint clean.
+DETERMINISM_CLEAN = '''\
+import random
+
+
+def add_comb_edges(ifg, assigns):
+    for assign in assigns:
+        for source in dict.fromkeys(expr_identifiers(assign.value)):
+            ifg.add_edge(source, assign.target)
+
+
+def pick_seed_program(programs, seed):
+    return random.Random(seed).choice(programs)
+'''

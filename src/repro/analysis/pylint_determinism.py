@@ -1,0 +1,172 @@
+"""Determinism self-lint for the repo's own Python sources.
+
+The campaign engine promises bit-identical reports for a fixed seed;
+two Python idioms silently break that promise:
+
+``D001`` — iterating a ``set()``/``frozenset()``/set literal/set
+    comprehension where the element order feeds an order-sensitive
+    structure (a ``for`` loop, a comprehension, ``list``/``tuple``/
+    ``enumerate``).  Set iteration order depends on
+    ``PYTHONHASHSEED`` — exactly the pre-PR6 IFG-builder bug that made
+    PDLC ids vary between runs.  Wrapping the set in ``sorted``/
+    ``min``/``max`` normalises the order and is allowed.
+
+``D002`` — calling module-level ``random.<fn>()`` (the implicitly
+    seeded global generator).  Constructing ``random.Random(seed)`` or
+    ``random.SystemRandom()`` is allowed.
+
+Run as a CI job::
+
+    python -m repro.analysis.pylint_determinism [paths...]
+
+Defaults to ``src``; exits 1 when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Consumers that normalise or discard iteration order.
+ORDER_INSENSITIVE = ("sorted", "min", "max", "sum", "len", "any", "all",
+                     "set", "frozenset")
+
+#: Order-sensitive consumers that materialise the iteration order.
+ORDER_SENSITIVE = ("list", "tuple", "enumerate")
+
+#: ``random.<ctor>`` calls that are explicitly seeded / entropy-backed.
+SEEDED_CONSTRUCTORS = ("Random", "SystemRandom")
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: list[Finding] = []
+        self._normalised_depth = 0
+
+    def _emit(self, code: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            path=self.path, line=node.lineno, code=code, message=message,
+        ))
+
+    def _flag_set_iteration(self, node: ast.AST, where: str) -> None:
+        if self._normalised_depth == 0:
+            self._emit(
+                "D001", node,
+                f"iteration over a set {where}: order depends on "
+                "PYTHONHASHSEED; sort or dedupe with dict.fromkeys",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            self._flag_set_iteration(node.iter, "in a for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for generator in node.generators:
+            if _is_set_expr(generator.iter):
+                self._flag_set_iteration(
+                    generator.iter, "in a comprehension"
+                )
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # The result is itself a set: order is not materialised here.
+        self._normalised_depth += 1
+        self._visit_comprehension(node)
+        self._normalised_depth -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in ORDER_SENSITIVE:
+                for argument in node.args:
+                    if _is_set_expr(argument):
+                        self._flag_set_iteration(
+                            argument, f"passed to {func.id}()"
+                        )
+            if func.id in ORDER_INSENSITIVE:
+                self._normalised_depth += 1
+                self.generic_visit(node)
+                self._normalised_depth -= 1
+                return
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+            and func.attr not in SEEDED_CONSTRUCTORS
+        ):
+            self._emit(
+                "D002", node,
+                f"random.{func.attr}() uses the implicitly seeded "
+                "global generator; construct random.Random(seed)",
+            )
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one Python source string."""
+    visitor = _Visitor(path)
+    visitor.visit(ast.parse(source, filename=path))
+    return visitor.findings
+
+
+def lint_paths(paths: list[str]) -> list[Finding]:
+    """Lint every ``.py`` file under the given paths, sorted."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    findings = []
+    for file in files:
+        findings.extend(
+            lint_source(file.read_text(encoding="utf-8"), str(file))
+        )
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    paths = arguments or ["src"]
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} determinism finding(s)")
+        return 1
+    print(f"determinism lint clean over {', '.join(paths)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

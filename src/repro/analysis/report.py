@@ -1,0 +1,192 @@
+"""The ``repro analyze`` front door: one report from both engines.
+
+:func:`analyze_model` runs the lint catalogue and the taint classifier
+over a design (elaborated Verilog or programmatic netlist) and bundles
+the results into a :class:`StaticReport` with deterministic text and
+JSON renderings.  The text form is what the CLI prints; the JSON form
+is what CI archives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Waiver,
+    active,
+    parse_flush_overrides,
+    severity_at_least,
+)
+from repro.analysis.lint import lint_design, lint_netlist
+from repro.analysis.taint import (
+    LABELS,
+    StaticClassification,
+    classify_pdlc,
+)
+from repro.ifg.builder import build_ifg_from_design, build_ifg_from_netlist
+from repro.ifg.labeling import label_architectural
+from repro.ifg.pdlc import PdlcItem, extract_pdlc_reverse
+from repro.rtl.ir import ElaboratedDesign
+from repro.rtl.netlist import Netlist
+from repro.utils.text import ascii_table
+
+
+@dataclass
+class StaticReport:
+    """Everything ``repro analyze`` learned about one design."""
+
+    design: str
+    diagnostics: list[Diagnostic]
+    classification: StaticClassification
+    pdlc: list[PdlcItem]
+
+    @property
+    def active_diagnostics(self) -> list[Diagnostic]:
+        return active(self.diagnostics)
+
+    @property
+    def waived_diagnostics(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.waived]
+
+    def failed(self, threshold: str) -> bool:
+        """True when any unwaived finding is at or above ``threshold``."""
+        return any(
+            severity_at_least(d.severity, threshold)
+            for d in self.active_diagnostics
+        )
+
+    def candidates(self) -> list[PdlcItem]:
+        """Ranked static leak candidates (live channels, strongest first)."""
+        return self.classification.ranked(self.pdlc)
+
+    def render(self, candidate_limit: int = 10) -> str:
+        lines = [f"== Static analysis: {self.design} =="]
+
+        lines.append("")
+        lines.append("RTL lint")
+        if self.diagnostics:
+            for diagnostic in self.diagnostics:
+                lines.append("  " + diagnostic.render())
+        else:
+            lines.append("  clean: no findings")
+        lines.append(
+            f"  {len(self.active_diagnostics)} active, "
+            f"{len(self.waived_diagnostics)} waived"
+        )
+
+        lines.append("")
+        lines.append("PDLC taint classification")
+        counts = self.classification.counts()
+        lines.append(ascii_table(
+            ["class", "channels"],
+            [[label, str(counts[label])] for label in LABELS],
+        ))
+        if self.classification.flush_signals:
+            lines.append(
+                "flush strobes: "
+                + ", ".join(self.classification.flush_signals)
+            )
+        if self.classification.constant_signals:
+            lines.append(
+                "constant signals: "
+                + ", ".join(self.classification.constant_signals)
+            )
+
+        candidates = self.candidates()
+        lines.append("")
+        lines.append(
+            f"Static leak candidates (top {min(candidate_limit, len(candidates))}"
+            f" of {len(candidates)})"
+        )
+        rows = []
+        for rank, item in enumerate(candidates[:candidate_limit], start=1):
+            rows.append([
+                str(rank),
+                self.classification.labels[item.index],
+                item.source,
+                item.dest,
+                str(len(item.path)),
+            ])
+        if rows:
+            lines.append(ascii_table(
+                ["rank", "class", "source", "dest", "path len"], rows,
+            ))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        counts = self.classification.counts()
+        return {
+            "design": self.design,
+            "diagnostics": [
+                {
+                    "check": d.check,
+                    "severity": d.severity,
+                    "signal": d.signal,
+                    "construct": d.construct,
+                    "message": d.message,
+                    "waived": d.waived,
+                    "waive_reason": d.waive_reason,
+                }
+                for d in self.diagnostics
+            ],
+            "classification": {
+                "counts": counts,
+                "flush_signals": list(self.classification.flush_signals),
+                "constant_signals": list(
+                    self.classification.constant_signals),
+                "cleaned_sources": list(
+                    self.classification.cleaned_sources),
+            },
+            "candidates": [
+                {
+                    "index": item.index,
+                    "class": self.classification.labels[item.index],
+                    "source": item.source,
+                    "dest": item.dest,
+                    "path_length": len(item.path),
+                }
+                for item in self.candidates()
+            ],
+        }
+
+
+def analyze_model(
+    model: ElaboratedDesign | Netlist,
+    *,
+    name: str,
+    source_text: str | None = None,
+    arch_names: list[str] | None = None,
+    arch_matcher=None,
+    flush_signals: list[str] | None = None,
+    waivers: list[Waiver] | None = None,
+) -> StaticReport:
+    """Run both static engines over a model and assemble the report.
+
+    ``source_text`` (raw Verilog) supplies waiver and flush pragmas;
+    netlists carry their waivers and squash-cleaned flags themselves.
+    """
+    if isinstance(model, Netlist):
+        diagnostics = lint_netlist(model, waivers=waivers)
+        ifg = build_ifg_from_netlist(model)
+    else:
+        diagnostics = lint_design(
+            model,
+            source_text=source_text,
+            arch_names=arch_names,
+            arch_matcher=arch_matcher,
+            waivers=waivers,
+        )
+        ifg = build_ifg_from_design(model)
+    label_architectural(ifg, arch_names=arch_names, matcher=arch_matcher)
+    pdlc = extract_pdlc_reverse(ifg)
+    flush = list(flush_signals or [])
+    if source_text is not None:
+        flush.extend(parse_flush_overrides(source_text))
+    classification = classify_pdlc(model, ifg, pdlc, flush_signals=flush)
+    return StaticReport(
+        design=name,
+        diagnostics=diagnostics,
+        classification=classification,
+        pdlc=pdlc,
+    )

@@ -219,6 +219,10 @@ class BoomCore:
         """The declared netlist (what the offline phase analyses)."""
         return self.netlist
 
+    def static_source(self) -> str | None:
+        """No Verilog source — lint waivers live on the netlist."""
+        return None
+
     def special_seeds(self) -> list[TestProgram]:
         """The hand-written speculative seed corpus (the base trio plus
         one gadget per armed speculation mechanism)."""

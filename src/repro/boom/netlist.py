@@ -192,28 +192,41 @@ def build_boom_netlist(config: BoomConfig) -> Netlist:
     ras = [net.reg(sig_ras(i), unit="bpu") for i in range(config.ras_entries)]
     net.reg(sig_ras_top(), width=8, unit="bpu")
 
-    maps = [net.reg(sig_map(i), width=8, unit="rename") for i in range(32)]
+    # Rename map, ROB bookkeeping, and store queue are squash-cleaned:
+    # the behavioural core restores them on every rollback, so their
+    # PDLCs classify flush-gated.  Predictors, caches, the TLB, and
+    # CSRs survive a squash (the Spectre residue) and stay
+    # speculative-reachable.
+    maps = [net.reg(sig_map(i), width=8, unit="rename",
+                    squash_cleaned=True) for i in range(32)]
 
-    net.reg(sig_rob_head(), width=8, unit="rob")
-    net.reg(sig_rob_tail(), width=8, unit="rob")
-    net.reg(sig_rob_count(), width=8, unit="rob")
+    net.reg(sig_rob_head(), width=8, unit="rob", squash_cleaned=True)
+    net.reg(sig_rob_tail(), width=8, unit="rob", squash_cleaned=True)
+    net.reg(sig_rob_count(), width=8, unit="rob", squash_cleaned=True)
     rob_pcs = []
     for i in range(config.rob_entries):
-        net.reg(sig_rob_valid(i), width=1, unit="rob")
-        net.reg(sig_rob_unsafe(i), width=1, unit="rob")
-        rob_pcs.append(net.reg(sig_rob_pc(i), unit="rob"))
-    net.reg(sig_disp_tag(), width=32, unit="rob")
-    net.reg(sig_disp_pc(), unit="rob")
-    net.reg(sig_disp_word(), width=32, unit="rob")
-    net.reg(sig_res_tag(), width=32, unit="rob")
-    net.reg(sig_res_mispredict(), width=1, unit="rob")
+        net.reg(sig_rob_valid(i), width=1, unit="rob",
+                squash_cleaned=True)
+        net.reg(sig_rob_unsafe(i), width=1, unit="rob",
+                squash_cleaned=True)
+        rob_pcs.append(net.reg(sig_rob_pc(i), unit="rob",
+                               squash_cleaned=True))
+    net.reg(sig_disp_tag(), width=32, unit="rob", squash_cleaned=True)
+    net.reg(sig_disp_pc(), unit="rob", squash_cleaned=True)
+    net.reg(sig_disp_word(), width=32, unit="rob", squash_cleaned=True)
+    net.reg(sig_res_tag(), width=32, unit="rob", squash_cleaned=True)
+    net.reg(sig_res_mispredict(), width=1, unit="rob",
+            squash_cleaned=True)
     wb = net.wire(sig_wb_data(), unit="rob")
 
     stq_addrs, stq_datas = [], []
     for i in range(stq_size(config)):
-        net.reg(sig_stq_valid(i), width=1, unit="lsu")
-        stq_addrs.append(net.reg(sig_stq_addr(i), unit="lsu"))
-        stq_datas.append(net.reg(sig_stq_data(i), unit="lsu"))
+        net.reg(sig_stq_valid(i), width=1, unit="lsu",
+                squash_cleaned=True)
+        stq_addrs.append(net.reg(sig_stq_addr(i), unit="lsu",
+                                 squash_cleaned=True))
+        stq_datas.append(net.reg(sig_stq_data(i), unit="lsu",
+                                 squash_cleaned=True))
     req = net.wire(sig_req_addr(), unit="lsu")
     resp = net.wire(sig_resp_data(), unit="lsu")
 
@@ -314,5 +327,29 @@ def build_boom_netlist(config: BoomConfig) -> Netlist:
         zen = csr_sigs["zenbleed_en"]
         for i in range(1, 32):
             net.connect(zen, maps[i])
+
+    # ---- lint waivers ----
+    # These registers are observability taps and bookkeeping the trace
+    # writer snapshots directly; they feed no downstream signal by
+    # design.  Waived rather than wired: adding edges would renumber
+    # every PDLC and break stored-campaign byte-identity.
+    net.waive("dead-signal", "disp_tag",
+              "dispatch strobe observed via trace, not dataflow")
+    net.waive("dead-signal", "disp_pc",
+              "dispatch strobe observed via trace, not dataflow")
+    net.waive("dead-signal", "disp_word",
+              "dispatch strobe observed via trace, not dataflow")
+    net.waive("dead-signal", "e*_valid",
+              "ROB bookkeeping snapshot; windows derive from resolve bus")
+    net.waive("dead-signal", "e*_unsafe",
+              "ROB bookkeeping snapshot; windows derive from resolve bus")
+    net.waive("dead-signal", "stq*_valid",
+              "store-queue occupancy flag; forwarding keys on addr/data")
+    net.waive("dead-signal", "map_0",
+              "x0 is hardwired zero; its mapping can influence nothing")
+    net.waive("dead-signal", "head",
+              "retire pointer; commit effects flow via wb_data")
+    net.waive("dead-signal", "count",
+              "occupancy counter; stall behaviour is control, not data")
 
     return net

@@ -16,6 +16,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.analysis.taint import StaticClassification, classify_pdlc
 from repro.ifg.builder import build_ifg_from_design, build_ifg_from_netlist
 from repro.ifg.graph import Ifg
 from repro.ifg.labeling import label_architectural
@@ -35,6 +36,9 @@ class OfflineArtifacts:
     build_seconds: float
     extract_seconds: float
     algorithm: str
+    #: Static PDLC labels (repro.analysis.taint); None only for
+    #: artifacts constructed by callers that skip classification.
+    classification: StaticClassification | None = None
 
     def summary(self, include_timings: bool = True) -> str:
         """The paper's §4.1 numbers for this PUT.
@@ -83,6 +87,8 @@ def run_offline(
         raise ValueError(f"unknown PDLC algorithm {algorithm!r}")
     extract_seconds = time.perf_counter() - started
 
+    classification = classify_pdlc(model, ifg, pdlc)
+
     return OfflineArtifacts(
         ifg=ifg,
         pdlc=pdlc,
@@ -91,4 +97,5 @@ def run_offline(
         build_seconds=build_seconds,
         extract_seconds=extract_seconds,
         algorithm=algorithm,
+        classification=classification,
     )

@@ -104,6 +104,7 @@ class OnlinePhase:
         contract: str = "ct-seq",
         inputs_per_class: int = DEFAULT_INPUTS_PER_CLASS,
         max_spec_window: int = DEFAULT_SPEC_WINDOW,
+        static_prune: bool = False,
     ):
         if coverage not in ("lp", "code"):
             raise ValueError(f"unknown coverage metric {coverage!r}")
@@ -116,9 +117,17 @@ class OnlinePhase:
         self.offline = offline
         self.coverage_kind = coverage
         self.detector_mode = detector
+        self.static_prune = static_prune
         signal_names = core.signal_names()
         signal_map = core.signal_map()
-        self.lp = LpCoverage(offline.pdlc, signal_names)
+        # With static_prune, provably-dead channels (see
+        # repro.analysis.taint) are dropped from the coverage groups.
+        # Detection below stays unpruned: pruning only shapes feedback,
+        # never what counts as a leak.
+        include = None
+        if static_prune and offline.classification is not None:
+            include = offline.classification.live_indices()
+        self.lp = LpCoverage(offline.pdlc, signal_names, include=include)
         self.code = CodeCoverage()
         self.leakage = LeakageDetector(signal_map.windows)
         self.vulnerability = VulnerabilityDetector(

@@ -42,6 +42,11 @@ class CampaignReport:
     #: detector found nothing" from "the IFT detector never ran" —
     #: findings alone cannot tell the two apart).
     detectors: tuple[str, ...] = ("ift",)
+    #: True when LP coverage dropped provably-dead channels (the
+    #: ``static_prune`` knob).  Gates the static-triage section: with
+    #: the knob off, rendered reports stay byte-identical to pre-knob
+    #: references.
+    static_prune: bool = False
 
     def detected_kinds(self) -> set[str]:
         return {report.kind for report in self.reports}
@@ -74,14 +79,66 @@ class CampaignReport:
             "contract_only": sorted(contract - ift),
         }
 
+    def static_triage(self) -> dict | None:
+        """Cross-validate static PDLC labels against dynamic findings.
+
+        Returns, per static class, the channel count and how many
+        distinct ``(source, dest)`` pairs from IFT leak root causes
+        landed in that class; plus the dynamically-confirmed pairs the
+        classifier had written off (``missed`` — dead-labelled or
+        outside the PDLC universe) and the count of transient-cache
+        root causes, which name no PDLC pair by construction.
+        ``None`` when the offline artifacts carry no classification.
+        """
+        classification = self.offline.classification
+        if classification is None:
+            return None
+        label_of = {
+            (item.source, item.dest): classification.labels[item.index]
+            for item in self.offline.pdlc
+        }
+        dynamic_pairs: set[tuple[str, str]] = set()
+        transient = 0
+        for report in self.reports:
+            if is_contract_kind(report.kind):
+                continue
+            for cause in report.root_causes:
+                if cause.dest == "(transient cache state)":
+                    transient += 1
+                    continue
+                dynamic_pairs.add((cause.source, cause.dest))
+        confirmed: dict[str, int] = {}
+        missed: list[tuple[str, str]] = []
+        for pair in sorted(dynamic_pairs):
+            label = label_of.get(pair)
+            if label is None or label == "provably-dead":
+                missed.append(pair)
+            if label is not None:
+                confirmed[label] = confirmed.get(label, 0) + 1
+        return {
+            "counts": classification.counts(),
+            "confirmed": confirmed,
+            "missed": missed,
+            "transient_causes": transient,
+        }
+
     def to_dict(self) -> dict:
         """Machine-readable summary (JSON-serialisable) for CI pipelines."""
         cross = (
             {"cross_validation": self.cross_validation()}
             if self.ran_both_detectors() else {}
         )
+        triage = {}
+        if self.static_prune:
+            summary = self.static_triage()
+            if summary is not None:
+                triage = {"static_triage": {
+                    **summary,
+                    "missed": [list(pair) for pair in summary["missed"]],
+                }}
         return {
             **cross,
+            **triage,
             "detectors": list(self.detectors),
             "offline": {
                 "signals": self.offline.ifg.vertex_count,
@@ -198,6 +255,35 @@ class CampaignReport:
                  ["contract only", _fmt(agreement["contract_only"])]],
                 title="Detector cross-validation (flagged iterations)",
             ))
+        if self.static_prune:
+            triage = self.static_triage()
+            if triage is not None:
+                lines.append("")
+                rows = [
+                    [label, str(count),
+                     str(triage["confirmed"].get(label, 0))]
+                    for label, count in triage["counts"].items()
+                ]
+                lines.append(ascii_table(
+                    ["class", "channels", "dynamically confirmed"], rows,
+                    title="Static triage (coverage pruned to live "
+                          "channels)",
+                ))
+                if triage["missed"]:
+                    for source, dest in triage["missed"]:
+                        lines.append(
+                            f"static-missed channel: {source} -> {dest}"
+                        )
+                else:
+                    lines.append(
+                        "no dynamically-confirmed channel was statically "
+                        "dead or unknown"
+                    )
+                if triage["transient_causes"]:
+                    lines.append(
+                        f"({triage['transient_causes']} transient-cache "
+                        "root cause(s) outside the PDLC universe)"
+                    )
         if len(self.mst):
             from repro.detection.nesting import max_depth
 

@@ -68,6 +68,7 @@ class SpecureCampaign:
             mst=self.online.mst,
             reports=self.online.reports,
             detectors=("ift", "contract") if mode == "both" else (mode,),
+            static_prune=self.online.static_prune,
         )
 
 
@@ -89,6 +90,7 @@ class Specure:
         inputs_per_class: int = 3,
         max_spec_window: int = 16,
         instruction_categories: tuple[str, ...] = (),
+        static_prune: bool = False,
         core=None,  # any repro.puts.base.Put backend
         offline: OfflineArtifacts | None = None,
     ):
@@ -127,6 +129,7 @@ class Specure:
         self.instruction_categories = validate_categories(
             instruction_categories
         )
+        self.static_prune = static_prune
         self.core = core if core is not None else build_put(self.config)
         self._offline: OfflineArtifacts | None = offline
 
@@ -155,6 +158,7 @@ class Specure:
             contract=self.contract,
             inputs_per_class=self.inputs_per_class,
             max_spec_window=self.max_spec_window,
+            static_prune=self.static_prune,
         )
 
     def build_campaign(self) -> SpecureCampaign:
@@ -236,6 +240,7 @@ class Specure:
             inputs_per_class=self.inputs_per_class,
             max_spec_window=self.max_spec_window,
             instruction_categories=self.instruction_categories,
+            static_prune=self.static_prune,
             stop_kind=stop_kind,
         )
 

@@ -28,7 +28,7 @@ class LpCoverage:
     """Item generator for Leakage Path coverage over a fixed PDLC list."""
 
     def __init__(self, pdlc: list[PdlcItem], signal_names: list[str],
-                 mode: str = "path"):
+                 mode: str = "path", include: set[int] | None = None):
         """``mode`` selects the coverage definition.
 
         * ``"path"`` (default, the metric used throughout): a PDLC is
@@ -37,11 +37,19 @@ class LpCoverage:
         * ``"source"`` (ablation, benchmark A1): source toggle alone
           suffices — coarser feedback whose granularity collapses to
           the number of microarchitectural registers.
+
+        ``include`` restricts the tracked channels to the given PDLC
+        indices (the ``static_prune`` knob passes the statically-live
+        set).  Excluded channels never enter a group, so they cost
+        nothing per run and can never be reported covered; ``total``
+        still counts the full PDLC list so pruned-vs-unpruned coverage
+        percentages stay comparable.
         """
         if mode not in ("path", "source"):
             raise ValueError(f"unknown LP mode {mode!r}")
         self.pdlc = pdlc
         self.mode = mode
+        self.include = include
         index_of = {name: i for i, name in enumerate(signal_names)}
         # Many PDLCs share the same (source + intermediates) prefix and
         # differ only in the architectural destination — group them so
@@ -49,6 +57,8 @@ class LpCoverage:
         # O(#PDLC) scan into an O(#prefixes) scan (~30x fewer).
         groups: dict[tuple[int, ...], list[int]] = {}
         for pdlc_index, item in enumerate(pdlc):
+            if include is not None and pdlc_index not in include:
+                continue
             path = item.path[:1] if mode == "source" else item.path[:-1]
             prefix = tuple(index_of[name] for name in path)
             groups.setdefault(prefix, []).append(pdlc_index)

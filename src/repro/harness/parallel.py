@@ -245,6 +245,7 @@ class ShardSpec:
     inputs_per_class: int = 3
     max_spec_window: int = 16
     instruction_categories: tuple[str, ...] = ()
+    static_prune: bool = False
     stop_kind: str | None = None
 
 
@@ -266,6 +267,7 @@ def _run_shard(spec: ShardSpec) -> CampaignReport:
         inputs_per_class=spec.inputs_per_class,
         max_spec_window=spec.max_spec_window,
         instruction_categories=spec.instruction_categories,
+        static_prune=spec.static_prune,
     )
     deadline = (
         None if spec.seconds is None else time.monotonic() + spec.seconds
@@ -431,6 +433,7 @@ def merge_reports(reports: list[CampaignReport]) -> CampaignReport:
         mst=mst,
         reports=leak_reports,
         detectors=reports[0].detectors,
+        static_prune=reports[0].static_prune,
     )
 
 
@@ -455,6 +458,7 @@ def run_sharded_campaign(
     inputs_per_class: int = 3,
     max_spec_window: int = 16,
     instruction_categories: tuple[str, ...] = (),
+    static_prune: bool = False,
     stop_kind: str | None = None,
 ) -> CampaignReport:
     """Run ``shards`` independent campaigns and merge their reports.
@@ -482,6 +486,7 @@ def run_sharded_campaign(
             inputs_per_class=inputs_per_class,
             max_spec_window=max_spec_window,
             instruction_categories=tuple(instruction_categories),
+            static_prune=static_prune,
             stop_kind=stop_kind,
         )
         for shard in range(shards)

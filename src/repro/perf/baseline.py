@@ -116,6 +116,29 @@ PR7_COMPOSED_BASELINE: dict = {
                    "reference container",
 }
 
+#: The static-analysis introduction figure (``BENCH_pr8.json``).  The
+#: ``quickstart-pruned`` scenario is quickstart with ``static_prune``:
+#: LP coverage groups drop every statically-dead PDLC before the
+#: campaign starts (detection itself stays unpruned).  On the BOOM
+#: netlist the taint classifier proves *zero* channels dead, so the
+#: pruned campaign executes the exact same workload as quickstart —
+#: which is precisely what the gate pins: the events-examined/iteration
+#: figure must match quickstart's, or pruning has started changing
+#: dynamics it must not touch.
+PR8_PRUNED_BASELINE: dict = {
+    "entries": {
+        "quickstart-pruned@60it": {
+            "scenario": "quickstart-pruned",
+            "protocol": {"mode": "iterations", "value": 60},
+            "iters_per_sec": 28.27,
+            "events_examined_per_iter": 14356.0,
+            "peak_rss_kb": 33332,
+        },
+    },
+    "measured_at": "PR 8 (static analysis subsystem introduction), "
+                   "reference container",
+}
+
 #: Baseline per bench-artifact tag (``BENCH_<tag>.json``).
 BASELINES: dict[str, dict] = {
     "pr3": PRE_PR_BASELINE,
@@ -123,4 +146,5 @@ BASELINES: dict[str, dict] = {
     "pr5": PR5_BASELINE,
     "pr6": PR6_RTL_BASELINE,
     "pr7": PR7_COMPOSED_BASELINE,
+    "pr8": PR8_PRUNED_BASELINE,
 }

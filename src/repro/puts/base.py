@@ -165,6 +165,16 @@ class Put(ABC):
         """What :func:`repro.core.offline.run_offline` analyses (the
         netlist or elaborated design)."""
 
+    def static_source(self) -> str | None:
+        """Raw Verilog source of :meth:`offline_model`, when one exists.
+
+        ``repro analyze`` reads waiver and flush pragmas from it
+        (:mod:`repro.analysis.diagnostics`).  Netlist-backed designs
+        have no source text and return ``None`` — their waivers live on
+        the netlist itself.
+        """
+        return None
+
     # -- fuzzing hooks ------------------------------------------------------
 
     @abstractmethod

@@ -183,6 +183,11 @@ class RtlPut(Put):
     def offline_model(self):
         return self._design
 
+    def static_source(self) -> str | None:
+        from repro.rtl.designs import SPEC_CPU
+
+        return SPEC_CPU
+
     # -- fuzzing hooks ------------------------------------------------------
 
     def special_seeds(self) -> list[TestProgram]:

@@ -92,6 +92,9 @@ module cpu(input clk, input [7:0] instr, output [7:0] acc_out);
   wire [7:0] operand;
   wire [7:0] alu_out;
   wire we;
+  // Register-file observability taps: the harness snapshots them from
+  // the trace; nothing inside the design reads them back.
+  // repro-lint: waive dead-signal r?_q register-file observability taps for the trace writer
   wire [7:0] r0_q;
   wire [7:0] r1_q;
   wire [7:0] r2_q;
@@ -140,6 +143,10 @@ module dcache(input clk, input probe, input [31:0] addr);
   // Direct-mapped, 4 sets x 1 way, 16-byte lines: set = addr[5:4],
   // tag = addr[31:6].  Tags are declared before valids so the trace
   // replays a first fill's tag ahead of its valid edge.
+  // The tag/valid arrays are the design's deliberate Spectre residue:
+  // the leakage detector observes them via the trace, never via an
+  // RTL read port.
+  // repro-lint: waive dead-signal s?w0_* transient cache state observed via trace, not readback
   reg [25:0] s0w0_tag;
   reg s0w0_valid;
   reg [25:0] s1w0_tag;
@@ -175,7 +182,10 @@ endmodule
 module spec_cpu(input clk, input [31:0] instr, input [31:0] dmem_rdata);
   // Speculation-window strobes (ROB-protocol order: pc/word before
   // tag, mispredict before tag — the window extractor replays events
-  // positionally in declaration order).
+  // positionally in declaration order).  They exist for the trace
+  // writer; only w_disp_tag is read back (it numbers d_btag).
+  // repro-lint: waive dead-signal w_disp_* speculation-window strobes consumed by the trace writer
+  // repro-lint: waive dead-signal w_res_* speculation-window strobes consumed by the trace writer
   reg [31:0] w_disp_pc;
   reg [31:0] w_disp_word;
   reg [31:0] w_disp_tag;
@@ -247,6 +257,7 @@ module spec_cpu(input clk, input [31:0] instr, input [31:0] dmem_rdata);
 
   // Registered commit record: describes the instruction that committed
   // at the *last* clock edge, so the harness reads a stable snapshot.
+  // repro-lint: waive dead-signal c_* commit record read by the harness via the trace
   reg c_valid;
   reg [31:0] c_pc;
   reg [31:0] c_word;

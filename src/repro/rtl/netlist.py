@@ -20,13 +20,18 @@ class NetSignal:
 
     ``is_state`` marks clocked registers (snapshot members); ``unit``
     names the owning hardware unit (for reports); ``width`` is
-    informational at this level.
+    informational at this level.  ``squash_cleaned`` declares that a
+    pipeline flush provably restores the register (the netlist has no
+    expressions for the taint classifier to prove it from) — sources
+    with the flag classify flush-gated instead of
+    speculative-reachable (:mod:`repro.analysis.taint`).
     """
 
     name: str
     width: int
     is_state: bool
     unit: str | None = None
+    squash_cleaned: bool = False
 
 
 class Netlist:
@@ -37,22 +42,36 @@ class Netlist:
         self.signals: dict[str, NetSignal] = {}
         self.edges: list[tuple[str, str]] = []
         self._edge_set: set[tuple[str, str]] = set()
+        #: Lint waivers (repro.analysis.diagnostics.Waiver), the
+        #: netlist-side equivalent of ``// repro-lint: waive`` pragmas.
+        self.waivers: list = []
 
     # -- declaration ---------------------------------------------------
 
-    def reg(self, name: str, width: int = 64, unit: str | None = None) -> str:
+    def reg(self, name: str, width: int = 64, unit: str | None = None,
+            squash_cleaned: bool = False) -> str:
         """Declare a clocked register signal; returns its name."""
-        return self._declare(name, width, is_state=True, unit=unit)
+        return self._declare(name, width, is_state=True, unit=unit,
+                             squash_cleaned=squash_cleaned)
 
     def wire(self, name: str, width: int = 64, unit: str | None = None) -> str:
         """Declare a combinational signal; returns its name."""
         return self._declare(name, width, is_state=False, unit=unit)
 
-    def _declare(self, name: str, width: int, is_state: bool, unit: str | None) -> str:
+    def _declare(self, name: str, width: int, is_state: bool,
+                 unit: str | None, squash_cleaned: bool = False) -> str:
         if name in self.signals:
             raise ValueError(f"duplicate netlist signal {name!r}")
-        self.signals[name] = NetSignal(name, width, is_state, unit)
+        self.signals[name] = NetSignal(name, width, is_state, unit,
+                                       squash_cleaned)
         return name
+
+    def waive(self, check: str, pattern: str, reason: str = "") -> None:
+        """Declare a lint waiver: silence ``check`` on leaf-name
+        ``pattern`` (fnmatch glob), documenting ``reason``."""
+        from repro.analysis.diagnostics import Waiver
+
+        self.waivers.append(Waiver(check, pattern, reason))
 
     # -- connectivity ----------------------------------------------------
 

@@ -23,6 +23,17 @@ _BUILTIN_SCENARIOS: tuple[ScenarioSpec, ...] = (
         iterations=60,
     ),
     ScenarioSpec(
+        name="quickstart-pruned",
+        description="quickstart with static_prune: LP coverage groups "
+                    "drop the statically-dead channels; detection is "
+                    "untouched (repro.analysis)",
+        vulns=("mwait", "zenbleed"),
+        monitor_dcache=True,
+        seed=7,
+        iterations=60,
+        static_prune=True,
+    ),
+    ScenarioSpec(
         name="spectre-v1",
         description="Spectre hunt with the special speculative seeds; the "
                     "data cache joins the monitored observables (§4.2)",

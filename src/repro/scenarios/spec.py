@@ -115,6 +115,8 @@ class ScenarioSpec:
     monitor_dcache: bool = False
     # Coverage feedback.
     coverage: str = "lp"
+    # Drop provably-dead PDLCs (repro.analysis.taint) from LP coverage.
+    static_prune: bool = False
     # Seed policy.
     seed: int = 1
     use_special_seeds: bool = True
@@ -189,6 +191,7 @@ class ScenarioSpec:
         if len(set(self.vulns)) != len(self.vulns):
             self._fail(f"vulns lists a hook twice: {list(self.vulns)}")
         self._expect_type("monitor_dcache", bool)
+        self._expect_type("static_prune", bool)
         if self.coverage not in COVERAGES:
             self._fail(
                 f"coverage must be one of {', '.join(COVERAGES)}; "
@@ -453,6 +456,10 @@ class ScenarioSpec:
                 del data[key]
         if data["stop_kind"] is None:
             del data["stop_kind"]
+        # static_prune defaults off; omit it so pre-knob scenario files
+        # round-trip byte-identically.
+        if not data["static_prune"]:
+            del data["static_prune"]
         return data
 
     def to_toml(self) -> str:
@@ -539,6 +546,7 @@ class ScenarioSpec:
             inputs_per_class=self.inputs_per_class,
             max_spec_window=self.max_spec_window,
             instruction_categories=self.instruction_categories,
+            static_prune=self.static_prune,
         )
 
     def stop_predicate(self):

@@ -269,6 +269,7 @@ def shard_report_to_dict(shard: int, seed: int,
         "shard": shard,
         "seed": seed,
         "detectors": list(report.detectors),
+        "static_prune": report.static_prune,
         "fuzz": campaign_result_to_dict(report.fuzz),
         "stats": _stats_to_dict(report.stats),
         "mst": [_window_to_dict(w) for w in report.mst.rows],
@@ -286,8 +287,10 @@ def shard_report_from_dict(data: dict, offline) -> CampaignReport:
         ),
         reports=[report_from_dict(r) for r in data["reports"]],
         # Stores written before the contract pathway carry no detector
-        # list; they were IFT-only by construction.
+        # list; they were IFT-only by construction.  Likewise stores
+        # written before the static_prune knob never pruned.
         detectors=tuple(data.get("detectors", ("ift",))),
+        static_prune=data.get("static_prune", False),
     )
 
 

@@ -10,7 +10,13 @@ Subcommands:
     ``--detector both`` cross-validates the IFT detector against the
     contract detector on any scenario.
 ``list-scenarios``
-    Print the scenario registry.
+    Print the scenario registry (``--format json`` for the
+    machine-readable metadata, specs included).
+``stats <dir>``
+    Query a run directory's telemetry (recorded with ``--telemetry``):
+    phase-time breakdown, top-N slowest spans, per-shard heartbeat lag,
+    merged metric dump — ``--format json`` for tooling, ``--validate``
+    to check the event logs against ``docs/telemetry.schema.json``.
 ``analyze <target>``
     Static analysis (no fuzzing): RTL lint plus IFG taint reachability
     over a registered design (``listing-1``/``pipeline-cpu``/
@@ -125,6 +131,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             run_dir=out,
             jobs=args.jobs,
             minimize=not args.no_minimize,
+            telemetry=args.telemetry,
             on_shard=lambda shard, report: print(
                 f"shard {shard}: {report.fuzz.iterations} iterations, "
                 f"coverage {report.fuzz.final_coverage()}, "
@@ -140,15 +147,64 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(outcome.offline.summary())
     else:
         print()
-        print(outcome.report.render())
+        print(outcome.report.render(telemetry=outcome.telemetry))
+    if outcome.telemetry is not None:
+        print()
+        print(f"(telemetry recorded — inspect with: "
+              f"python -m repro stats {out})")
     print()
     print(f"(scenario {spec.name!r}, {elapsed:.2f}s wall clock, "
           f"artifacts in {out})")
     return 0
 
 
-def cmd_list_scenarios(_args: argparse.Namespace) -> int:
+def cmd_list_scenarios(args: argparse.Namespace) -> int:
+    if getattr(args, "format", "text") == "json":
+        import json
+
+        from repro.scenarios.registry import scenarios_to_dicts
+
+        print(json.dumps(scenarios_to_dicts(), indent=2, sort_keys=True))
+        return 0
     print(render_scenarios())
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import (
+        TelemetryError,
+        load_run_telemetry,
+        render_stats,
+        stats_to_dict,
+        validate_run,
+    )
+
+    if args.validate:
+        try:
+            errors = validate_run(args.directory, args.schema)
+        except TelemetryError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if errors:
+            for line in errors:
+                print(f"SCHEMA: {line}", file=sys.stderr)
+            return 1
+        print(f"telemetry logs in {args.directory} conform to "
+              f"{args.schema}")
+        return 0
+
+    try:
+        run = load_run_telemetry(args.directory)
+    except TelemetryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(stats_to_dict(run, top=args.top), indent=2,
+                         sort_keys=True))
+    else:
+        print(render_stats(run, top=args.top))
     return 0
 
 
@@ -248,6 +304,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   f"with this run's numbers (git checkout restores the "
                   f"committed baseline)")
 
+    if args.telemetry_overhead:
+        return _bench_telemetry_overhead(args, committed)
+
     try:
         results = []
         for request in (args.scenario or ["quickstart"]):
@@ -303,10 +362,56 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_telemetry_overhead(args: argparse.Namespace, committed) -> int:
+    """``bench --telemetry-overhead``: pinned protocol, off vs on."""
+    from repro.perf import (
+        BenchError,
+        baseline_for,
+        check_regression,
+        check_telemetry_overhead,
+        emit_bench,
+        parse_scenario_request,
+        render_telemetry_overhead,
+        run_telemetry_overhead,
+    )
+
+    request = (args.scenario or ["quickstart"])[0]
+    try:
+        name, pinned = parse_scenario_request(request)
+        result = run_telemetry_overhead(
+            scenario=name,
+            iterations=pinned if pinned is not None else args.iterations,
+            repeats=args.repeats,
+        )
+    except BenchError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(render_telemetry_overhead(result))
+    baseline = baseline_for(args.out)
+    emit_bench([result.off, result.on], path=args.out, baseline=baseline,
+               extra={"telemetry_overhead": round(result.overhead, 4)})
+    print(f"(bench artifact written to {args.out})")
+
+    failures = check_telemetry_overhead(
+        result, max_overhead=args.max_telemetry_overhead)
+    if committed is not None:
+        failures.extend(check_regression([result.off, result.on], committed,
+                                         max_regression=args.max_regression))
+    if failures:
+        for line in failures:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        return 1
+    print(f"telemetry-overhead gate passed "
+          f"({result.overhead:+.1%} <= {args.max_telemetry_overhead:.0%})")
+    return 0
+
+
 def cmd_resume(args: argparse.Namespace) -> int:
     try:
         outcome = resume_scenario(args.directory, jobs=args.jobs,
-                                  minimize=not args.no_minimize)
+                                  minimize=not args.no_minimize,
+                                  telemetry=args.telemetry)
     except KeyboardInterrupt:
         print(f"\ninterrupted again — resume with: "
               f"python -m repro resume {args.directory}")
@@ -316,7 +421,7 @@ def cmd_resume(args: argparse.Namespace) -> int:
           f"the store, {len(outcome.executed_shards)} executed")
     print()
     if outcome.report is not None:
-        print(outcome.report.render())
+        print(outcome.report.render(telemetry=outcome.telemetry))
     return 0
 
 
@@ -371,12 +476,39 @@ def main(argv: list[str] | None = None) -> int:
                           "--execution-clause fault)")
     run.add_argument("--no-minimize", action="store_true",
                      help="skip trimming finding programs before storing")
+    run.add_argument("--telemetry", action="store_true",
+                     help="record spans/metrics/heartbeats into "
+                          "<run-dir>/telemetry (inspect with "
+                          "'python -m repro stats')")
     run.set_defaults(handler=cmd_run)
 
     listing = commands.add_parser(
         "list-scenarios", help="print the scenario registry"
     )
+    listing.add_argument("--format", choices=("text", "json"),
+                         default="text",
+                         help="text table or machine-readable JSON "
+                              "(specs included; default: text)")
     listing.set_defaults(handler=cmd_list_scenarios)
+
+    stats = commands.add_parser(
+        "stats", help="query a run directory's recorded telemetry"
+    )
+    stats.add_argument("directory", help="a run directory recorded with "
+                                         "--telemetry")
+    stats.add_argument("--format", choices=("text", "json"),
+                       default="text",
+                       help="report format (default: text)")
+    stats.add_argument("--top", type=int, default=10, metavar="N",
+                       help="slowest spans to list (default 10)")
+    stats.add_argument("--validate", action="store_true",
+                       help="validate the telemetry event logs against "
+                            "the checked-in schema instead of reporting")
+    stats.add_argument("--schema", default="docs/telemetry.schema.json",
+                       metavar="FILE",
+                       help="schema for --validate "
+                            "(default: docs/telemetry.schema.json)")
+    stats.set_defaults(handler=cmd_stats)
 
     analyze = commands.add_parser(
         "analyze", help="static analysis: RTL lint + taint reachability"
@@ -441,6 +573,17 @@ def main(argv: list[str] | None = None) -> int:
                        metavar="R",
                        help="iters/sec may drop at most this fraction "
                             "below the committed number (default 0.25)")
+    bench.add_argument("--telemetry-overhead", action="store_true",
+                       help="measure the pinned protocol with telemetry "
+                            "off vs on and fail if the overhead exceeds "
+                            "--max-telemetry-overhead")
+    bench.add_argument("--max-telemetry-overhead", type=float, default=0.03,
+                       metavar="R",
+                       help="allowed telemetry slowdown in "
+                            "--telemetry-overhead mode (default 0.03)")
+    bench.add_argument("--repeats", type=int, default=3, metavar="N",
+                       help="best-of repeats per mode in "
+                            "--telemetry-overhead mode (default 3)")
     bench.set_defaults(handler=cmd_bench)
 
     resume = commands.add_parser(
@@ -449,6 +592,9 @@ def main(argv: list[str] | None = None) -> int:
     resume.add_argument("directory", help="the campaign's run directory")
     resume.add_argument("--jobs", type=int, default=None, metavar="N")
     resume.add_argument("--no-minimize", action="store_true")
+    resume.add_argument("--telemetry", action="store_true",
+                        help="record spans/metrics/heartbeats for the "
+                             "resumed shards")
     resume.set_defaults(handler=cmd_resume)
 
     replay = commands.add_parser(

@@ -18,7 +18,6 @@ wall the paper describes.
 from __future__ import annotations
 
 import itertools
-import time
 from dataclasses import dataclass, field
 
 from repro.boom.core import BoomCore
@@ -28,6 +27,7 @@ from repro.detection.vulnerability import VulnerabilityDetector
 from repro.fuzz.input import TestProgram
 from repro.fuzz.seeds import _context
 from repro.isa.assembler import assemble
+from repro.telemetry import timed as telemetry_timed
 
 #: The instruction-template alphabet.  Order matters: CSR templates come
 #: last so their (deep) combinations sit late in the BFS frontier.
@@ -125,25 +125,25 @@ class ExhaustiveChecker:
 
     def run(self, budget: int, max_depth: int = 4) -> ExhaustiveResult:
         """Enumerate candidates breadth-first up to ``budget`` checks."""
-        started = time.perf_counter()
         outcome = ExhaustiveResult(candidates_checked=0, max_depth_completed=0)
-        for depth in range(1, max_depth + 1):
-            outcome.frontier_sizes[depth] = len(self.alphabet) ** depth
-            completed_depth = True
-            for sequence in itertools.product(self.alphabet, repeat=depth):
-                if outcome.candidates_checked >= budget:
-                    completed_depth = False
+        with telemetry_timed("baseline/exhaustive") as timer:
+            for depth in range(1, max_depth + 1):
+                outcome.frontier_sizes[depth] = len(self.alphabet) ** depth
+                completed_depth = True
+                for sequence in itertools.product(self.alphabet, repeat=depth):
+                    if outcome.candidates_checked >= budget:
+                        completed_depth = False
+                        break
+                    kinds = self.check(sequence)
+                    outcome.candidates_checked += 1
+                    for kind in kinds:
+                        outcome.detected_kinds.add(kind)
+                        outcome.first_detection.setdefault(
+                            kind, outcome.candidates_checked
+                        )
+                if completed_depth:
+                    outcome.max_depth_completed = depth
+                else:
                     break
-                kinds = self.check(sequence)
-                outcome.candidates_checked += 1
-                for kind in kinds:
-                    outcome.detected_kinds.add(kind)
-                    outcome.first_detection.setdefault(
-                        kind, outcome.candidates_checked
-                    )
-            if completed_depth:
-                outcome.max_depth_completed = depth
-            else:
-                break
-        outcome.wall_seconds = time.perf_counter() - started
+        outcome.wall_seconds = timer.seconds
         return outcome

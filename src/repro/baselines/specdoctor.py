@@ -30,6 +30,7 @@ from repro.fuzz.input import TestProgram
 from repro.fuzz.mutations import MutationEngine
 from repro.fuzz.seeds import random_seed
 from repro.isa.instructions import ExecClass, decode
+from repro.telemetry import timed as telemetry_timed
 from repro.utils.rng import DeterministicRng
 
 #: Default secret region: inside the data segment, where the special
@@ -91,16 +92,16 @@ class SpecDoctor:
 
     def evaluate(self, iteration: int, program: TestProgram) -> int:
         """Differential evaluation; returns new-coverage item count."""
-        import time
-
-        started = time.perf_counter()
-        run_a = self.core.run(
-            program.with_secret(self.secret_base, self._secret(2 * iteration))
-        )
-        run_b = self.core.run(
-            program.with_secret(self.secret_base, self._secret(2 * iteration + 1))
-        )
-        self.stats.simulate_seconds += time.perf_counter() - started
+        with telemetry_timed("baseline/specdoctor/simulate") as timer:
+            run_a = self.core.run(
+                program.with_secret(self.secret_base, self._secret(2 * iteration))
+            )
+            run_b = self.core.run(
+                program.with_secret(
+                    self.secret_base, self._secret(2 * iteration + 1)
+                )
+            )
+        self.stats.simulate_seconds += timer.seconds
         self.stats.programs += 1
 
         if not _arch_traces_equal(run_a, run_b):

@@ -17,7 +17,6 @@ This baseline serves two of the paper's measurements:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.boom.core import BoomCore
@@ -28,6 +27,7 @@ from repro.fuzz.mutations import MutationEngine
 from repro.fuzz.seeds import random_seed
 from repro.golden.iss import Iss, IssConfig
 from repro.golden.memory import SparseMemory
+from repro.telemetry import timed as telemetry_timed
 from repro.utils.rng import DeterministicRng
 
 
@@ -68,42 +68,43 @@ class TheHuzz:
 
     def evaluate(self, iteration: int, program: TestProgram) -> int:
         """One fuzzing round: simulate, golden-compare, coverage."""
-        started = time.perf_counter()
-        result = self.core.run(program)
-        simulated = time.perf_counter()
+        with telemetry_timed("baseline/thehuzz/simulate") as simulate_timer:
+            result = self.core.run(program)
 
-        golden = self._golden_trace(program, len(result.commits))
-        for index, (commit, reference) in enumerate(zip(result.commits, golden)):
-            if (commit.pc, commit.word, commit.rd, commit.rd_value,
-                    commit.store_addr, commit.store_value) != (
-                    reference.pc, reference.word, reference.rd,
-                    reference.rd_value, reference.store_address,
-                    reference.store_value):
-                self.findings.append(GoldenMismatch(
-                    iteration=iteration,
-                    commit_index=index,
-                    pc=commit.pc,
-                    detail=(
-                        f"core rd={commit.rd} value={commit.rd_value} vs "
-                        f"golden rd={reference.rd} value={reference.rd_value}"
-                    ),
-                ))
-                break
-        golden_done = time.perf_counter()
+        with telemetry_timed("baseline/thehuzz/golden") as golden_timer:
+            golden = self._golden_trace(program, len(result.commits))
+            for index, (commit, reference) in enumerate(
+                    zip(result.commits, golden)):
+                if (commit.pc, commit.word, commit.rd, commit.rd_value,
+                        commit.store_addr, commit.store_value) != (
+                        reference.pc, reference.word, reference.rd,
+                        reference.rd_value, reference.store_address,
+                        reference.store_value):
+                    self.findings.append(GoldenMismatch(
+                        iteration=iteration,
+                        commit_index=index,
+                        pc=commit.pc,
+                        detail=(
+                            f"core rd={commit.rd} value={commit.rd_value} vs "
+                            f"golden rd={reference.rd} "
+                            f"value={reference.rd_value}"
+                        ),
+                    ))
+                    break
 
-        new_items = 0
-        for item in self.coverage.items(result):
-            if item not in self.seen:
-                self.seen.add(item)
-                new_items += 1
-        if new_items:
-            self.corpus.add(program, new_items)
-        finished = time.perf_counter()
+        with telemetry_timed("baseline/thehuzz/coverage") as coverage_timer:
+            new_items = 0
+            for item in self.coverage.items(result):
+                if item not in self.seen:
+                    self.seen.add(item)
+                    new_items += 1
+            if new_items:
+                self.corpus.add(program, new_items)
 
         self.stats.programs += 1
-        self.stats.simulate_seconds += simulated - started
-        self.stats.golden_seconds += golden_done - simulated
-        self.stats.coverage_seconds += finished - golden_done
+        self.stats.simulate_seconds += simulate_timer.seconds
+        self.stats.golden_seconds += golden_timer.seconds
+        self.stats.coverage_seconds += coverage_timer.seconds
         return new_items
 
     def _golden_trace(self, program: TestProgram, steps: int):

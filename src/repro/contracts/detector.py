@@ -41,6 +41,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.boom.core import CoreResult
 from repro.contracts.clauses import (
     DEFAULT_SPEC_WINDOW,
@@ -239,6 +240,11 @@ class ContractDetector:
         caller has one (the online phase always does) — passing it saves
         re-running the base input.
         """
+        with telemetry.span("online/contract"):
+            return self._detect(program, result)
+
+    def _detect(self, program: TestProgram,
+                result: CoreResult | None) -> list[ContractViolation]:
         if result is None:
             result = self.run_hardware(program)
             self.variant_runs += 1

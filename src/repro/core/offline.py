@@ -13,10 +13,11 @@ Performed statically, once per processor-under-test (paper §3.1):
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.analysis.taint import StaticClassification, classify_pdlc
+from repro.telemetry import span as telemetry_span
+from repro.telemetry import timed as telemetry_timed
 from repro.ifg.builder import build_ifg_from_design, build_ifg_from_netlist
 from repro.ifg.graph import Ifg
 from repro.ifg.labeling import label_architectural
@@ -70,32 +71,31 @@ def run_offline(
     ``algorithm`` selects PDLC extraction: ``"reverse"`` (the paper's
     skew-aware join) or ``"forward"`` (the naive baseline).
     """
-    started = time.perf_counter()
-    if isinstance(model, Netlist):
-        ifg = build_ifg_from_netlist(model)
-    else:
-        ifg = build_ifg_from_design(model)
-    label_architectural(ifg, arch_names=arch_names)
-    build_seconds = time.perf_counter() - started
+    with telemetry_timed("offline/ifg-build") as build_timer:
+        if isinstance(model, Netlist):
+            ifg = build_ifg_from_netlist(model)
+        else:
+            ifg = build_ifg_from_design(model)
+        label_architectural(ifg, arch_names=arch_names)
 
-    started = time.perf_counter()
-    if algorithm == "reverse":
-        pdlc = extract_pdlc_reverse(ifg)
-    elif algorithm == "forward":
-        pdlc = extract_pdlc_forward(ifg)
-    else:
-        raise ValueError(f"unknown PDLC algorithm {algorithm!r}")
-    extract_seconds = time.perf_counter() - started
+    with telemetry_timed("offline/pdlc-extract") as extract_timer:
+        if algorithm == "reverse":
+            pdlc = extract_pdlc_reverse(ifg)
+        elif algorithm == "forward":
+            pdlc = extract_pdlc_forward(ifg)
+        else:
+            raise ValueError(f"unknown PDLC algorithm {algorithm!r}")
 
-    classification = classify_pdlc(model, ifg, pdlc)
+    with telemetry_span("offline/classify"):
+        classification = classify_pdlc(model, ifg, pdlc)
 
     return OfflineArtifacts(
         ifg=ifg,
         pdlc=pdlc,
         arch_count=len(ifg.architectural_registers()),
         micro_count=len(ifg.microarchitectural_registers()),
-        build_seconds=build_seconds,
-        extract_seconds=extract_seconds,
+        build_seconds=build_timer.seconds,
+        extract_seconds=extract_timer.seconds,
         algorithm=algorithm,
         classification=classification,
     )

@@ -24,8 +24,9 @@ the campaign report surfaces.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+
+from repro import telemetry
 
 from repro.boom.core import CoreResult
 from repro.contracts.clauses import DEFAULT_SPEC_WINDOW
@@ -198,42 +199,46 @@ class OnlinePhase:
         report is a :class:`LeakReport` (IFT pathway) or a
         :class:`~repro.contracts.detector.ContractViolation`.
         """
-        started = time.perf_counter()
-        result = self.core.run(program)
-        simulated = time.perf_counter()
+        events_before = self.events_examined
+        memo_hit_delta = memo_miss_delta = variant_run_delta = 0
+        with telemetry.timed("online/simulate") as simulate_timer:
+            result = self.core.run(program)
 
-        windows = self.leakage.windows(result)
-        self.mst.add_windows(windows)
-        reports: list = []
-        if self.detector_mode in ("ift", "both"):
-            leaks = self.leakage.potential_leaks(result, windows=windows)
-            reports.extend(self.vulnerability.detect(result, leaks))
-        if self.contract is not None:
-            memo = self.contract.memo
-            runs_before = self.contract.variant_runs
-            variant_events_before = self.contract.events_examined
-            memo_hits_before = memo.hits
-            memo_misses_before = memo.misses
-            violations = self.contract.detect(program, result)
-            reports.extend(violations)
-            self.stats.contract_runs += \
-                self.contract.variant_runs - runs_before
-            self.stats.contract_violations += len(violations)
-            self.stats.memo_hits += memo.hits - memo_hits_before
-            self.stats.memo_misses += memo.misses - memo_misses_before
-            self.events_examined += \
-                self.contract.events_examined - variant_events_before
-        self.reports.extend(reports)
+        with telemetry.timed("online/detect") as detect_timer:
+            windows = self.leakage.windows(result)
+            self.mst.add_windows(windows)
+            reports: list = []
+            if self.detector_mode in ("ift", "both"):
+                leaks = self.leakage.potential_leaks(result, windows=windows)
+                reports.extend(self.vulnerability.detect(result, leaks))
+            if self.contract is not None:
+                memo = self.contract.memo
+                runs_before = self.contract.variant_runs
+                variant_events_before = self.contract.events_examined
+                memo_hits_before = memo.hits
+                memo_misses_before = memo.misses
+                violations = self.contract.detect(program, result)
+                reports.extend(violations)
+                variant_run_delta = self.contract.variant_runs - runs_before
+                self.stats.contract_runs += variant_run_delta
+                self.stats.contract_violations += len(violations)
+                memo_hit_delta = memo.hits - memo_hits_before
+                memo_miss_delta = memo.misses - memo_misses_before
+                self.stats.memo_hits += memo_hit_delta
+                self.stats.memo_misses += memo_miss_delta
+                self.events_examined += \
+                    self.contract.events_examined - variant_events_before
+            self.reports.extend(reports)
 
-        if self.coverage_kind == "lp":
-            lp_items = self.lp.items(result)
-            items = lp_items
-            self.lp_covered.update(index for _, index in lp_items)
-        else:
-            items = self.code.items(result)
-            self.lp_covered.update(self.lp.covered(result))
-        self.lp_curve.append(len(self.lp_covered))
-        analysed = time.perf_counter()
+        with telemetry.timed("online/coverage") as coverage_timer:
+            if self.coverage_kind == "lp":
+                lp_items = self.lp.items(result)
+                items = lp_items
+                self.lp_covered.update(index for _, index in lp_items)
+            else:
+                items = self.code.items(result)
+                self.lp_covered.update(self.lp.covered(result))
+            self.lp_curve.append(len(self.lp_covered))
         self.events_examined += result.trace.events_examined
 
         self.stats.programs += 1
@@ -243,10 +248,18 @@ class OnlinePhase:
         self.stats.mispredicted_windows += sum(
             1 for w in windows if w.mispredicted
         )
-        self.stats.simulate_seconds += simulated - started
-        self.stats.analysis_seconds += analysed - simulated
+        self.stats.simulate_seconds += simulate_timer.seconds
+        self.stats.analysis_seconds += \
+            detect_timer.seconds + coverage_timer.seconds
 
         findings = [(report.kind, report) for report in reports]
+        recorder = telemetry.recorder()
+        if recorder.enabled:
+            self._emit_metrics(recorder, reports, windows, events_before)
+            if self.contract is not None:
+                recorder.count("contract.variant_runs", variant_run_delta)
+                recorder.count("memo.hits", memo_hit_delta)
+                recorder.count("memo.misses", memo_miss_delta)
         metadata = {
             "cycles": result.cycles,
             "instret": result.instret,
@@ -254,6 +267,32 @@ class OnlinePhase:
             "windows": len(windows),
         }
         return items, findings, metadata
+
+    def _emit_metrics(self, recorder, reports, windows,
+                      events_before: int) -> None:
+        """Per-evaluation telemetry metrics (enabled recorders only).
+
+        Pure observation: reads counters the pipeline already computed,
+        never consumes randomness or branches the campaign.
+        """
+        recorder.count("online.evaluations")
+        recorder.count("online.events_examined",
+                       self.events_examined - events_before)
+        if windows:
+            recorder.count("online.windows", len(windows))
+            mispredicted = sum(1 for w in windows if w.mispredicted)
+            if mispredicted:
+                recorder.count("online.mispredicted_windows", mispredicted)
+        for report in reports:
+            kind = getattr(report, "kind", "unknown")
+            detector = "contract" if str(kind).startswith("contract") \
+                else "ift"
+            recorder.count(f"findings.{detector}")
+        if self.lp.total:
+            recorder.gauge(
+                "lp.coverage_pct",
+                round(100.0 * len(self.lp_covered) / self.lp.total, 3),
+            )
 
     def run_once(self, program: TestProgram) -> tuple[CoreResult, list]:
         """Single-run convenience (examples, tests, minimization, replay):

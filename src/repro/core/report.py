@@ -169,10 +169,18 @@ class CampaignReport:
         }
 
     def render(self, mst_limit: int = 10,
-               include_timings: bool = True) -> str:
+               include_timings: bool = True,
+               telemetry=None) -> str:
         """Human-readable report.  ``include_timings=False`` drops the
         wall-clock offline-phase figures so the output is byte-stable
-        across runs (what the campaign store persists)."""
+        across runs (what the campaign store persists).
+
+        ``telemetry`` takes a
+        :class:`~repro.telemetry.export.TelemetrySummary` and appends
+        its phase-time section.  The persisted report never passes it
+        (wall-clock figures are machine-local), so stored ``report.txt``
+        bytes are identical with telemetry on or off.
+        """
         lines = [
             "== Specure campaign report ==",
             self.offline.summary(include_timings=include_timings),
@@ -293,4 +301,7 @@ class CampaignReport:
                 f"(deepest misspeculation nesting observed: "
                 f"{max_depth(self.mst.rows)})"
             )
+        if telemetry is not None:
+            lines.append("")
+            lines.append(telemetry.render())
         return "\n".join(lines)

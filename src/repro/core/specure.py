@@ -56,9 +56,10 @@ class SpecureCampaign:
         self,
         iterations: int,
         stop_when: Callable[[list[FuzzFinding]], bool] | None = None,
+        observer=None,  # FuzzObserver (telemetry heartbeats, progress)
     ) -> CampaignReport:
         fuzz_result: CampaignResult = self.fuzzer.run(
-            iterations, stop_when=stop_when
+            iterations, stop_when=stop_when, observer=observer
         )
         mode = self.online.detector_mode
         return CampaignReport(

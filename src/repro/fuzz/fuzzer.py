@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.fuzz.corpus import Corpus
 from repro.fuzz.input import TestProgram
 from repro.fuzz.mutations import MutationEngine
@@ -92,6 +93,9 @@ class Fuzzer:
         self.mutation_rounds = mutation_rounds
         self.coverage: set = set()
         self.corpus = Corpus()
+        #: How the most recent input was produced ("seed", "splice",
+        #: and/or mutation-operator names) — telemetry attribution only.
+        self._provenance: tuple[str, ...] = ()
 
     def run(
         self,
@@ -117,15 +121,25 @@ class Fuzzer:
         import gc
 
         result = CampaignResult(iterations=0)
+        recorder = telemetry.recorder()
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
         try:
             for index in range(iterations):
-                program = self._next_input(index)
-                new_items = self._run_one(index, program, result)
+                with recorder.span("online/iteration"):
+                    program = self._next_input(index)
+                    new_items = self._run_one(index, program, result)
                 result.coverage_curve.append(len(self.coverage))
                 result.iterations = index + 1
+                if recorder.enabled:
+                    recorder.count("fuzz.iterations")
+                    if new_items:
+                        recorder.count("fuzz.new_coverage_items", new_items)
+                    for op in self._provenance:
+                        recorder.count(f"mutation.{op}.programs")
+                        if new_items:
+                            recorder.count(f"mutation.{op}.yield", new_items)
                 if observer is not None:
                     observer.on_iteration(index, new_items, len(self.coverage))
                 if stop_when is not None and stop_when(result.findings):
@@ -145,18 +159,25 @@ class Fuzzer:
             # Hand out a copy: the caller's program flows into findings
             # and (potentially) external hands; aliasing the live seed
             # list would let later mutation corrupt the seed schedule.
+            self._provenance = ("seed",)
             return self.seeds[index].copy()
         if len(self.corpus) == 0:
             # Nothing retained yet: keep mutating seeds.
             base = self.seeds[index % len(self.seeds)]
-            return self.mutator.mutate(base, rounds=self.mutation_rounds)
+            mutant = self.mutator.mutate(base, rounds=self.mutation_rounds)
+            self._provenance = self.mutator.last_operations
+            return mutant
         entry = self.corpus.pick(self.rng)
         if len(self.corpus) >= 2 and self.rng.coin(self.splice_probability):
             other = self.corpus.pick(self.rng)
             child = self.mutator.splice(entry.program, other.program)
-            return self.mutator.mutate(child, rounds=1)
+            mutant = self.mutator.mutate(child, rounds=1)
+            self._provenance = ("splice",) + self.mutator.last_operations
+            return mutant
         rounds = self.rng.randint(1, self.mutation_rounds)
-        return self.mutator.mutate(entry.program, rounds=rounds)
+        mutant = self.mutator.mutate(entry.program, rounds=rounds)
+        self._provenance = self.mutator.last_operations
+        return mutant
 
     def _run_one(self, index: int, program: TestProgram,
                  result: CampaignResult) -> int:

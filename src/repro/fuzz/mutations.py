@@ -137,16 +137,23 @@ class MutationEngine:
             #: Instruction-aware ops get extra weight — they are what
             #: moves a hardware fuzzer through architectural state space.
             self._weights = (2, 2, 1, 4, 4, 1, 1, 1, 3, 2, 1)
+        #: Operator names applied by the most recent :meth:`mutate` call
+        #: (telemetry's per-operator yield attribution).  Written after
+        #: the operator draw, so tracking consumes no randomness.
+        self.last_operations: tuple[str, ...] = ()
 
     def mutate(self, program: TestProgram, rounds: int = 1) -> TestProgram:
         """Return a mutated copy (``rounds`` stacked mutations)."""
         mutant = program.copy()
         mutant.label = "mutant"
+        applied: list[str] = []
         for _ in range(max(1, rounds)):
             operation = self.rng.choices(
                 self._operations, weights=self._weights
             )[0]
+            applied.append(operation.__name__.lstrip("_"))
             operation(mutant)
+        self.last_operations = tuple(applied)
         if not mutant.words:
             mutant.words = [random_instruction(self.rng, self.categories)]
         del mutant.words[self.max_program_words:]

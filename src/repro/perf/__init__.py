@@ -24,10 +24,12 @@ from repro.perf.bench import (
     BenchError,
     BenchResult,
     ScalingResult,
+    TelemetryOverheadResult,
     baseline_entries,
     baseline_for,
     check_regression,
     check_scaling,
+    check_telemetry_overhead,
     emit_bench,
     load_bench,
     parse_scenario_request,
@@ -35,8 +37,10 @@ from repro.perf.bench import (
     render_bench,
     render_bench_list,
     render_scaling,
+    render_telemetry_overhead,
     run_bench,
     run_scaling_bench,
+    run_telemetry_overhead,
     speedup_vs_baseline,
     speedups_vs_baseline,
 )
@@ -50,10 +54,12 @@ __all__ = [
     "BenchError",
     "BenchResult",
     "ScalingResult",
+    "TelemetryOverheadResult",
     "baseline_entries",
     "baseline_for",
     "check_regression",
     "check_scaling",
+    "check_telemetry_overhead",
     "emit_bench",
     "load_bench",
     "parse_scenario_request",
@@ -61,8 +67,10 @@ __all__ = [
     "render_bench",
     "render_bench_list",
     "render_scaling",
+    "render_telemetry_overhead",
     "run_bench",
     "run_scaling_bench",
+    "run_telemetry_overhead",
     "speedup_vs_baseline",
     "speedups_vs_baseline",
 ]

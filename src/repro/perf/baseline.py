@@ -139,6 +139,37 @@ PR8_PRUNED_BASELINE: dict = {
                    "reference container",
 }
 
+#: The telemetry introduction figure (``BENCH_pr9.json``).  Both sides
+#: of the overhead gate are pinned: the plain quickstart run and its
+#: ``+telemetry`` variant (same protocol with a live span/metric
+#: recorder around the measured loop).  The two entries carrying the
+#: *same* events-examined figure is itself part of the contract —
+#: instrumentation observes the campaign, it must never change what
+#: the campaign executes.  The measured median-of-pairs overhead was
+#: below the noise floor (|overhead| < 2% on the reference container,
+#: gated at 3% by ``bench --telemetry-overhead``).
+PR9_TELEMETRY_BASELINE: dict = {
+    "entries": {
+        "quickstart@60it": {
+            "scenario": "quickstart",
+            "protocol": {"mode": "iterations", "value": 60},
+            "iters_per_sec": 30.23,
+            "events_examined_per_iter": 14356.0,
+            "peak_rss_kb": 33468,
+        },
+        "quickstart@60it+telemetry": {
+            "scenario": "quickstart",
+            "protocol": {"mode": "iterations", "value": 60},
+            "iters_per_sec": 30.51,
+            "events_examined_per_iter": 14356.0,
+            "peak_rss_kb": 33468,
+        },
+    },
+    "telemetry_overhead_ceiling": 0.03,
+    "measured_at": "PR 9 (campaign telemetry subsystem introduction), "
+                   "reference container",
+}
+
 #: Baseline per bench-artifact tag (``BENCH_<tag>.json``).
 BASELINES: dict[str, dict] = {
     "pr3": PRE_PR_BASELINE,
@@ -147,4 +178,5 @@ BASELINES: dict[str, dict] = {
     "pr6": PR6_RTL_BASELINE,
     "pr7": PR7_COMPOSED_BASELINE,
     "pr8": PR8_PRUNED_BASELINE,
+    "pr9": PR9_TELEMETRY_BASELINE,
 }

@@ -78,6 +78,11 @@ class BenchResult:
     coverage: int
     findings: int
     peak_rss_kb: int
+    #: Measurement variant sharing the scenario's protocol — e.g.
+    #: ``"telemetry"`` for the instrumented side of the overhead gate.
+    #: Empty for the plain measurement (the default), keeping committed
+    #: artifact keys stable.
+    variant: str = ""
 
     @property
     def key(self) -> str:
@@ -87,9 +92,10 @@ class BenchResult:
         a 600-iteration run must not be measured against a 60-iteration
         figure any more than a wall-clock run against a fixed-count one.
         """
+        suffix = f"+{self.variant}" if self.variant else ""
         if self.mode == "iterations":
-            return f"{self.scenario}@{self.budget:g}it"
-        return f"{self.scenario}@{self.budget:g}s"
+            return f"{self.scenario}@{self.budget:g}it{suffix}"
+        return f"{self.scenario}@{self.budget:g}s{suffix}"
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -105,6 +111,7 @@ def run_bench(
     scenario: str = "quickstart",
     budget_s: float | None = None,
     iterations: int | None = None,
+    telemetry: bool = False,
 ) -> BenchResult:
     """Measure one scenario's per-iteration hot path.
 
@@ -113,6 +120,11 @@ def run_bench(
     (default: the scenario's own iteration budget) runs a fixed count.
     The scenario's stop condition stays active — an early stop simply
     ends the measurement with fewer iterations.
+
+    ``telemetry=True`` installs a live span/metric recorder around the
+    measured loop (and only the loop — offline setup stays untimed and
+    uninstrumented), producing the ``+telemetry`` variant the overhead
+    gate compares against the plain run.
     """
     if budget_s is not None and iterations is not None:
         raise BenchError("pass either budget_s or iterations, not both")
@@ -148,9 +160,21 @@ def run_bench(
                 return True
             return scenario_stop is not None and scenario_stop(findings)
 
-    started = time.perf_counter()
-    report = campaign.run(budget_iterations, stop_when=stop)
-    seconds = time.perf_counter() - started
+    if telemetry:
+        from repro import telemetry as telemetry_mod
+
+        recorder = telemetry_mod.enable()
+        try:
+            started = time.perf_counter()
+            with recorder.span("campaign"):
+                report = campaign.run(budget_iterations, stop_when=stop)
+            seconds = time.perf_counter() - started
+        finally:
+            telemetry_mod.disable()
+    else:
+        started = time.perf_counter()
+        report = campaign.run(budget_iterations, stop_when=stop)
+        seconds = time.perf_counter() - started
 
     done = report.fuzz.iterations
     if done == 0:
@@ -173,7 +197,127 @@ def run_bench(
         coverage=report.fuzz.final_coverage(),
         findings=len(report.fuzz.findings),
         peak_rss_kb=peak_rss_kb(),
+        variant="telemetry" if telemetry else "",
     )
+
+
+# ----------------------------------------------------------------------
+# Telemetry overhead: the observability layer must stay near-free
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TelemetryOverheadResult:
+    """Paired off/on measurement of one scenario's telemetry cost.
+
+    ``overhead`` is the fractional slowdown of the instrumented run
+    (0.02 = the recorder costs 2% of iteration throughput), estimated
+    as the **median of per-repeat paired ratios**: each repeat runs
+    off then on back-to-back, so slow machine drift (noisy neighbours,
+    thermal state) hits both sides of a pair equally and cancels in
+    the ratio, and the median discards the outlier pairs a best-of
+    comparison would latch onto.  ``off``/``on`` keep each mode's best
+    run for the artifact's absolute figures.
+    """
+
+    scenario: str
+    iterations: int
+    repeats: int
+    off: BenchResult
+    on: BenchResult
+    overhead: float
+
+
+def run_telemetry_overhead(
+    scenario: str = "quickstart",
+    iterations: int | None = None,
+    repeats: int = 3,
+) -> TelemetryOverheadResult:
+    """Measure the telemetry recorder's iteration-throughput cost.
+
+    Runs the same fixed-iteration protocol ``repeats`` times per mode,
+    interleaved off/on so machine drift hits both sides of each pair
+    equally; the overhead estimate is the median of the per-pair
+    throughput ratios (see :class:`TelemetryOverheadResult`).
+    """
+    if repeats < 1:
+        raise BenchError("repeats must be >= 1")
+    spec = _load_spec(scenario)
+    budget = iterations if iterations is not None else spec.iterations
+    if budget < 1:
+        raise BenchError(
+            f"scenario {scenario!r} is offline-only; pass --iterations"
+        )
+
+    best: dict[bool, BenchResult] = {}
+    ratios: list[float] = []
+    for _ in range(repeats):
+        pair: dict[bool, BenchResult] = {}
+        for with_telemetry in (False, True):
+            result = run_bench(
+                scenario=scenario,
+                iterations=budget,
+                telemetry=with_telemetry,
+            )
+            pair[with_telemetry] = result
+            incumbent = best.get(with_telemetry)
+            if incumbent is None or result.iters_per_sec > incumbent.iters_per_sec:
+                best[with_telemetry] = result
+        ratios.append(
+            pair[False].iters_per_sec / pair[True].iters_per_sec - 1.0
+        )
+    ratios.sort()
+    middle = len(ratios) // 2
+    if len(ratios) % 2:
+        overhead = ratios[middle]
+    else:
+        overhead = (ratios[middle - 1] + ratios[middle]) / 2.0
+    return TelemetryOverheadResult(
+        scenario=spec.name,
+        iterations=budget,
+        repeats=repeats,
+        off=best[False],
+        on=best[True],
+        overhead=overhead,
+    )
+
+
+def check_telemetry_overhead(
+    result: TelemetryOverheadResult,
+    max_overhead: float = 0.03,
+) -> list[str]:
+    """Gate: the instrumented run must stay within ``max_overhead``
+    fractional slowdown of the plain run.  Returns failure messages
+    (empty = pass).
+    """
+    failures: list[str] = []
+    if result.overhead > max_overhead:
+        failures.append(
+            f"{result.scenario}@{result.iterations}it: telemetry overhead "
+            f"{result.overhead * 100:.2f}% exceeds the "
+            f"{max_overhead * 100:g}% ceiling "
+            f"({result.off.iters_per_sec:.2f} -> "
+            f"{result.on.iters_per_sec:.2f} iters/sec)"
+        )
+    return failures
+
+
+def render_telemetry_overhead(result: TelemetryOverheadResult) -> str:
+    """Human-readable off/on comparison table."""
+    rows = [
+        ["telemetry off", f"{result.off.iters_per_sec:.2f}",
+         f"{result.off.seconds:.2f}", str(result.off.peak_rss_kb)],
+        ["telemetry on", f"{result.on.iters_per_sec:.2f}",
+         f"{result.on.seconds:.2f}", str(result.on.peak_rss_kb)],
+    ]
+    table = ascii_table(
+        ["mode", "iters/sec", "seconds", "peak rss (kb)"], rows,
+        title=(
+            f"Telemetry overhead: {result.scenario} "
+            f"@{result.iterations}it (best of {result.repeats})"
+        ),
+    )
+    overhead = max(0.0, result.overhead)
+    return f"{table}\noverhead: {overhead * 100:.2f}%"
 
 
 def parse_scenario_request(request: str) -> tuple[str, int | None]:
@@ -468,6 +612,7 @@ def emit_bench(
     path: str | Path = "BENCH_pr3.json",
     baseline: dict | None = None,
     scaling: "ScalingResult | None" = None,
+    extra: dict | None = None,
 ) -> dict:
     """Write the machine-readable bench artifact; returns its payload.
 
@@ -477,7 +622,9 @@ def emit_bench(
     ``results``, plus the derived ``speedup_vs_baseline`` when the
     baseline scenario was run.  The ``bench`` tag is derived from the
     artifact's file name, so ``BENCH_pr3.json`` and ``BENCH_pr4.json``
-    (the contract-mode entry) self-identify.
+    (the contract-mode entry) self-identify.  ``extra`` merges
+    artifact-specific top-level fields into the payload (e.g. the
+    measured ``telemetry_overhead`` fraction in ``BENCH_pr9.json``).
     """
     if baseline is None:
         baseline = baseline_for(path)
@@ -496,6 +643,8 @@ def emit_bench(
             }
     if scaling is not None:
         payload["scaling"] = scaling.to_dict()
+    if extra:
+        payload.update(extra)
     Path(path).write_text(json.dumps(payload, indent=2) + "\n")
     return payload
 

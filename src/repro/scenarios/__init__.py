@@ -22,6 +22,7 @@ from repro.scenarios.registry import (
     render_scenarios,
     resolve_scenario,
     scenario_names,
+    scenarios_to_dicts,
 )
 from repro.scenarios.runner import (
     ReplayResult,
@@ -41,6 +42,7 @@ __all__ = [
     "render_scenarios",
     "resolve_scenario",
     "scenario_names",
+    "scenarios_to_dicts",
     "run_scenario",
     "resume_scenario",
     "replay_findings",

@@ -298,6 +298,38 @@ def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec
     return spec
 
 
+def scenarios_to_dicts() -> list[dict]:
+    """The registry as JSON-serialisable rows (``list-scenarios
+    --format json``).
+
+    Each row pairs the human-facing summary columns of
+    :func:`render_scenarios` with the full ``spec`` dict, which
+    round-trips through :meth:`ScenarioSpec.from_dict` — so the JSON
+    output doubles as a machine-readable export of every registered
+    protocol.
+    """
+    rows = []
+    for name in scenario_names():
+        spec = _REGISTRY[name]
+        rows.append({
+            "name": name,
+            "design": spec.design,
+            "detector": spec.detector,
+            "contract": (
+                spec.effective_contract() if spec.detector != "ift" else None
+            ),
+            "coverage": spec.coverage,
+            "vulns": list(spec.vulns),
+            "monitor_dcache": spec.monitor_dcache,
+            "shards": spec.shards,
+            "iterations": spec.iterations,
+            "stop": spec.stop_kind,
+            "description": spec.description,
+            "spec": spec.to_dict(),
+        })
+    return rows
+
+
 def render_scenarios() -> str:
     """The registry as a table (the ``list-scenarios`` CLI output)."""
     rows = []

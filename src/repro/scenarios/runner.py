@@ -26,13 +26,16 @@ no fuzzing at all.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import telemetry
 from repro.core.offline import OfflineArtifacts
 from repro.core.online import OnlinePhase
 from repro.core.report import CampaignReport
-from repro.fuzz.fuzzer import FuzzFinding
+from repro.fuzz.fuzzer import FuzzFinding, FuzzObserver
 from repro.fuzz.input import TestProgram
 from repro.fuzz.trim import trim_program
 from repro.harness.parallel import (
@@ -48,6 +51,16 @@ from repro.scenarios.store import (
     CampaignStore,
     program_from_dict,
 )
+from repro.telemetry import export as telemetry_export
+from repro.telemetry.export import TelemetrySummary
+from repro.telemetry.heartbeat import HeartbeatWriter
+from repro.telemetry.runstats import (
+    CAMPAIGN_FILE,
+    SUMMARY_FILE,
+    load_run_telemetry,
+    summarize,
+    summarize_recorder,
+)
 
 
 @dataclass
@@ -60,6 +73,8 @@ class ScenarioOutcome:
     store: CampaignStore | None = None
     executed_shards: list[int] = field(default_factory=list)
     resumed_shards: list[int] = field(default_factory=list)
+    #: Populated only when the campaign ran with ``telemetry=True``.
+    telemetry: TelemetrySummary | None = None
 
 
 @dataclass
@@ -76,6 +91,20 @@ class ReplayResult:
     detector: str = "ift"
 
 
+def _shard_campaign(spec: ScenarioSpec, seed: int):
+    """Build one shard's campaign from the process's shared statics."""
+    core, offline = shared_statics(spec.build_config())
+    specure = spec.build_specure(seed=seed, core=core, offline=offline)
+    return specure.build_campaign()
+
+
+def _shard_corpus(campaign) -> list[tuple[TestProgram, int]]:
+    return [
+        (entry.program, entry.new_items)
+        for entry in campaign.fuzzer.corpus.entries
+    ]
+
+
 def _execute_shard(task) -> tuple[CampaignReport, list[tuple[TestProgram, int]]]:
     """One shard's full campaign (picklable pool worker).
 
@@ -84,17 +113,80 @@ def _execute_shard(task) -> tuple[CampaignReport, list[tuple[TestProgram, int]]]
     be persisted.  The core and the offline artifacts come from the
     executing process's shared statics — one netlist elaboration and one
     offline phase per process lifetime, not one per shard.
+
+    ``task`` is ``(spec, shard, seed)``; telemetry-enabled campaigns
+    append the run's telemetry directory as a fourth element, telling
+    whichever process executes the shard (inline or pooled worker) to
+    stream a ``telemetry/shard-<k>.jsonl`` heartbeat log and dump the
+    shard's spans/metrics into it on completion.
     """
-    spec, _shard, seed = task
-    core, offline = shared_statics(spec.build_config())
-    specure = spec.build_specure(seed=seed, core=core, offline=offline)
-    campaign = specure.build_campaign()
-    report = campaign.run(spec.iterations, stop_when=spec.stop_predicate())
-    corpus = [
-        (entry.program, entry.new_items)
-        for entry in campaign.fuzzer.corpus.entries
-    ]
-    return report, corpus
+    spec, shard, seed = task[0], task[1], task[2]
+    telemetry_dir = task[3] if len(task) > 3 else None
+    if telemetry_dir is not None:
+        return _execute_shard_telemetry(spec, shard, seed, telemetry_dir)
+    recorder = telemetry.recorder()
+    if recorder.enabled:
+        # Telemetry without a run directory: record the shard span in
+        # the parent recorder, no per-shard file to stream to.
+        with recorder.span(f"shard/{shard}"):
+            campaign = _shard_campaign(spec, seed)
+            report = campaign.run(spec.iterations,
+                                  stop_when=spec.stop_predicate())
+    else:
+        campaign = _shard_campaign(spec, seed)
+        report = campaign.run(spec.iterations,
+                              stop_when=spec.stop_predicate())
+    return report, _shard_corpus(campaign)
+
+
+def _execute_shard_telemetry(
+    spec: ScenarioSpec, shard: int, seed: int, telemetry_dir,
+) -> tuple[CampaignReport, list[tuple[TestProgram, int]]]:
+    """The telemetry-instrumented shard execution path.
+
+    A pooled worker process has no enabled recorder, so it enables a
+    private one for the shard's duration; the inline path scopes the
+    parent recorder with a window instead.  Either way the shard's
+    spans and metrics end up *only* in its own ``shard-<k>.jsonl``
+    (heartbeats streamed live, spans/metrics dumped at completion), so
+    logs merge by shard id exactly like shard report artifacts.
+    """
+    recorder = telemetry.recorder()
+    owns_recorder = not recorder.enabled
+    if owns_recorder:
+        recorder = telemetry.enable()
+    heartbeat = None
+    try:
+        with recorder.window() as window:
+            with recorder.span(f"shard/{shard}"):
+                campaign = _shard_campaign(spec, seed)
+                heartbeat = HeartbeatWriter(telemetry_dir, shard)
+                heartbeat.write_meta(
+                    scenario=spec.name, seed=seed,
+                    iterations=spec.iterations, pid=os.getpid(),
+                )
+                observer = FuzzObserver(
+                    on_iteration=heartbeat.on_iteration)
+                report = campaign.run(
+                    spec.iterations,
+                    stop_when=spec.stop_predicate(),
+                    observer=observer,
+                )
+        heartbeat.finalize(
+            spans=window.spans, metrics=window.metrics,
+            findings=len(report.fuzz.findings),
+        )
+        return report, _shard_corpus(campaign)
+    except BaseException:
+        # Leave the partial heartbeat log on disk: that is exactly the
+        # crashed-shard triage artifact `repro stats` reports as a
+        # lagging/incomplete shard.
+        if heartbeat is not None:
+            heartbeat.close()
+        raise
+    finally:
+        if owns_recorder:
+            telemetry.disable()
 
 
 class _Minimizer:
@@ -116,18 +208,23 @@ class _Minimizer:
         function of the configuration, so reusing them avoids paying the
         offline phase again in the parent."""
         minimized: dict[int, TestProgram] = {}
+        recorder = telemetry.recorder()
         for index, finding in enumerate(findings):
             online = self._pipeline(offline)
 
             def still_leaks(program, kind=finding.kind):
-                _, reports = online.run_once(program)
+                with recorder.span("minimize/probe"):
+                    _, reports = online.run_once(program)
+                recorder.count("minimize.probes")
                 return kind in {report.kind for report in reports}
 
             # trim_program itself asserts the predicate on the input
             # first; a finding that does not reproduce in isolation
             # raises there and is simply not minimized.
             try:
-                minimized[index] = trim_program(finding.program, still_leaks)
+                with recorder.span("minimize/finding"):
+                    minimized[index] = trim_program(
+                        finding.program, still_leaks)
             except ValueError:
                 continue
         return minimized
@@ -139,17 +236,21 @@ def run_scenario(
     jobs: int | None = None,
     minimize: bool = True,
     on_shard=None,
+    telemetry: bool = False,
 ) -> ScenarioOutcome:
     """Run a scenario, persisting into ``run_dir`` when given.
 
     With ``run_dir=None`` the campaign runs purely in memory (what the
     example scripts use).  ``on_shard(shard, report)`` is called after
-    each shard is finished and persisted.
+    each shard is finished and persisted.  ``telemetry=True`` records
+    spans/metrics/heartbeats (see :mod:`repro.telemetry`); campaign
+    artifacts stay byte-identical either way.
     """
     store = None
     if run_dir is not None:
         store = CampaignStore.create(run_dir, spec)
-    return _drive(spec, store, jobs, minimize, on_shard, resumed=[])
+    return _drive(spec, store, jobs, minimize, on_shard, resumed=[],
+                  with_telemetry=telemetry)
 
 
 def resume_scenario(
@@ -157,6 +258,7 @@ def resume_scenario(
     jobs: int | None = None,
     minimize: bool = True,
     on_shard=None,
+    telemetry: bool = False,
 ) -> ScenarioOutcome:
     """Resume an interrupted campaign from its run directory.
 
@@ -168,7 +270,7 @@ def resume_scenario(
     store.prune_incomplete()
     resumed = store.completed_shards()
     return _drive(store.spec, store, jobs, minimize, on_shard,
-                  resumed=resumed)
+                  resumed=resumed, with_telemetry=telemetry)
 
 
 def _drive(
@@ -178,6 +280,70 @@ def _drive(
     minimize: bool,
     on_shard,
     resumed: list[int],
+    with_telemetry: bool = False,
+) -> ScenarioOutcome:
+    """Telemetry envelope around :func:`_drive_campaign`.
+
+    When enabled, the whole drive runs under a root ``campaign`` span
+    on a freshly-installed recorder; afterwards the parent's spans and
+    metrics are written to ``telemetry/campaign.jsonl`` (shard logs are
+    written by whichever process executed the shard) plus an atomic
+    ``summary.json``, and the merged summary lands on the outcome.  An
+    interrupted campaign writes no campaign log — the per-shard
+    heartbeat files are the triage artifacts — but stays resumable
+    exactly as without telemetry.
+    """
+    if not with_telemetry:
+        return _drive_campaign(spec, store, jobs, minimize, on_shard,
+                               resumed, telemetry_dir=None)
+    recorder = telemetry.enable()
+    telemetry_dir = None
+    if store is not None:
+        telemetry_dir = str(store.telemetry_dir(create=True))
+    try:
+        with recorder.span("campaign"):
+            outcome = _drive_campaign(spec, store, jobs, minimize,
+                                      on_shard, resumed,
+                                      telemetry_dir=telemetry_dir)
+    finally:
+        telemetry.disable()
+    outcome.telemetry = _finish_telemetry(recorder, store, spec)
+    return outcome
+
+
+def _finish_telemetry(recorder, store: CampaignStore | None,
+                      spec: ScenarioSpec) -> TelemetrySummary:
+    """Persist the parent recorder and build the merged run summary."""
+    if store is None:
+        return summarize_recorder(recorder)
+    records: list[dict] = [telemetry_export.meta_record(
+        "campaign", scenario=spec.name, seed=spec.seed,
+        shards=spec.shards, iterations=spec.iterations,
+    )]
+    records.extend(span.to_dict() for span in recorder.spans())
+    records.extend(telemetry_export.metric_records(recorder.metrics))
+    tdir = store.telemetry_dir(create=True)
+    telemetry_export.write_jsonl(tdir / CAMPAIGN_FILE, records)
+    summary = summarize(load_run_telemetry(store.root))
+    _atomic_summary(tdir / SUMMARY_FILE, summary)
+    return summary
+
+
+def _atomic_summary(path: Path, summary: TelemetrySummary) -> None:
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(summary.to_dict(), indent=2, sort_keys=True)
+                   + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _drive_campaign(
+    spec: ScenarioSpec,
+    store: CampaignStore | None,
+    jobs: int | None,
+    minimize: bool,
+    on_shard,
+    resumed: list[int],
+    telemetry_dir: str | None,
 ) -> ScenarioOutcome:
     # The parent's Specure computes offline artifacts only when actually
     # needed (offline-only scenarios, resume, minimization): every shard
@@ -197,12 +363,14 @@ def _drive(
         shard: shard_seed(spec.seed, shard)
         for shard in range(spec.shards)
     }
+    extra = (telemetry_dir,) if telemetry_dir is not None else ()
     tasks = [
-        (spec, shard, seeds[shard])
+        (spec, shard, seeds[shard]) + extra
         for shard in range(spec.shards)
         if shard not in resumed
     ]
     minimizer = _Minimizer(spec, specure)
+    recorder = telemetry.recorder()
     fresh: dict[int, CampaignReport] = {}
     executed: list[int] = []
     try:
@@ -213,9 +381,10 @@ def _drive(
                     minimizer.minimize(report.fuzz.findings, report.offline)
                     if minimize and report.fuzz.findings else {}
                 )
-                store.record_shard(shard, seeds[shard], report,
-                                   corpus_entries=corpus,
-                                   minimized=minimized)
+                with recorder.span("store/persist"):
+                    store.record_shard(shard, seeds[shard], report,
+                                       corpus_entries=corpus,
+                                       minimized=minimized)
             fresh[shard] = report
             executed.append(shard)
             if on_shard is not None:
@@ -242,7 +411,8 @@ def _drive(
             ordered.append(fresh[shard])
         else:
             ordered.append(store.load_shard_report(shard, offline))
-    merged = merge_reports(ordered)
+    with recorder.span("merge"):
+        merged = merge_reports(ordered)
     if store is not None:
         store.finalize(merged.render(include_timings=False) + "\n")
     return ScenarioOutcome(

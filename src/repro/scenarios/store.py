@@ -315,11 +315,22 @@ class CampaignStore:
     CORPUS_FILE = "corpus.jsonl"
     COVERAGE_FILE = "coverage.jsonl"
     REPORT_FILE = "report.txt"
+    TELEMETRY_DIR = "telemetry"
 
     def __init__(self, root: str | Path, spec: ScenarioSpec, meta: dict):
         self.root = Path(root)
         self.spec = spec
         self.meta = meta
+
+    def telemetry_dir(self, create: bool = False) -> Path:
+        """Where ``--telemetry`` artifacts live (per-shard JSONL logs,
+        the campaign log, and the atomic summary — see
+        :mod:`repro.telemetry.runstats`).  Shard logs merge by shard id
+        exactly like the shard artifacts under :attr:`SHARD_DIR`."""
+        path = self.root / self.TELEMETRY_DIR
+        if create:
+            path.mkdir(parents=True, exist_ok=True)
+        return path
 
     # -- lifecycle ----------------------------------------------------------
 

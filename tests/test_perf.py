@@ -348,7 +348,8 @@ class TestBenchList:
         listing = render_bench_list()
         assert "quickstart@60it" in listing
         assert "offline-only" in listing          # offline-analysis row
-        assert "26.34 iters/sec" in listing       # committed quickstart figure
+        assert "30.23 iters/sec" in listing       # committed quickstart
+                                                  # figure (pr9 baseline)
         assert "contract-ablation@40it: 10.40 iters/sec" in listing
         assert "spec-cpu-quickstart@120it: 200.00 iters/sec" in listing
 
@@ -361,3 +362,40 @@ class TestBenchList:
         )
         assert proc.returncode == 0, proc.stderr
         assert "Benchable scenarios" in proc.stdout
+
+
+class TestTelemetryOverhead:
+    def test_variant_qualifies_the_key(self):
+        plain = run_bench("quickstart", iterations=3)
+        instrumented = run_bench("quickstart", iterations=3, telemetry=True)
+        assert plain.key == "quickstart@3it"
+        assert instrumented.key == "quickstart@3it+telemetry"
+        assert instrumented.variant == "telemetry"
+        # Instrumentation observes, it does not perturb: the workload
+        # executed is identical.
+        assert instrumented.events_examined == plain.events_examined
+        assert instrumented.coverage == plain.coverage
+        assert instrumented.findings == plain.findings
+
+    def test_instrumented_bench_restores_the_null_recorder(self):
+        from repro import telemetry
+
+        run_bench("quickstart", iterations=3, telemetry=True)
+        assert not telemetry.enabled()
+
+    def test_paired_measurement_and_gate(self):
+        from repro.perf import check_telemetry_overhead, run_telemetry_overhead
+
+        result = run_telemetry_overhead("quickstart", iterations=3, repeats=2)
+        assert result.off.key == "quickstart@3it"
+        assert result.on.key == "quickstart@3it+telemetry"
+        assert check_telemetry_overhead(result, max_overhead=1000.0) == []
+        failures = check_telemetry_overhead(result, max_overhead=-2.0)
+        assert failures and "overhead" in failures[0]
+
+    def test_emit_bench_merges_extra_fields(self, tmp_path, quick_result):
+        out = tmp_path / "BENCH_pr9.json"
+        payload = emit_bench([quick_result], path=out,
+                             extra={"telemetry_overhead": 0.01})
+        assert payload["telemetry_overhead"] == 0.01
+        assert json.loads(out.read_text())["telemetry_overhead"] == 0.01

@@ -201,6 +201,23 @@ class TestCli:
         assert "spec-cpu-quickstart" in out
         assert "spec-cpu " in out
 
+    def test_list_scenarios_json_round_trips(self, capsys):
+        # `list-scenarios --format json` is the machine-readable export:
+        # every row's embedded spec dict must reconstruct the registered
+        # ScenarioSpec exactly.
+        import json
+
+        from repro.__main__ import main
+
+        assert main(["list-scenarios", "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["name"] for row in rows] == scenario_names()
+        for row in rows:
+            spec = ScenarioSpec.from_dict(row["spec"])
+            assert spec == get_scenario(row["name"])
+            assert row["iterations"] == spec.iterations
+            assert row["shards"] == spec.shards
+
     def test_run_every_registered_scenario_tiny(self, tmp_path, capsys):
         # The acceptance bar: `python -m repro run <name>` works for every
         # registered scenario (with a tiny budget to keep this fast).

@@ -27,6 +27,7 @@ Subcommands:
 ``resume <dir>``
     Continue an interrupted campaign; completed shards load from the
     store, so the final report is byte-identical to an uninterrupted run.
+    Quarantined shards get a fresh retry budget.
 ``replay <dir>``
     Re-confirm every stored finding by running its (minimized) trigger
     program once — a regression check with no fuzzing.
@@ -40,6 +41,13 @@ Subcommands:
     The original one-command smoke test (also the default with no
     arguments): offline phase + all four studied vulnerabilities +
     the experiment registry.
+
+Exit codes for ``run``/``resume`` (see docs/resilience.md): 0 — every
+shard completed; 3 — campaign completed DEGRADED (one or more shards
+quarantined after exhausting retries; report carries the degraded
+banner); 1 — campaign failed outright (``on_shard_failure = "fail"``
+and a shard exhausted its retries); 2 — bad scenario/store input;
+130 — interrupted.
 """
 
 from __future__ import annotations
@@ -52,6 +60,7 @@ from repro import BoomConfig, Specure, VulnConfig, __version__
 from repro.core.online import DETECTORS
 from repro.fuzz.triggers import all_triggers
 from repro.harness.experiments import render_registry
+from repro.harness.parallel import ShardExecutionError
 from repro.scenarios import (
     ScenarioError,
     ScenarioSpec,
@@ -141,6 +150,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print(f"\ninterrupted — resume with: python -m repro resume {out}")
         return 130
+    except ShardExecutionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        print(f"(completed shards are persisted — resume with: "
+              f"python -m repro resume {out})", file=sys.stderr)
+        return 1
     elapsed = time.perf_counter() - started
 
     if outcome.report is None:
@@ -155,7 +169,22 @@ def cmd_run(args: argparse.Namespace) -> int:
     print()
     print(f"(scenario {spec.name!r}, {elapsed:.2f}s wall clock, "
           f"artifacts in {out})")
-    return 0
+    return _campaign_exit_code(outcome, out)
+
+
+def _campaign_exit_code(outcome, directory) -> int:
+    """0 when every shard completed; 3 when the campaign is degraded
+    (quarantined shards are excluded from the report — the banner
+    repeats at the end so it cannot scroll away)."""
+    if not outcome.degraded:
+        return 0
+    from repro.scenarios.runner import degraded_banner
+
+    print()
+    print(degraded_banner(outcome.quarantined))
+    print(f"(degraded campaign — re-run the quarantined shard(s) with: "
+          f"python -m repro resume {directory})", file=sys.stderr)
+    return 3
 
 
 def cmd_list_scenarios(args: argparse.Namespace) -> int:
@@ -306,6 +335,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.telemetry_overhead:
         return _bench_telemetry_overhead(args, committed)
+    if args.checkpoint_overhead:
+        return _bench_checkpoint_overhead(args, committed)
 
     try:
         results = []
@@ -407,6 +438,54 @@ def _bench_telemetry_overhead(args: argparse.Namespace, committed) -> int:
     return 0
 
 
+def _bench_checkpoint_overhead(args: argparse.Namespace, committed) -> int:
+    """``bench --checkpoint-overhead``: pinned protocol, off vs on."""
+    from repro.perf import (
+        BenchError,
+        baseline_for,
+        check_checkpoint_overhead,
+        check_regression,
+        emit_bench,
+        parse_scenario_request,
+        render_checkpoint_overhead,
+        run_checkpoint_overhead,
+    )
+
+    request = (args.scenario or ["quickstart"])[0]
+    try:
+        name, pinned = parse_scenario_request(request)
+        result = run_checkpoint_overhead(
+            scenario=name,
+            iterations=pinned if pinned is not None else args.iterations,
+            repeats=args.repeats,
+            every=args.checkpoint_every,
+        )
+    except BenchError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(render_checkpoint_overhead(result))
+    baseline = baseline_for(args.out)
+    emit_bench([result.off, result.on], path=args.out, baseline=baseline,
+               extra={"checkpoint_overhead": round(result.overhead, 4),
+                      "checkpoint_every": result.every})
+    print(f"(bench artifact written to {args.out})")
+
+    failures = check_checkpoint_overhead(
+        result, max_overhead=args.max_checkpoint_overhead)
+    if committed is not None:
+        failures.extend(check_regression([result.off, result.on], committed,
+                                         max_regression=args.max_regression))
+    if failures:
+        for line in failures:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        return 1
+    print(f"checkpoint-overhead gate passed "
+          f"({result.overhead:+.1%} <= {args.max_checkpoint_overhead:.0%} "
+          f"at cadence {result.every})")
+    return 0
+
+
 def cmd_resume(args: argparse.Namespace) -> int:
     try:
         outcome = resume_scenario(args.directory, jobs=args.jobs,
@@ -416,13 +495,18 @@ def cmd_resume(args: argparse.Namespace) -> int:
         print(f"\ninterrupted again — resume with: "
               f"python -m repro resume {args.directory}")
         return 130
+    except ShardExecutionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        print(f"(completed shards are persisted — resume with: "
+              f"python -m repro resume {args.directory})", file=sys.stderr)
+        return 1
     skipped = len(outcome.resumed_shards)
     print(f"resumed {outcome.spec.name!r}: {skipped} shard(s) loaded from "
           f"the store, {len(outcome.executed_shards)} executed")
     print()
     if outcome.report is not None:
         print(outcome.report.render(telemetry=outcome.telemetry))
-    return 0
+    return _campaign_exit_code(outcome, args.directory)
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -581,9 +665,21 @@ def main(argv: list[str] | None = None) -> int:
                        metavar="R",
                        help="allowed telemetry slowdown in "
                             "--telemetry-overhead mode (default 0.03)")
+    bench.add_argument("--checkpoint-overhead", action="store_true",
+                       help="measure the pinned protocol with mid-shard "
+                            "checkpointing off vs on and fail if the "
+                            "overhead exceeds --max-checkpoint-overhead")
+    bench.add_argument("--max-checkpoint-overhead", type=float, default=0.03,
+                       metavar="R",
+                       help="allowed checkpointing slowdown in "
+                            "--checkpoint-overhead mode (default 0.03)")
+    bench.add_argument("--checkpoint-every", type=int, default=25,
+                       metavar="N",
+                       help="checkpoint cadence in --checkpoint-overhead "
+                            "mode (default 25, the scenario default)")
     bench.add_argument("--repeats", type=int, default=3, metavar="N",
-                       help="best-of repeats per mode in "
-                            "--telemetry-overhead mode (default 3)")
+                       help="best-of repeats per overhead mode "
+                            "(default 3)")
     bench.set_defaults(handler=cmd_bench)
 
     resume = commands.add_parser(

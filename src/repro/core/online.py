@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro import telemetry
+from repro import faultinject, telemetry
 
 from repro.boom.core import CoreResult
 from repro.contracts.clauses import DEFAULT_SPEC_WINDOW
@@ -188,6 +188,9 @@ class OnlinePhase:
         #: y-axis (the LP calculator runs as a passive observer there).
         self.lp_covered: set[int] = set()
         self.lp_curve: list[int] = []
+        #: Pipeline phase the current evaluate() call is in — read by
+        #: the crash-containment path to attribute escaped exceptions.
+        self._phase = "simulate"
 
     # -- the fuzzer-facing API ------------------------------------------------
 
@@ -198,12 +201,28 @@ class OnlinePhase:
         loop expects; findings are ``(kind, report)`` pairs where the
         report is a :class:`LeakReport` (IFT pathway) or a
         :class:`~repro.contracts.detector.ContractViolation`.
+
+        An exception escaping any pipeline phase is stamped with a
+        ``crash_phase`` attribute ("simulate"/"detect"/"coverage") so
+        the fuzz loop's crash containment can report *where* a poison
+        program blew up, then re-raised unchanged.
         """
+        self._phase = "simulate"
+        try:
+            faultinject.maybe_step_exception()
+            return self._evaluate(program)
+        except Exception as error:
+            error.crash_phase = getattr(error, "crash_phase", self._phase)
+            raise
+
+    def _evaluate(self, program: TestProgram):
+        self._phase = "simulate"
         events_before = self.events_examined
         memo_hit_delta = memo_miss_delta = variant_run_delta = 0
         with telemetry.timed("online/simulate") as simulate_timer:
             result = self.core.run(program)
 
+        self._phase = "detect"
         with telemetry.timed("online/detect") as detect_timer:
             windows = self.leakage.windows(result)
             self.mst.add_windows(windows)
@@ -230,6 +249,7 @@ class OnlinePhase:
                     self.contract.events_examined - variant_events_before
             self.reports.extend(reports)
 
+        self._phase = "coverage"
         with telemetry.timed("online/coverage") as coverage_timer:
             if self.coverage_kind == "lp":
                 lp_items = self.lp.items(result)

@@ -17,6 +17,7 @@ from repro.core.offline import OfflineArtifacts
 from repro.core.online import OnlineStats
 from repro.detection.mst import MisspeculationTable
 from repro.detection.vulnerability import LeakReport
+from repro.fuzz.crash import CRASH_KIND
 from repro.fuzz.fuzzer import CampaignResult
 from repro.utils.text import ascii_table
 
@@ -70,7 +71,7 @@ class CampaignReport:
         construction.
         """
         ift = {f.iteration for f in self.fuzz.findings
-               if not is_contract_kind(f.kind)}
+               if not is_contract_kind(f.kind) and f.kind != CRASH_KIND}
         contract = {f.iteration for f in self.fuzz.findings
                     if is_contract_kind(f.kind)}
         return {
@@ -100,7 +101,7 @@ class CampaignReport:
         dynamic_pairs: set[tuple[str, str]] = set()
         transient = 0
         for report in self.reports:
-            if is_contract_kind(report.kind):
+            if is_contract_kind(report.kind) or report.kind == CRASH_KIND:
                 continue
             for cause in report.root_causes:
                 if cause.dest == "(transient cache state)":
@@ -205,8 +206,10 @@ class CampaignReport:
                     f"{self.stats.memo_misses} miss(es)"
                 )
             lines.append(timing)
-        leaks = [r for r in self.reports if not is_contract_kind(r.kind)]
+        leaks = [r for r in self.reports
+                 if not is_contract_kind(r.kind) and r.kind != CRASH_KIND]
         violations = [r for r in self.reports if is_contract_kind(r.kind)]
+        crashes = [r for r in self.reports if r.kind == CRASH_KIND]
         ran_ift = "ift" in self.detectors
         ran_contract = "contract" in self.detectors
         first_by_kind = {}
@@ -249,6 +252,22 @@ class CampaignReport:
                 lines.append(first_by_kind[kind].render())
         elif ran_contract:
             lines.append("no contract violations detected")
+        if crashes:
+            by_signature: dict[tuple[str, str], int] = {}
+            for report in crashes:
+                key = (report.phase, report.exception)
+                by_signature[key] = by_signature.get(key, 0) + 1
+            first = self.first_detection_iteration(CRASH_KIND)
+            lines.append("")
+            lines.append(ascii_table(
+                ["phase", "exception", "crashes"],
+                [[phase, exception, count]
+                 for (phase, exception), count
+                 in sorted(by_signature.items())],
+                title="Contained crashes (poison programs kept as findings)",
+            ))
+            suffix = "" if first is None else f" (first at iteration {first})"
+            lines.append(crashes[0].render() + suffix)
         if self.ran_both_detectors():
             agreement = self.cross_validation()
 

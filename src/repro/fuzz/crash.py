@@ -1,0 +1,50 @@
+"""Crash-as-finding containment.
+
+A test program that makes the PUT/ISS step loop raise is *signal*, not
+a harness failure: SpecFuzz-style fuzzing records the crash and keeps
+iterating, instead of letting one poison input unwind a whole shard.
+:class:`CrashReport` is shaped like
+:class:`~repro.detection.vulnerability.LeakReport` where it matters —
+a ``kind`` string and a ``render()`` — so contained crashes flow
+through the campaign report, the store, minimization, and replay on
+the existing findings machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The finding/report kind of every contained crash.
+CRASH_KIND = "crash"
+
+
+@dataclass(frozen=True)
+class CrashReport:
+    """One contained step-loop crash: which phase raised what."""
+
+    kind: str          # always CRASH_KIND
+    phase: str         # "simulate" | "detect" | "coverage" | "evaluate"
+    exception: str     # exception type name, e.g. "ChaosError"
+    message: str       # str(exception), first line only
+
+    def render(self) -> str:
+        return (f"[{self.kind}] step loop raised in the {self.phase} "
+                f"phase: {self.exception}: {self.message}")
+
+
+def crash_report(error: BaseException) -> CrashReport:
+    """Build the finding for a contained step-loop exception.
+
+    The raising phase is read from the ``crash_phase`` attribute the
+    online pipeline stamps onto exceptions it lets escape; anything
+    untagged is attributed to the evaluate call as a whole.  Only the
+    first line of the message is kept — report rendering and the JSONL
+    store both want single-line fields.
+    """
+    message = str(error).splitlines()
+    return CrashReport(
+        kind=CRASH_KIND,
+        phase=getattr(error, "crash_phase", "evaluate"),
+        exception=type(error).__name__,
+        message=message[0] if message else "",
+    )

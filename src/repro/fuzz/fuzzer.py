@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro import telemetry
 from repro.fuzz.corpus import Corpus
+from repro.fuzz.crash import CRASH_KIND, crash_report
 from repro.fuzz.input import TestProgram
 from repro.fuzz.mutations import MutationEngine
 from repro.utils.rng import DeterministicRng
@@ -102,11 +103,24 @@ class Fuzzer:
         iterations: int,
         stop_when: Callable[[list[FuzzFinding]], bool] | None = None,
         observer: FuzzObserver | None = None,
+        *,
+        checkpoint_every: int = 0,
+        on_checkpoint: Callable[[int, CampaignResult], None] | None = None,
+        start_iteration: int = 0,
+        resume_result: CampaignResult | None = None,
     ) -> CampaignResult:
         """Run up to ``iterations`` rounds; optionally stop early.
 
         ``stop_when`` receives the cumulative findings after each round
         and may end the campaign (e.g. "stop at first Zenbleed leak").
+
+        ``on_checkpoint(next_iteration, result)`` fires after every
+        ``checkpoint_every``-th iteration (never after the final one);
+        resuming a checkpointed campaign passes the restored partial
+        result as ``resume_result`` and the recorded ``next_iteration``
+        as ``start_iteration`` — with the fuzzer's RNG/corpus/coverage
+        restored alongside, the remaining iterations replay exactly the
+        draws an uninterrupted run would have made.
 
         The cyclic garbage collector is paused for the duration of the
         loop: one iteration allocates tens of thousands of objects, and
@@ -120,13 +134,14 @@ class Fuzzer:
         """
         import gc
 
-        result = CampaignResult(iterations=0)
+        result = (resume_result if resume_result is not None
+                  else CampaignResult(iterations=0))
         recorder = telemetry.recorder()
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
         try:
-            for index in range(iterations):
+            for index in range(start_iteration, iterations):
                 with recorder.span("online/iteration"):
                     program = self._next_input(index)
                     new_items = self._run_one(index, program, result)
@@ -144,6 +159,10 @@ class Fuzzer:
                     observer.on_iteration(index, new_items, len(self.coverage))
                 if stop_when is not None and stop_when(result.findings):
                     break
+                if (checkpoint_every > 0 and on_checkpoint is not None
+                        and (index + 1) % checkpoint_every == 0
+                        and index + 1 < iterations):
+                    on_checkpoint(index + 1, result)
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -181,7 +200,20 @@ class Fuzzer:
 
     def _run_one(self, index: int, program: TestProgram,
                  result: CampaignResult) -> int:
-        items, findings, _meta = self.evaluate(program)
+        try:
+            items, findings, _meta = self.evaluate(program)
+        except Exception as error:
+            # Crash-as-finding containment: a poison program that makes
+            # the step loop raise is recorded as a finding (program,
+            # exception, raising phase) and the campaign keeps going —
+            # one bad input must not unwind a whole shard.  Only
+            # ``Exception`` is contained; KeyboardInterrupt and other
+            # BaseExceptions still unwind.
+            result.findings.append(FuzzFinding(
+                iteration=index, kind=CRASH_KIND,
+                detail=crash_report(error), program=program.copy(),
+            ))
+            return 0
         coverage = self.coverage
         # Batch update: collect this iteration's unseen items (first
         # occurrence order preserved), then grow the coverage set in one

@@ -69,9 +69,13 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import signal
+import time
 import traceback
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, replace
+from multiprocessing import connection
+from pathlib import Path
 
 from repro.core.offline import OfflineArtifacts, run_offline
 from repro.core.report import CampaignReport
@@ -150,7 +154,8 @@ def shutdown_pool() -> None:
 
     Called automatically at interpreter exit, when ``jobs`` changes, and
     on worker failure or interrupt — `terminate` rather than `close` so
-    a stuck sibling unit cannot block the teardown.
+    a stuck sibling unit cannot block the teardown.  Also tears down the
+    resilient worker fleet so one call quiesces every worker process.
     """
     global _POOL, _POOL_JOBS
     if _POOL is not None:
@@ -158,6 +163,7 @@ def shutdown_pool() -> None:
         _POOL.join()
         _POOL = None
         _POOL_JOBS = 0
+    shutdown_fleet()
 
 
 #: Per-process shared read-only statics: one (core, offline artifacts)
@@ -291,7 +297,364 @@ def _pool_context():
         return multiprocessing.get_context("spawn")
 
 
-def imap_shard_units(worker, specs, jobs: int | None):
+# ----------------------------------------------------------------------
+# Resilient execution: retry policy, watchdog fleet, quarantine markers
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the resilient dispatcher treats failing or hung work units.
+
+    ``max_retries`` bounds *re*-tries: a unit runs at most
+    ``1 + max_retries`` times, always with the same seed (a retry that
+    succeeds is byte-identical to a first-try success — the determinism
+    contract makes retries safe).  ``unit_timeout_s > 0`` arms the
+    watchdog: a worker whose unit has shown no progress — no completed
+    recv, and no fresh heartbeat line in ``progress_dir`` — for that
+    long is SIGKILLed and its unit retried.  ``on_exhaust`` picks the
+    endgame: ``"fail"`` raises :class:`ShardExecutionError` (the legacy
+    all-stop), ``"degrade"`` yields a :class:`UnitFailure` marker so the
+    campaign completes without the quarantined shard.  ``isolate``
+    forces worker processes even at ``jobs=1`` (required for the
+    watchdog and for crash containment of whole-process faults).
+    """
+
+    max_retries: int = 2
+    unit_timeout_s: float = 0.0
+    on_exhaust: str = "fail"
+    progress_dir: str | Path | None = None
+    isolate: bool = False
+
+    def __post_init__(self):
+        if self.on_exhaust not in ("fail", "degrade"):
+            raise ValueError(
+                f"on_exhaust must be 'fail' or 'degrade', "
+                f"not {self.on_exhaust!r}")
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """A work unit that exhausted its retries (yielded in degrade mode)."""
+
+    shard: int
+    attempts: int
+    kind: str   # "exception" | "worker-died" | "timeout"
+    error: str  # traceback text or one-line description
+
+    def summary(self) -> str:
+        """One line for reports: the traceback's final line, or the
+        failure description itself when it is already one line."""
+        for line in reversed(self.error.strip().splitlines()):
+            if line.strip():
+                return line.strip()
+        return self.kind
+
+
+def _stamp_attempt(item, attempt: int):
+    """Re-stamp a work item with its attempt number when it supports it
+    (the scenario runner's tasks do — telemetry records the attempt)."""
+    with_attempt = getattr(item, "with_attempt", None)
+    if attempt > 1 and callable(with_attempt):
+        return with_attempt(attempt)
+    return item
+
+
+def _fleet_worker_main(conn) -> None:
+    """A fleet worker: receive ``(unit_id, worker, item)``, send back
+    ``(unit_id, ok, result_or_traceback)`` until the pipe closes.
+
+    SIGINT is ignored — on a keyboard interrupt the parent owns the
+    shutdown (exactly like ``multiprocessing.Pool`` initializers do),
+    so workers never die mid-write from the tty's signal fan-out.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    while True:
+        try:
+            payload = conn.recv()
+        except (EOFError, OSError):
+            return
+        if payload is None:
+            return
+        unit_id, worker, item = payload
+        try:
+            response = (unit_id, True, worker(item))
+        except Exception:
+            response = (unit_id, False, traceback.format_exc())
+        try:
+            conn.send(response)
+        except Exception:
+            return
+
+
+class _FleetWorker:
+    """Parent-side handle of one fleet worker process."""
+
+    __slots__ = ("process", "conn", "unit_id", "assigned_at")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.unit_id: int | None = None
+        self.assigned_at = 0.0
+
+
+class _WorkerFleet:
+    """A crash-survivable pool: one duplex pipe per worker, no shared
+    queues.
+
+    ``multiprocessing.Pool`` multiplexes every worker over shared
+    result queues, so a SIGKILLed worker can take the queue's feeder
+    state (or a held lock) down with it — the documented reason Pool
+    deadlocks on lost workers.  The fleet gives each worker a private
+    :func:`Pipe`; losing a worker breaks exactly one pipe, which the
+    dispatcher observes via the process sentinel and repairs by
+    respawning that single worker.
+    """
+
+    def __init__(self, jobs: int):
+        self.jobs = jobs
+        self.ctx = _pool_context()
+        self.workers = [self._spawn() for _ in range(jobs)]
+
+    def _spawn(self) -> _FleetWorker:
+        parent_conn, child_conn = self.ctx.Pipe()
+        process = self.ctx.Process(
+            target=_fleet_worker_main, args=(child_conn,), daemon=True)
+        process.start()
+        child_conn.close()
+        return _FleetWorker(process, parent_conn)
+
+    def respawn(self, worker: _FleetWorker) -> None:
+        """Replace one (dead or hung) worker, leaving the rest running."""
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join()
+        worker.conn.close()
+        fresh = self._spawn()
+        worker.process = fresh.process
+        worker.conn = fresh.conn
+        worker.unit_id = None
+        worker.assigned_at = 0.0
+
+    def shutdown(self) -> None:
+        for worker in self.workers:
+            try:
+                worker.conn.send(None)
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in self.workers:
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join()
+            worker.conn.close()
+        self.workers = []
+
+
+#: The process-lifetime fleet (one per jobs count, lazily built).
+_FLEET: _WorkerFleet | None = None
+_FLEET_ATEXIT_REGISTERED = False
+
+
+def _get_fleet(jobs: int) -> _WorkerFleet:
+    global _FLEET, _FLEET_ATEXIT_REGISTERED
+    if _FLEET is not None and _FLEET.jobs != jobs:
+        shutdown_fleet()
+    if _FLEET is None:
+        _FLEET = _WorkerFleet(jobs)
+        if not _FLEET_ATEXIT_REGISTERED:
+            atexit.register(shutdown_fleet)
+            _FLEET_ATEXIT_REGISTERED = True
+    return _FLEET
+
+
+def shutdown_fleet() -> None:
+    """Stop and discard the resilient worker fleet (idempotent)."""
+    global _FLEET
+    if _FLEET is not None:
+        _FLEET.shutdown()
+        _FLEET = None
+
+
+#: Dispatcher poll interval: bounds watchdog latency, not throughput
+#: (results wake the dispatcher immediately via ``connection.wait``).
+_FLEET_TICK_S = 0.1
+
+
+def _progress_stamp(policy: RetryPolicy, item, unit_id: int,
+                    assigned_at: float) -> float:
+    """Wall-clock time of the unit's last observed progress.
+
+    The later of when the unit was assigned and the last modification
+    of its telemetry heartbeat log (PR 9's ``shard-NNNN.jsonl``, beats
+    flushed per line) — so a long unit that is *beating* is never shot,
+    while a hung one times out even mid-unit.  Beats older than the
+    assignment are debris of a previous attempt and do not count.
+    """
+    if policy.progress_dir is None:
+        return assigned_at
+    from repro.telemetry.heartbeat import shard_filename
+
+    path = Path(policy.progress_dir) / shard_filename(
+        _shard_of(item, unit_id))
+    try:
+        mtime = path.stat().st_mtime
+    except OSError:
+        return assigned_at
+    return max(assigned_at, mtime) if mtime > assigned_at else assigned_at
+
+
+def _imap_resilient(worker, specs, jobs: int, policy: RetryPolicy):
+    """The fleet dispatcher: watchdog + retry + quarantine markers.
+
+    Yields ``(unit_id, spec, result)`` in completion order, where
+    ``result`` is a :class:`UnitFailure` for units that exhausted their
+    retries under ``on_exhaust="degrade"``.  Raises
+    :class:`ShardExecutionError` (after tearing the fleet down) under
+    ``on_exhaust="fail"`` — the legacy executor's all-stop contract.
+    """
+    pending = deque(range(len(specs)))
+    attempts = {unit_id: 0 for unit_id in range(len(specs))}
+
+    def exhaust(unit_id: int, kind: str, error: str) -> UnitFailure | None:
+        """Retry the unit, or produce its quarantine marker / all-stop."""
+        if attempts[unit_id] <= policy.max_retries:
+            pending.appendleft(unit_id)
+            return None
+        if policy.on_exhaust == "degrade":
+            return UnitFailure(
+                shard=_shard_of(specs[unit_id], unit_id),
+                attempts=attempts[unit_id], kind=kind, error=error)
+        raise ShardExecutionError(_shard_of(specs[unit_id], unit_id), error)
+
+    try:
+        fleet = _get_fleet(jobs)
+        done = 0
+        while done < len(specs):
+            # Hand pending units to idle workers (respawning any that
+            # died while idle — can only happen via external kills).
+            for member in fleet.workers:
+                if not pending or member.unit_id is not None:
+                    continue
+                if not member.process.is_alive():
+                    fleet.respawn(member)
+                unit_id = pending.popleft()
+                attempts[unit_id] += 1
+                item = _stamp_attempt(specs[unit_id], attempts[unit_id])
+                try:
+                    member.conn.send((unit_id, worker, item))
+                except (OSError, ValueError):
+                    # Died between the liveness check and the send:
+                    # repair and retry without charging an attempt.
+                    fleet.respawn(member)
+                    attempts[unit_id] -= 1
+                    pending.appendleft(unit_id)
+                    continue
+                member.unit_id = unit_id
+                member.assigned_at = time.time()
+
+            busy = [m for m in fleet.workers if m.unit_id is not None]
+            if not busy:
+                continue
+            handles = [m.conn for m in busy] + \
+                [m.process.sentinel for m in busy]
+            ready = connection.wait(handles, timeout=_FLEET_TICK_S)
+
+            for member in busy:
+                unit_id = member.unit_id
+                if unit_id is None:
+                    continue
+                has_result = member.conn in ready
+                died = member.process.sentinel in ready
+                if died and not has_result:
+                    # A killed worker can still have flushed its result
+                    # into the pipe buffer — drain before declaring it.
+                    has_result = member.conn.poll(0)
+                if has_result:
+                    try:
+                        _, ok, payload = member.conn.recv()
+                    except (EOFError, OSError):
+                        died, has_result = True, False
+                    else:
+                        member.unit_id = None
+                        if ok:
+                            done += 1
+                            yield unit_id, specs[unit_id], payload
+                        else:
+                            failure = exhaust(unit_id, "exception", payload)
+                            if failure is not None:
+                                done += 1
+                                yield unit_id, specs[unit_id], failure
+                        continue
+                if died:
+                    member.unit_id = None
+                    fleet.respawn(member)
+                    failure = exhaust(
+                        unit_id, "worker-died",
+                        f"shard worker (unit {unit_id}) died without a "
+                        f"result — killed or crashed hard")
+                    if failure is not None:
+                        done += 1
+                        yield unit_id, specs[unit_id], failure
+
+            if policy.unit_timeout_s > 0:
+                now = time.time()
+                for member in fleet.workers:
+                    unit_id = member.unit_id
+                    if unit_id is None:
+                        continue
+                    stamp = _progress_stamp(
+                        policy, specs[unit_id], unit_id, member.assigned_at)
+                    if now - stamp <= policy.unit_timeout_s:
+                        continue
+                    member.unit_id = None
+                    fleet.respawn(member)
+                    failure = exhaust(
+                        unit_id, "timeout",
+                        f"no progress for {now - stamp:.1f}s "
+                        f"(unit_timeout_s={policy.unit_timeout_s:g}) — "
+                        f"worker killed by the watchdog")
+                    if failure is not None:
+                        done += 1
+                        yield unit_id, specs[unit_id], failure
+    except BaseException:
+        # ShardExecutionError, KeyboardInterrupt, or an abandoned
+        # generator: quiesce every worker; the next call rebuilds.
+        shutdown_fleet()
+        raise
+
+
+def _imap_inline_resilient(worker, specs, policy: RetryPolicy):
+    """In-process retry/quarantine for ``jobs<=1`` without isolation.
+
+    Covers the exception failure mode only — whole-process faults
+    (kills, hangs) need the fleet, which the caller selects via
+    ``policy.isolate``.  Exhaustion raises the same
+    :class:`ShardExecutionError` the fleet does, so callers observe one
+    failure contract whatever the jobs count.
+    """
+    for unit_id, spec in enumerate(specs):
+        for attempt in range(1, policy.max_retries + 2):
+            try:
+                result = worker(_stamp_attempt(spec, attempt))
+            except Exception as error:
+                if attempt <= policy.max_retries:
+                    continue
+                if policy.on_exhaust == "degrade":
+                    yield unit_id, spec, UnitFailure(
+                        shard=_shard_of(spec, unit_id), attempts=attempt,
+                        kind="exception", error=traceback.format_exc())
+                    break
+                raise ShardExecutionError(
+                    _shard_of(spec, unit_id),
+                    traceback.format_exc()) from error
+            yield unit_id, spec, result
+            break
+
+
+def imap_shard_units(worker, specs, jobs: int | None,
+                     policy: RetryPolicy | None = None):
     """Yield ``(unit_id, spec, worker(spec))`` as units *complete*.
 
     The work-stealing dispatcher: every spec becomes one deterministic
@@ -310,7 +673,20 @@ def imap_shard_units(worker, specs, jobs: int | None):
     generators tear the pool down the same way.  ``jobs=None``/``<=1``
     runs the units inline, where exceptions propagate raw (with their
     original tracebacks).  ``worker`` and every spec must be picklable.
+
+    A :class:`RetryPolicy` switches to the resilient dispatcher: the
+    watchdog fleet (:class:`_WorkerFleet`) when running multi-process
+    or when ``policy.isolate`` demands worker processes, else in-process
+    retries.  Under a policy, yielded results may be
+    :class:`UnitFailure` markers (``on_exhaust="degrade"``).
     """
+    if policy is not None:
+        jobs = 1 if jobs is None else max(1, min(jobs, len(specs)))
+        if jobs > 1 or policy.isolate:
+            yield from _imap_resilient(worker, specs, jobs, policy)
+        else:
+            yield from _imap_inline_resilient(worker, specs, policy)
+        return
     jobs = 1 if jobs is None else min(jobs, len(specs))
     if jobs <= 1 or len(specs) <= 1:
         for unit_id, spec in enumerate(specs):
@@ -333,7 +709,8 @@ def imap_shard_units(worker, specs, jobs: int | None):
         raise
 
 
-def imap_shards(worker, specs, jobs: int | None):
+def imap_shards(worker, specs, jobs: int | None,
+                policy: RetryPolicy | None = None):
     """Yield ``(spec, worker(spec))`` pairs as they complete.
 
     The streaming face of :func:`imap_shard_units` for store-aware
@@ -342,8 +719,11 @@ def imap_shards(worker, specs, jobs: int | None):
     (each paired with its own spec, so identity is never ambiguous), and
     a consumer that stops early has every yielded shard already
     persisted.  Callers that need spec order use :func:`map_shards`.
+    With a :class:`RetryPolicy` in degrade mode, a yielded result may be
+    a :class:`UnitFailure` marker instead of the worker's return value.
     """
-    for _unit_id, spec, result in imap_shard_units(worker, specs, jobs):
+    for _unit_id, spec, result in imap_shard_units(worker, specs, jobs,
+                                                   policy):
         yield spec, result
 
 

@@ -23,11 +23,13 @@ from repro.perf.baseline import (
 from repro.perf.bench import (
     BenchError,
     BenchResult,
+    CheckpointOverheadResult,
     ScalingResult,
     TelemetryOverheadResult,
     baseline_entries,
     baseline_for,
     check_regression,
+    check_checkpoint_overhead,
     check_scaling,
     check_telemetry_overhead,
     emit_bench,
@@ -36,9 +38,11 @@ from repro.perf.bench import (
     peak_rss_kb,
     render_bench,
     render_bench_list,
+    render_checkpoint_overhead,
     render_scaling,
     render_telemetry_overhead,
     run_bench,
+    run_checkpoint_overhead,
     run_scaling_bench,
     run_telemetry_overhead,
     speedup_vs_baseline,
@@ -53,10 +57,12 @@ __all__ = [
     "PRE_PR_BASELINE",
     "BenchError",
     "BenchResult",
+    "CheckpointOverheadResult",
     "ScalingResult",
     "TelemetryOverheadResult",
     "baseline_entries",
     "baseline_for",
+    "check_checkpoint_overhead",
     "check_regression",
     "check_scaling",
     "check_telemetry_overhead",
@@ -66,9 +72,11 @@ __all__ = [
     "peak_rss_kb",
     "render_bench",
     "render_bench_list",
+    "render_checkpoint_overhead",
     "render_scaling",
     "render_telemetry_overhead",
     "run_bench",
+    "run_checkpoint_overhead",
     "run_scaling_bench",
     "run_telemetry_overhead",
     "speedup_vs_baseline",

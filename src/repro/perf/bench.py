@@ -112,6 +112,7 @@ def run_bench(
     budget_s: float | None = None,
     iterations: int | None = None,
     telemetry: bool = False,
+    checkpoint_every: int = 0,
 ) -> BenchResult:
     """Measure one scenario's per-iteration hot path.
 
@@ -124,7 +125,11 @@ def run_bench(
     ``telemetry=True`` installs a live span/metric recorder around the
     measured loop (and only the loop — offline setup stays untimed and
     uninstrumented), producing the ``+telemetry`` variant the overhead
-    gate compares against the plain run.
+    gate compares against the plain run.  ``checkpoint_every=N`` makes
+    the measured loop snapshot and atomically persist a real mid-shard
+    checkpoint every N iterations (into a scratch directory, exactly as
+    a campaign with a store would), producing the ``+checkpoint``
+    variant of the resilience overhead gate.
     """
     if budget_s is not None and iterations is not None:
         raise BenchError("pass either budget_s or iterations, not both")
@@ -132,6 +137,11 @@ def run_bench(
         raise BenchError("budget_s must be positive")
     if iterations is not None and iterations < 1:
         raise BenchError("iterations must be >= 1")
+    if checkpoint_every < 0:
+        raise BenchError("checkpoint_every must be >= 0")
+    if telemetry and checkpoint_every:
+        raise BenchError("measure one variant at a time: telemetry or "
+                         "checkpointing")
 
     spec = _load_spec(scenario)
     if iterations is not None:
@@ -160,21 +170,48 @@ def run_bench(
                 return True
             return scenario_stop is not None and scenario_stop(findings)
 
-    if telemetry:
-        from repro import telemetry as telemetry_mod
+    run_kwargs: dict = {}
+    scratch = None
+    if checkpoint_every:
+        import tempfile
 
-        recorder = telemetry_mod.enable()
-        try:
+        from repro.scenarios.checkpoint import (
+            checkpoint_record,
+            save_checkpoint,
+        )
+
+        scratch = tempfile.mkdtemp(prefix="repro-bench-checkpoint-")
+        seed = spec.seed
+
+        def on_checkpoint(next_iteration, result):
+            save_checkpoint(scratch, 0, checkpoint_record(
+                0, seed, next_iteration, campaign, result))
+
+        run_kwargs = {"checkpoint_every": checkpoint_every,
+                      "on_checkpoint": on_checkpoint}
+
+    try:
+        if telemetry:
+            from repro import telemetry as telemetry_mod
+
+            recorder = telemetry_mod.enable()
+            try:
+                started = time.perf_counter()
+                with recorder.span("campaign"):
+                    report = campaign.run(budget_iterations, stop_when=stop)
+                seconds = time.perf_counter() - started
+            finally:
+                telemetry_mod.disable()
+        else:
             started = time.perf_counter()
-            with recorder.span("campaign"):
-                report = campaign.run(budget_iterations, stop_when=stop)
+            report = campaign.run(budget_iterations, stop_when=stop,
+                                  **run_kwargs)
             seconds = time.perf_counter() - started
-        finally:
-            telemetry_mod.disable()
-    else:
-        started = time.perf_counter()
-        report = campaign.run(budget_iterations, stop_when=stop)
-        seconds = time.perf_counter() - started
+    finally:
+        if scratch is not None:
+            import shutil
+
+            shutil.rmtree(scratch, ignore_errors=True)
 
     done = report.fuzz.iterations
     if done == 0:
@@ -197,7 +234,8 @@ def run_bench(
         coverage=report.fuzz.final_coverage(),
         findings=len(report.fuzz.findings),
         peak_rss_kb=peak_rss_kb(),
-        variant="telemetry" if telemetry else "",
+        variant=("telemetry" if telemetry
+                 else "checkpoint" if checkpoint_every else ""),
     )
 
 
@@ -313,6 +351,127 @@ def render_telemetry_overhead(result: TelemetryOverheadResult) -> str:
         ["mode", "iters/sec", "seconds", "peak rss (kb)"], rows,
         title=(
             f"Telemetry overhead: {result.scenario} "
+            f"@{result.iterations}it (best of {result.repeats})"
+        ),
+    )
+    overhead = max(0.0, result.overhead)
+    return f"{table}\noverhead: {overhead * 100:.2f}%"
+
+
+# ----------------------------------------------------------------------
+# Checkpoint overhead: mid-shard resilience must stay near-free
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CheckpointOverheadResult:
+    """Paired off/on measurement of mid-shard checkpointing cost.
+
+    Same estimator as :class:`TelemetryOverheadResult` (median of
+    per-repeat paired off/on throughput ratios); the ``on`` side runs
+    the scenario's fuzz loop with a real checkpoint snapshot + atomic
+    write every ``every`` iterations, exactly as a stored campaign at
+    that cadence would.
+    """
+
+    scenario: str
+    iterations: int
+    repeats: int
+    every: int
+    off: BenchResult
+    on: BenchResult
+    overhead: float
+
+
+def run_checkpoint_overhead(
+    scenario: str = "quickstart",
+    iterations: int | None = None,
+    repeats: int = 3,
+    every: int = 25,
+) -> CheckpointOverheadResult:
+    """Measure mid-shard checkpointing's iteration-throughput cost.
+
+    ``every`` defaults to the :class:`ScenarioSpec` default cadence
+    (``checkpoint_every = 25``), so the committed gate pins the cost
+    every stored campaign pays out of the box.
+    """
+    if repeats < 1:
+        raise BenchError("repeats must be >= 1")
+    if every < 1:
+        raise BenchError("checkpoint cadence must be >= 1")
+    spec = _load_spec(scenario)
+    budget = iterations if iterations is not None else spec.iterations
+    if budget < 1:
+        raise BenchError(
+            f"scenario {scenario!r} is offline-only; pass --iterations"
+        )
+
+    best: dict[bool, BenchResult] = {}
+    ratios: list[float] = []
+    for _ in range(repeats):
+        pair: dict[bool, BenchResult] = {}
+        for with_checkpoints in (False, True):
+            result = run_bench(
+                scenario=scenario,
+                iterations=budget,
+                checkpoint_every=every if with_checkpoints else 0,
+            )
+            pair[with_checkpoints] = result
+            incumbent = best.get(with_checkpoints)
+            if incumbent is None or \
+                    result.iters_per_sec > incumbent.iters_per_sec:
+                best[with_checkpoints] = result
+        ratios.append(
+            pair[False].iters_per_sec / pair[True].iters_per_sec - 1.0
+        )
+    ratios.sort()
+    middle = len(ratios) // 2
+    if len(ratios) % 2:
+        overhead = ratios[middle]
+    else:
+        overhead = (ratios[middle - 1] + ratios[middle]) / 2.0
+    return CheckpointOverheadResult(
+        scenario=spec.name,
+        iterations=budget,
+        repeats=repeats,
+        every=every,
+        off=best[False],
+        on=best[True],
+        overhead=overhead,
+    )
+
+
+def check_checkpoint_overhead(
+    result: CheckpointOverheadResult,
+    max_overhead: float = 0.03,
+) -> list[str]:
+    """Gate: checkpointing at the measured cadence must stay within
+    ``max_overhead`` fractional slowdown.  Returns failure messages
+    (empty = pass).
+    """
+    failures: list[str] = []
+    if result.overhead > max_overhead:
+        failures.append(
+            f"{result.scenario}@{result.iterations}it: checkpoint overhead "
+            f"{result.overhead * 100:.2f}% (cadence {result.every}) exceeds "
+            f"the {max_overhead * 100:g}% ceiling "
+            f"({result.off.iters_per_sec:.2f} -> "
+            f"{result.on.iters_per_sec:.2f} iters/sec)"
+        )
+    return failures
+
+
+def render_checkpoint_overhead(result: CheckpointOverheadResult) -> str:
+    """Human-readable off/on comparison table."""
+    rows = [
+        ["checkpoints off", f"{result.off.iters_per_sec:.2f}",
+         f"{result.off.seconds:.2f}", str(result.off.peak_rss_kb)],
+        [f"every {result.every} iters", f"{result.on.iters_per_sec:.2f}",
+         f"{result.on.seconds:.2f}", str(result.on.peak_rss_kb)],
+    ]
+    table = ascii_table(
+        ["mode", "iters/sec", "seconds", "peak rss (kb)"], rows,
+        title=(
+            f"Checkpoint overhead: {result.scenario} "
             f"@{result.iterations}it (best of {result.repeats})"
         ),
     )

@@ -46,13 +46,18 @@ COVERAGES = ("lp", "code")
 VULN_HOOKS = ("mwait", "zenbleed")
 #: Finding kinds the IFT pathway produces.
 IFT_STOP_KINDS = ("mwait", "zenbleed", "spectre_v1", "spectre_v2", "direct")
-#: Every finding kind a stop condition may wait for: the IFT kinds plus
-#: one contract-violation kind per composable clause.  Which contract
-#: kind a given scenario can actually fire is checked per spec against
-#: :meth:`ScenarioSpec.effective_contract`, not this flat set.
+#: Every finding kind a stop condition may wait for: the IFT kinds, one
+#: contract-violation kind per composable clause, and the contained
+#: step-loop ``crash`` kind (any detector can produce one).  Which
+#: contract kind a given scenario can actually fire is checked per spec
+#: against :meth:`ScenarioSpec.effective_contract`, not this flat set.
 STOP_KINDS = IFT_STOP_KINDS + tuple(
     contract_kind(clause) for clause in all_clauses()
-)
+) + ("crash",)
+
+#: ``on_shard_failure`` policies: ``fail`` aborts the campaign at the
+#: first exhausted shard, ``degrade`` quarantines it and completes.
+SHARD_FAILURE_POLICIES = ("fail", "degrade")
 
 _SHARD_STRIDE_REMOVED = (
     "the 'shard_stride' scenario knob has been removed: per-shard seeds "
@@ -103,8 +108,17 @@ class ScenarioSpec:
       (``iterations = 0`` runs the offline phase only); per-shard seeds
       are hash-derived (:func:`repro.harness.parallel.shard_seed`), and
       the removed ``shard_stride`` knob is rejected on load;
+    * **resilience** — ``max_shard_retries`` same-seed retries per
+      failed shard unit, ``unit_timeout_s`` wall-clock watchdog budget
+      per unit (``0`` disables the watchdog), ``checkpoint_every``
+      iterations between mid-shard checkpoints (``0`` disables
+      checkpointing), and ``on_shard_failure`` choosing between
+      aborting (``fail``) and quarantine-plus-degraded-completion
+      (``degrade``) once a shard exhausts its retries
+      (see ``docs/resilience.md``);
     * **stop condition** — ``stop_kind`` ends every shard at its first
-      finding of that vulnerability or contract-violation kind.
+      finding of that vulnerability or contract-violation kind (or at
+      the first contained ``crash``).
     """
 
     name: str
@@ -137,6 +151,11 @@ class ScenarioSpec:
     # Campaign shape.
     iterations: int = 100
     shards: int = 1
+    # Resilience (see docs/resilience.md).
+    max_shard_retries: int = 2
+    unit_timeout_s: float = 0.0
+    checkpoint_every: int = 25
+    on_shard_failure: str = "degrade"
     # Stop condition.
     stop_kind: str | None = None
 
@@ -283,6 +302,26 @@ class ScenarioSpec:
         self._expect_type("shards", int)
         if self.shards < 1:
             self._fail("shards must be >= 1")
+        self._expect_type("max_shard_retries", int)
+        if self.max_shard_retries < 0:
+            self._fail("max_shard_retries must be >= 0 (0 means one "
+                       "attempt, no retry)")
+        self._expect_type("unit_timeout_s", (int, float))
+        if self.unit_timeout_s < 0:
+            self._fail("unit_timeout_s must be >= 0 (0 disables the "
+                       "shard watchdog)")
+        self._expect_type("checkpoint_every", int)
+        if self.checkpoint_every < 0:
+            self._fail("checkpoint_every must be >= 0 (0 disables "
+                       "mid-shard checkpoints)")
+        self._expect_type("on_shard_failure", str)
+        if self.on_shard_failure not in SHARD_FAILURE_POLICIES:
+            self._fail(
+                f"on_shard_failure must be one of "
+                f"{', '.join(SHARD_FAILURE_POLICIES)}; got "
+                f"{self.on_shard_failure!r}"
+                f"{_suggest(str(self.on_shard_failure), SHARD_FAILURE_POLICIES)}"
+            )
         if self.stop_kind is not None and self.stop_kind not in STOP_KINDS:
             self._fail(
                 f"stop_kind must be one of {', '.join(STOP_KINDS)} or "
@@ -328,7 +367,8 @@ class ScenarioSpec:
                     f"{self.effective_contract()!r} clause reports "
                     f"violations as {expected!r}"
                 )
-        elif self.stop_kind is not None and self.detector == "contract":
+        elif self.stop_kind is not None and self.stop_kind != "crash" \
+                and self.detector == "contract":
             self._fail(
                 f"stop_kind {self.stop_kind!r} waits for an IFT finding, "
                 f"but detector = 'contract' never produces one; set "
@@ -460,6 +500,17 @@ class ScenarioSpec:
         # round-trip byte-identically.
         if not data["static_prune"]:
             del data["static_prune"]
+        # The resilience knobs likewise serialise only when changed, so
+        # scenario files written before the resilience layer keep their
+        # exact bytes.
+        for key, default in (
+            ("max_shard_retries", 2),
+            ("unit_timeout_s", 0.0),
+            ("checkpoint_every", 25),
+            ("on_shard_failure", "degrade"),
+        ):
+            if data[key] == default:
+                del data[key]
         return data
 
     def to_toml(self) -> str:

@@ -48,6 +48,7 @@ from repro.core.report import CampaignReport
 from repro.detection.mst import MisspeculationTable
 from repro.detection.vulnerability import LeakReport, RootCause
 from repro.detection.windows import DetectedWindow
+from repro.fuzz.crash import CrashReport
 from repro.fuzz.fuzzer import CampaignResult, FuzzFinding
 from repro.fuzz.input import TestProgram
 from repro.scenarios.spec import ScenarioError, ScenarioSpec
@@ -57,6 +58,8 @@ SCHEMA_VERSION = 1
 STATUS_RUNNING = "running"
 STATUS_INTERRUPTED = "interrupted"
 STATUS_COMPLETE = "complete"
+#: Complete, but with quarantined shards missing from the merge.
+STATUS_DEGRADED = "degraded"
 
 
 class StoreError(RuntimeError):
@@ -171,9 +174,31 @@ def contract_violation_from_dict(data: dict) -> ContractViolation:
     )
 
 
+def crash_report_to_dict(report: CrashReport) -> dict:
+    return {
+        "kind": report.kind,
+        "phase": report.phase,
+        "exception": report.exception,
+        "message": report.message,
+    }
+
+
+def crash_report_from_dict(data: dict) -> CrashReport:
+    return CrashReport(
+        kind=data["kind"],
+        phase=data["phase"],
+        exception=data["exception"],
+        message=data["message"],
+    )
+
+
 def detector_of(detail) -> str:
     """Which detection pathway produced a finding detail / report."""
-    return "contract" if isinstance(detail, ContractViolation) else "ift"
+    if isinstance(detail, ContractViolation):
+        return "contract"
+    if isinstance(detail, CrashReport):
+        return "crash"
+    return "ift"
 
 
 def report_to_dict(report) -> dict:
@@ -185,6 +210,8 @@ def report_to_dict(report) -> dict:
     """
     if isinstance(report, ContractViolation):
         return {"detector": "contract", **contract_violation_to_dict(report)}
+    if isinstance(report, CrashReport):
+        return {"detector": "crash", **crash_report_to_dict(report)}
     return {"detector": "ift", **leak_report_to_dict(report)}
 
 
@@ -193,9 +220,15 @@ def report_from_dict(data: dict):
     stores written before the contract pathway existed)."""
     if data.get("detector") == "contract":
         return contract_violation_from_dict(data)
+    if data.get("detector") == "crash":
+        return crash_report_from_dict(data)
     payload = dict(data)
     payload.pop("detector", None)
     return leak_report_from_dict(payload)
+
+
+#: Finding details the store can round-trip through JSON.
+_SERIALIZABLE_DETAILS = (LeakReport, ContractViolation, CrashReport)
 
 
 def _finding_to_dict(finding: FuzzFinding) -> dict:
@@ -207,7 +240,7 @@ def _finding_to_dict(finding: FuzzFinding) -> dict:
         "program": program_to_dict(finding.program),
         "detail": (
             report_to_dict(detail)
-            if isinstance(detail, (LeakReport, ContractViolation)) else None
+            if isinstance(detail, _SERIALIZABLE_DETAILS) else None
         ),
     }
 
@@ -316,6 +349,8 @@ class CampaignStore:
     COVERAGE_FILE = "coverage.jsonl"
     REPORT_FILE = "report.txt"
     TELEMETRY_DIR = "telemetry"
+    QUARANTINE_FILE = "quarantine.jsonl"
+    CHECKPOINT_DIR = "checkpoints"
 
     def __init__(self, root: str | Path, spec: ScenarioSpec, meta: dict):
         self.root = Path(root)
@@ -458,8 +493,7 @@ class CampaignStore:
                     ),
                     "report": (
                         report_to_dict(finding.detail)
-                        if isinstance(finding.detail,
-                                      (LeakReport, ContractViolation))
+                        if isinstance(finding.detail, _SERIALIZABLE_DETAILS)
                         else None
                     ),
                 }
@@ -555,12 +589,87 @@ class CampaignStore:
                 "".join(json.dumps(r) + "\n" for r in kept),
             )
 
+    # -- quarantine (retry-exhausted shards) --------------------------------
+
+    def record_quarantine(self, shard: int, seed: int, attempts: int,
+                          failure: str, error: str) -> None:
+        """Append one retry-exhausted shard to ``quarantine.jsonl``.
+
+        ``failure`` names the terminal failure mode (``exception`` /
+        ``worker-died`` / ``timeout``); ``error`` is its one-line
+        detail.  Quarantined shards are excluded from the merge — the
+        campaign finishes in degraded mode and a later ``resume``
+        re-runs exactly these shards.
+        """
+        with (self.root / self.QUARANTINE_FILE).open("a") as stream:
+            stream.write(json.dumps({
+                "type": "quarantine",
+                "shard": shard,
+                "seed": seed,
+                "attempts": attempts,
+                "failure": failure,
+                "error": error,
+            }) + "\n")
+
+    def quarantined(self) -> list[dict]:
+        """All quarantine records, in shard order."""
+        records = self._read_jsonl(self.QUARANTINE_FILE)
+        return sorted(records, key=lambda record: record["shard"])
+
+    def reset_quarantine(self) -> None:
+        """Drop the quarantine list (a resume re-runs those shards)."""
+        path = self.root / self.QUARANTINE_FILE
+        if path.exists():
+            path.unlink()
+
+    # -- mid-shard checkpoints ----------------------------------------------
+
+    def checkpoint_dir(self, create: bool = False) -> Path:
+        path = self.root / self.CHECKPOINT_DIR
+        if create:
+            path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def checkpoint_path(self, shard: int) -> Path:
+        return self.checkpoint_dir() / f"shard-{shard:04d}.json"
+
+    def write_checkpoint(self, shard: int, record: dict) -> None:
+        """Atomically persist one shard's mid-run checkpoint record."""
+        self.checkpoint_dir(create=True)
+        _atomic_write(self.checkpoint_path(shard),
+                      json.dumps(record) + "\n")
+
+    def read_checkpoint(self, shard: int) -> dict | None:
+        """The shard's last checkpoint, or None.
+
+        A missing, torn, or wrong-shard checkpoint degrades to None —
+        the shard restarts from iteration 0, which is always correct,
+        just slower.
+        """
+        path = self.checkpoint_path(shard)
+        if not path.exists():
+            return None
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if record.get("type") != "checkpoint" or record.get("shard") != shard:
+            return None
+        return record
+
+    def clear_checkpoint(self, shard: int) -> None:
+        """Drop a completed shard's checkpoint (its artifacts supersede it)."""
+        path = self.checkpoint_path(shard)
+        if path.exists():
+            path.unlink()
+
     # -- final report -------------------------------------------------------
 
-    def finalize(self, report_text: str) -> None:
-        """Write the merged report and mark the campaign complete."""
+    def finalize(self, report_text: str, degraded: bool = False) -> None:
+        """Write the merged report and mark the campaign complete
+        (``degraded`` when quarantined shards are missing from it)."""
         _atomic_write(self.root / self.REPORT_FILE, report_text)
-        self.set_status(STATUS_COMPLETE)
+        self.set_status(STATUS_DEGRADED if degraded else STATUS_COMPLETE)
 
     def report_text(self) -> str:
         path = self.root / self.REPORT_FILE

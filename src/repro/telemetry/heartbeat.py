@@ -60,12 +60,22 @@ class HeartbeatWriter:
         self._clock = clock
         self.last_iteration = -1
         self.last_coverage = 0
+        #: Records that failed to reach disk (disk full, telemetry dir
+        #: deleted mid-run, ...).  Telemetry is an observer: a failed
+        #: write degrades to a dropped record and bumps this counter —
+        #: it must never abort the shard that is being observed.
+        self.dropped = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = open(self.path, "w", encoding="utf-8")
 
     def _write(self, record: dict) -> None:
-        self._handle.write(export.dump_line(record) + "\n")
-        self._handle.flush()
+        try:
+            self._handle.write(export.dump_line(record) + "\n")
+            self._handle.flush()
+        except (OSError, ValueError):
+            # ValueError covers writes to a handle something external
+            # already closed; OSError covers ENOSPC, deleted dirs, etc.
+            self.dropped += 1
 
     def write_meta(self, **fields) -> None:
         self._write(export.meta_record("shard", shard=self.shard, **fields))
@@ -102,8 +112,11 @@ class HeartbeatWriter:
         self.close()
 
     def close(self) -> None:
-        if not self._handle.closed:
-            self._handle.close()
+        try:
+            if not self._handle.closed:
+                self._handle.close()
+        except OSError:
+            self.dropped += 1  # final buffered data lost with the handle
 
     def __enter__(self) -> "HeartbeatWriter":
         return self

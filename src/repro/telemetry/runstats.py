@@ -35,6 +35,10 @@ from repro.utils.text import ascii_table
 TELEMETRY_DIRNAME = "telemetry"
 CAMPAIGN_FILE = "campaign.jsonl"
 SUMMARY_FILE = "summary.json"
+#: Resilience artifacts (written by the campaign store / shard workers,
+#: validated alongside the telemetry logs).
+QUARANTINE_FILE = "quarantine.jsonl"
+CHECKPOINT_DIRNAME = "checkpoints"
 
 #: The parent campaign's root span name.
 ROOT_SPAN = "campaign"
@@ -53,6 +57,12 @@ class ShardTelemetry:
     complete: bool = False
     iterations: int = 0
     findings: int = 0
+
+    @property
+    def attempt(self) -> int:
+        """Which execution attempt produced this log (1 = first try;
+        retried shards stamp their attempt into the meta record)."""
+        return int(self.meta.get("attempt", 1))
 
     @property
     def last_iteration(self) -> int:
@@ -88,6 +98,9 @@ class RunTelemetry:
     campaign_spans: list[SpanRecord] = field(default_factory=list)
     campaign_metrics: MetricSet = field(default_factory=MetricSet)
     shards: dict[int, ShardTelemetry] = field(default_factory=dict)
+    #: Quarantine records (``quarantine.jsonl``) — shards that exhausted
+    #: their retries; the run completed degraded without them.
+    quarantined: list[dict] = field(default_factory=list)
 
     def all_spans(self) -> list[SpanRecord]:
         spans = list(self.campaign_spans)
@@ -170,6 +183,11 @@ def load_run_telemetry(run_dir: Path | str) -> RunTelemetry:
     for path in sorted(tdir.glob("shard-*.jsonl")):
         shard = _parse_shard_file(path)
         run.shards[shard.shard] = shard
+    quarantine = root / QUARANTINE_FILE
+    if quarantine.exists():
+        run.quarantined = sorted(
+            export.read_jsonl(quarantine),
+            key=lambda record: record.get("shard", -1))
     if not run.campaign_spans and not run.shards:
         raise TelemetryError(f"telemetry directory {tdir} holds no records")
     return run
@@ -224,6 +242,7 @@ def shard_rows(run: RunTelemetry) -> list[dict]:
             "findings": shard.findings,
             "complete": shard.complete,
             "lag_seconds": lag,
+            "attempt": shard.attempt,
         })
     return rows
 
@@ -306,6 +325,8 @@ def render_stats(run: RunTelemetry, top: int = 10) -> str:
                 status = f"lagging {row['lag_seconds']:.1f}s"
             else:
                 status = "incomplete"
+            if row.get("attempt", 1) > 1:
+                status += f" (attempt {row['attempt']})"
             shard_table.append([
                 str(row["shard"]), str(row["iterations"]),
                 str(row["coverage"]), str(row["rss_kb"]),
@@ -315,6 +336,16 @@ def render_stats(run: RunTelemetry, top: int = 10) -> str:
             ["shard", "iterations", "coverage", "rss kb", "findings",
              "status"],
             shard_table, title="shard heartbeats"))
+
+    if run.quarantined:
+        out.append("")
+        out.append(ascii_table(
+            ["shard", "attempts", "failure", "last error"],
+            [[str(q.get("shard")), str(q.get("attempts")),
+              str(q.get("failure")), str(q.get("error"))]
+             for q in run.quarantined],
+            title="quarantined shards (run completed DEGRADED "
+                  "without them)"))
 
     metrics = run.merged_metrics()
     if not metrics.is_empty():
@@ -339,9 +370,12 @@ def render_stats(run: RunTelemetry, top: int = 10) -> str:
 
 
 def validate_run(run_dir: Path | str, schema_path: Path | str) -> list[str]:
-    """Validate every telemetry JSONL file against the checked-in schema."""
+    """Validate a run's telemetry and resilience records against the
+    checked-in schema: every ``telemetry/*.jsonl`` file, the run's
+    ``quarantine.jsonl``, and each ``checkpoints/shard-*.json``."""
     schema = export.load_schema(schema_path)
-    tdir = Path(run_dir) / TELEMETRY_DIRNAME
+    root = Path(run_dir)
+    tdir = root / TELEMETRY_DIRNAME
     if not tdir.is_dir():
         raise TelemetryError(f"no telemetry artifacts under {run_dir}")
     errors: list[str] = []
@@ -349,6 +383,22 @@ def validate_run(run_dir: Path | str, schema_path: Path | str) -> list[str]:
         records = export.read_jsonl(path)
         errors.extend(export.validate_records(records, schema,
                                               source=path.name))
+    quarantine = root / QUARANTINE_FILE
+    if quarantine.exists():
+        errors.extend(export.validate_records(
+            export.read_jsonl(quarantine), schema,
+            source=QUARANTINE_FILE))
+    checkpoint_dir = root / CHECKPOINT_DIRNAME
+    if checkpoint_dir.is_dir():
+        for path in sorted(checkpoint_dir.glob("shard-*.json")):
+            source = f"{CHECKPOINT_DIRNAME}/{path.name}"
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError as exc:
+                errors.append(f"{source}: invalid JSON ({exc})")
+                continue
+            errors.extend(export.validate_records([record], schema,
+                                                  source=source))
     summary = tdir / SUMMARY_FILE
     if summary.exists():
         try:

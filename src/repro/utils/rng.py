@@ -44,6 +44,21 @@ class DeterministicRng:
         """
         return DeterministicRng((self.seed * 0x9E3779B1 + salt) & 0xFFFFFFFFFFFF)
 
+    def getstate(self) -> list:
+        """JSON-serialisable snapshot of the stream position.
+
+        The Mersenne Twister state is ``(version, ints, gauss_next)``;
+        nested tuples become lists so the snapshot round-trips through
+        JSON checkpoints byte-identically.
+        """
+        version, internal, gauss_next = self._random.getstate()
+        return [version, list(internal), gauss_next]
+
+    def setstate(self, state) -> None:
+        """Restore a stream position captured by :meth:`getstate`."""
+        version, internal, gauss_next = state
+        self._random.setstate((version, tuple(internal), gauss_next))
+
     def randint(self, low: int, high: int) -> int:
         """Uniform integer in the inclusive range [low, high]."""
         return self._random.randint(low, high)

@@ -184,20 +184,20 @@ class TestScenarioRunnerIntegration:
         real_execute = runner_module._execute_shard
 
         def sabotaged(task):
-            if task[1] == 2:
+            if task.shard == 2:
                 raise RuntimeError("injected shard death")
             return real_execute(task)
 
         calls = []
 
-        def tracking_imap(worker, specs, jobs):
+        def tracking_imap(worker, specs, jobs, policy=None):
             # Run inline but route errors the pooled way.
             for unit_id, task in enumerate(specs):
-                calls.append(task[1])
+                calls.append(task.shard)
                 try:
                     yield task, sabotaged(task)
                 except RuntimeError:
-                    raise ShardExecutionError(task[1], "injected")
+                    raise ShardExecutionError(task.shard, "injected")
 
         monkeypatch.setattr(runner_module, "imap_shards", tracking_imap)
         run_dir = tmp_path / "campaign"
